@@ -1,0 +1,86 @@
+// Ablation: the continuous-mode epoch length trades monitoring freshness
+// against message overhead (the knob behind Fig. 9's accuracy). For a
+// 128-node trace-driven Grid we sweep the push period and report the
+// same-time tracking error of the root's global SUM plus the per-node
+// update rate.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "harness/sim_cluster.hpp"
+#include "trace/cpu_trace.hpp"
+
+int main() {
+  using namespace dat;
+  constexpr std::size_t kNodes = 128;
+  constexpr double kMeasureS = 1800.0;  // 30 min window
+
+  std::printf("# Ablation: epoch length vs accuracy and overhead, n=%zu\n",
+              kNodes);
+  std::printf("%10s %12s %12s %16s\n", "epoch(s)", "pearson-r", "mre",
+              "updates/node/min");
+
+  const trace::CpuTrace cpu =
+      trace::CpuTrace::synthesize(trace::TraceConfig{}, 99);
+
+  for (const std::uint64_t epoch_us :
+       {500'000ull, 1'000'000ull, 2'000'000ull, 5'000'000ull,
+        10'000'000ull, 30'000'000ull}) {
+    harness::ClusterOptions options;
+    options.seed = 77;
+    options.dat.epoch_us = epoch_us;
+    options.node.stabilize_interval_us = 2'000'000;
+    options.node.fix_fingers_interval_us = 1'000'000;
+    harness::SimCluster cluster(kNodes, std::move(options));
+    cluster.wait_converged(600'000'000);
+
+    sim::Engine& engine = cluster.engine();
+    const std::uint64_t t0 = engine.now();
+    Id key = 0;
+    for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+      key = cluster.dat(i).start_aggregate(
+          "cpu", core::AggregateKind::kSum, chord::RoutingScheme::kBalanced,
+          [&engine, &cpu, t0]() { return cpu.at((engine.now() - t0) / 1e6); });
+    }
+    cluster.run_for(12 * epoch_us);  // fill the pipeline
+
+    std::uint64_t updates_before = 0;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      updates_before += cluster.dat(i).updates_sent(key);
+    }
+
+    const Id root_id = cluster.ring_view().successor(key);
+    std::size_t root_slot = 0;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      if (cluster.node(i).id() == root_id) root_slot = i;
+    }
+
+    std::vector<double> actual;
+    std::vector<double> aggregated;
+    const std::uint64_t start = engine.now();
+    while (engine.now() - start < static_cast<std::uint64_t>(kMeasureS * 1e6)) {
+      cluster.run_for(10'000'000);  // sample every 10 s
+      const auto g = cluster.dat(root_slot).latest(key);
+      if (!g) continue;
+      actual.push_back(cpu.at((engine.now() - t0) / 1e6) *
+                       static_cast<double>(kNodes));
+      aggregated.push_back(g->state.sum);
+    }
+    std::uint64_t updates_after = 0;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      updates_after += cluster.dat(i).updates_sent(key);
+    }
+    const double per_node_per_min =
+        static_cast<double>(updates_after - updates_before) /
+        static_cast<double>(kNodes) / (kMeasureS / 60.0);
+
+    std::printf("%10.1f %12.3f %12.3f %16.1f\n", epoch_us / 1e6,
+                pearson(actual, aggregated),
+                mean_relative_error(aggregated, actual), per_node_per_min);
+  }
+  std::printf("\n(short epochs track the signal tightly at proportionally\n"
+              " higher message cost; the tree keeps overhead at one message\n"
+              " per node per epoch regardless of n)\n");
+  return 0;
+}

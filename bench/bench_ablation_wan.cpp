@@ -1,0 +1,119 @@
+// Ablation: LAN vs WAN latency. The paper's testbed is a 1-GbE cluster and
+// its future work asks how DAT behaves on PlanetLab-scale links. Topology
+// metrics are latency-free, but the *freshness* of continuous aggregation
+// and the wall-clock cost of lookups are not: we rerun a 96-node
+// trace-driven monitoring scenario under three latency models and report
+// lookup latency and aggregation staleness.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "harness/sim_cluster.hpp"
+#include "trace/cpu_trace.hpp"
+
+namespace {
+
+using namespace dat;
+
+struct Row {
+  const char* name;
+  std::unique_ptr<sim::LatencyModel> (*make)();
+};
+
+std::unique_ptr<sim::LatencyModel> make_lan() {
+  return std::make_unique<sim::UniformLatency>(80, 150);  // 1-GbE cluster
+}
+std::unique_ptr<sim::LatencyModel> make_wan() {
+  // Continental WAN: ~40 ms median, heavy tail.
+  return std::make_unique<sim::LogNormalLatency>(40'000.0, 0.6, 5'000);
+}
+std::unique_ptr<sim::LatencyModel> make_planetlab() {
+  // Intercontinental mix: ~120 ms median, heavier tail.
+  return std::make_unique<sim::LogNormalLatency>(120'000.0, 0.9, 10'000);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 96;
+  constexpr std::uint64_t kEpochUs = 2'000'000;
+
+  std::printf("# Ablation: latency model vs lookup latency and staleness, n=%zu\n",
+              kNodes);
+  std::printf("%-12s %16s %16s %14s\n", "model", "lookup-mean(ms)",
+              "lookup-p99(ms)", "staleness(ms)");
+
+  const Row rows[] = {{"lan", make_lan},
+                      {"wan", make_wan},
+                      {"planetlab", make_planetlab}};
+  for (const Row& row : rows) {
+    harness::ClusterOptions options;
+    options.seed = 8080;
+    options.dat.epoch_us = kEpochUs;
+    options.latency = row.make();
+    options.node.rpc.timeout_us = 2'000'000;  // fit the WAN tail
+    harness::SimCluster cluster(kNodes, std::move(options));
+    cluster.wait_converged(1'200'000'000);
+
+    // Lookup latency: virtual time from issue to completion.
+    Rng rng(3);
+    std::vector<double> lookup_ms;
+    for (int q = 0; q < 60; ++q) {
+      const Id key = rng.next_id(cluster.space());
+      const std::uint64_t issued = cluster.engine().now();
+      bool done = false;
+      cluster.node(q % kNodes).find_successor(
+          key, [&](net::RpcStatus st, chord::NodeRef) {
+            if (st == net::RpcStatus::kOk) done = true;
+          });
+      const auto deadline = cluster.engine().now() + 60'000'000;
+      while (!done && cluster.engine().now() < deadline) {
+        cluster.engine().run_steps(64);
+      }
+      if (done) {
+        lookup_ms.push_back((cluster.engine().now() - issued) / 1e3);
+      }
+    }
+
+    // Aggregation staleness measured directly: every node contributes the
+    // current virtual time, so the root's average equals "now minus the
+    // mean age of the data that reached it" — the pipeline lag, including
+    // per-hop network delay (staleness ~ depth * epoch + path latency).
+    sim::Engine& engine = cluster.engine();
+    Id key = 0;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      key = cluster.dat(i).start_aggregate(
+          "clock", core::AggregateKind::kAvg, chord::RoutingScheme::kBalanced,
+          [&engine]() { return static_cast<double>(engine.now()); });
+    }
+    cluster.run_for(15 * kEpochUs);
+    RunningStats staleness_ms;
+    const Id root_id = cluster.ring_view().successor(key);
+    for (int s = 0; s < 20; ++s) {
+      cluster.run_for(kEpochUs + 137'000);  // sample off the epoch grid
+      for (std::size_t i = 0; i < kNodes; ++i) {
+        if (cluster.node(i).id() != root_id) continue;
+        if (const auto g = cluster.dat(i).latest(key)) {
+          const double mean_contribution_time =
+              g->state.result(core::AggregateKind::kAvg);
+          staleness_ms.add(
+              (static_cast<double>(engine.now()) - mean_contribution_time) /
+              1e3);
+        }
+      }
+    }
+
+    RunningStats lookup_stats;
+    for (const double v : lookup_ms) lookup_stats.add(v);
+    std::printf("%-12s %16.1f %16.1f %14.0f\n", row.name,
+                lookup_stats.mean(),
+                lookup_ms.empty() ? 0.0 : percentile(lookup_ms, 0.99),
+                staleness_ms.mean());
+  }
+  std::printf("\n(lookup latency scales with per-hop RTT x log n; staleness\n"
+              " is dominated by the epoch pipeline, so WAN latency barely\n"
+              " moves it — the paper's PlanetLab deployment would mainly pay\n"
+              " in lookup and join latency, not monitoring freshness)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Fig. 7(a): maximal branching factor vs. network size for the
+// basic and balanced DAT schemes, with and without identifier probing.
+//
+// Paper shape: basic DAT grows ~log n (43 @ 8192 random ids, 16 with
+// probing); balanced DAT is ~constant (≈4) with probing and ~log n without.
+
+#include <cstdio>
+
+#include "analysis/tree_metrics.hpp"
+
+int main() {
+  using namespace dat;
+  constexpr unsigned kBits = 32;
+  constexpr unsigned kTrials = 3;
+  constexpr unsigned kKeys = 4;
+
+  std::printf("# Fig 7(a): maximal branching factor vs network size\n");
+  std::printf("%8s %18s %18s %18s %18s\n", "n", "basic/random",
+              "basic/probed", "balanced/random", "balanced/probed");
+
+  Rng rng(20070326);  // IPDPS 2007
+  for (std::size_t n = 16; n <= 8192; n *= 2) {
+    std::size_t cells[4] = {};
+    int c = 0;
+    for (const auto scheme :
+         {chord::RoutingScheme::kGreedy, chord::RoutingScheme::kBalanced}) {
+      for (const auto assignment :
+           {chord::IdAssignment::kRandom, chord::IdAssignment::kProbed}) {
+        const auto props = analysis::measure_tree_properties(
+            kBits, n, scheme, assignment, kTrials, kKeys, rng);
+        cells[c++] = props.max_branching;
+      }
+    }
+    std::printf("%8zu %18zu %18zu %18zu %18zu\n", n, cells[0], cells[1],
+                cells[2], cells[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig. 7(b): average branching factor (over internal nodes) vs.
+// network size for basic and balanced DATs, with and without identifier
+// probing.
+//
+// Paper shape: with probing both trees sit at an almost constant average of
+// ~2; without probing they rise to ~3 and ~3.2 but stay flat in n.
+
+#include <cstdio>
+
+#include "analysis/tree_metrics.hpp"
+
+int main() {
+  using namespace dat;
+  constexpr unsigned kBits = 32;
+  constexpr unsigned kTrials = 3;
+  constexpr unsigned kKeys = 4;
+
+  std::printf("# Fig 7(b): average branching factor vs network size\n");
+  std::printf("%8s %18s %18s %18s %18s\n", "n", "basic/random",
+              "basic/probed", "balanced/random", "balanced/probed");
+
+  Rng rng(20070326);
+  for (std::size_t n = 16; n <= 8192; n *= 2) {
+    double cells[4] = {};
+    int c = 0;
+    for (const auto scheme :
+         {chord::RoutingScheme::kGreedy, chord::RoutingScheme::kBalanced}) {
+      for (const auto assignment :
+           {chord::IdAssignment::kRandom, chord::IdAssignment::kProbed}) {
+        const auto props = analysis::measure_tree_properties(
+            kBits, n, scheme, assignment, kTrials, kKeys, rng);
+        cells[c++] = props.avg_branching_internal;
+      }
+    }
+    std::printf("%8zu %18.2f %18.2f %18.2f %18.2f\n", n, cells[0], cells[1],
+                cells[2], cells[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Prototype scale check (paper Sec. 5: "evaluated ... with up to 8192
+// nodes"): bootstrap progressively larger *live* overlays — full protocol,
+// not the RingView shortcut — and report convergence plus live balanced-DAT
+// tree statistics computed from each node's own finger table. The offline
+// sweeps (Figs. 7/8) use RingView for the biggest sizes; this bench pins
+// the two views together at protocol scale.
+
+#include <chrono>
+#include <cstdio>
+
+#include "dat/tree.hpp"
+#include "harness/live_tree.hpp"
+#include "harness/sim_cluster.hpp"
+
+int main() {
+  using namespace dat;
+  std::printf("# Live-protocol scale: bootstrap + converged balanced-DAT stats\n");
+  std::printf("%6s %10s %10s %8s %10s %12s %10s %10s\n", "n", "boot(s)",
+              "conv", "roots", "reaching", "max-branch", "height",
+              "wall(s)");
+
+  for (const std::size_t n : {128ul, 256ul, 512ul, 1024ul, 2048ul}) {
+    const auto wall0 = std::chrono::steady_clock::now();
+    harness::ClusterOptions options;
+    options.seed = 4000 + n;
+    options.join_settle_us = 100'000;
+    options.node.fix_fingers_interval_us = 100'000;
+    harness::SimCluster cluster(n, std::move(options));
+    const double boot_s = cluster.engine().now() / 1e6;
+    const bool converged = cluster.wait_converged(1'200'000'000);
+
+    const Id key = core::rendezvous_key("cpu-usage", cluster.space());
+    const auto live = harness::live_tree_stats(
+        cluster, key, chord::RoutingScheme::kBalanced);
+    // Cross-check against the converged ground truth.
+    const core::Tree truth(cluster.ring_view(), key,
+                           chord::RoutingScheme::kBalanced);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    std::printf("%6zu %10.1f %10s %8zu %7zu/%zu %8zu/%zu %7u/%u %10.1f\n", n,
+                boot_s, converged ? "yes" : "no", live.roots,
+                live.reaching_root, live.nodes, live.max_branching,
+                truth.max_branching(), live.height, truth.height(), wall_s);
+  }
+  std::printf("\n(live/x columns pair the protocol-computed value with the\n"
+              " RingView ground truth; they must agree when converged)\n");
+  return 0;
+}

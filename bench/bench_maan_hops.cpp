@@ -1,0 +1,73 @@
+// Reproduces the MAAN cost model of Sec. 2.2 on the live protocol stack:
+//   registration  : O(m log n) routing hops for m attributes,
+//   range query   : O(log n + k) hops, k = nodes in the value range,
+//   selectivity   : sweep length proportional to the query's selectivity.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "harness/sim_cluster.hpp"
+
+int main() {
+  using namespace dat;
+  std::printf("# MAAN routing cost vs network size (m=3 attributes)\n");
+  std::printf("%6s %9s %14s %16s %16s\n", "n", "log2(n)", "reg-hops/attr",
+              "query-routing", "sweep(s=0.10)");
+
+  for (const std::size_t n : {32, 64, 128, 256}) {
+    harness::ClusterOptions options;
+    options.seed = 7000 + n;
+    options.with_dat = false;
+    options.with_maan = true;
+    harness::SimCluster cluster(n, std::move(options));
+    cluster.wait_converged(300'000'000);
+
+    Rng rng(99);
+    // Register 2n resources with m=3 numeric attributes from random nodes.
+    RunningStats reg_hops;
+    const std::size_t resources = 2 * n;
+    for (std::size_t r = 0; r < resources; ++r) {
+      maan::Resource resource;
+      resource.id = "res-" + std::to_string(r);
+      resource.attributes = {
+          {"cpu-usage", maan::AttrValue{rng.next_double() * 100.0}},
+          {"cpu-speed", maan::AttrValue{1e9 + rng.next_double() * 3e9}},
+          {"memory-size", maan::AttrValue{rng.next_double() * 32e9}},
+      };
+      bool done = false;
+      cluster.maan(r % n).register_resource(
+          resource, [&](bool ok, unsigned hops) {
+            done = true;
+            if (ok) reg_hops.add(static_cast<double>(hops) / 3.0);
+          });
+      while (!done) cluster.engine().run_steps(512);
+    }
+
+    // Range queries with selectivity 0.10 from random origins.
+    RunningStats routing;
+    RunningStats sweep;
+    for (unsigned q = 0; q < 20; ++q) {
+      const double lo = rng.next_double() * 90.0;
+      bool done = false;
+      cluster.maan(q % n).range_query(
+          "cpu-usage", lo, lo + 10.0, [&](maan::QueryResult result) {
+            done = true;
+            routing.add(result.routing_hops);
+            sweep.add(result.sweep_hops);
+          });
+      const std::uint64_t deadline = cluster.engine().now() + 20'000'000;
+      while (!done && cluster.engine().now() < deadline) {
+        cluster.engine().run_steps(512);
+      }
+    }
+
+    std::printf("%6zu %9.1f %14.2f %16.2f %16.2f\n", n,
+                std::log2(static_cast<double>(n)), reg_hops.mean(),
+                routing.mean(), sweep.mean());
+  }
+  std::printf("\n(expected: reg-hops/attr and query-routing ~ log2 n;\n"
+              " sweep ~ selectivity * n = 0.10 n)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) of the hot paths underneath the
+// experiments: SHA-1 hashing, wire codec round-trips, routing next-hop
+// selection, full tree construction, and the event queue.
+
+#include <benchmark/benchmark.h>
+
+#include "chord/id_assignment.hpp"
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "dat/tree.hpp"
+#include "net/transport.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace dat;
+
+void BM_Sha1HashToId(benchmark::State& state) {
+  const IdSpace space(32);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Sha1::hash_to_id("node:" + std::to_string(i++), space));
+  }
+}
+BENCHMARK(BM_Sha1HashToId);
+
+void BM_MessageCodecRoundTrip(benchmark::State& state) {
+  net::Message msg;
+  msg.method = "chord.lookup_step";
+  msg.kind = net::MessageKind::kRequest;
+  msg.request_id = 77;
+  net::Writer w;
+  w.u64(123456789);
+  w.f64(3.14);
+  w.str("payload-payload-payload");
+  msg.body = w.take();
+  for (auto _ : state) {
+    const auto wire = msg.encode();
+    benchmark::DoNotOptimize(net::Message::decode(wire));
+  }
+}
+BENCHMARK(BM_MessageCodecRoundTrip);
+
+void BM_NextHopBalanced(benchmark::State& state) {
+  const IdSpace space(32);
+  Rng rng(1);
+  const auto ids = chord::probed_ids(space, 4096, rng);
+  const chord::RingView ring(space, ids);
+  const auto fingers = ring.finger_ids(ids[100]);
+  const Id key = rng.next_id(space);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chord::next_hop_balanced(
+        space, ids[100], key, fingers, false, space.size(), ids.size()));
+  }
+}
+BENCHMARK(BM_NextHopBalanced);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const IdSpace space(32);
+  Rng rng(2);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto ids = chord::probed_ids(space, n, rng);
+  const chord::RingView ring(space, ids);
+  for (auto _ : state) {
+    core::Tree tree(ring, 12345, chord::RoutingScheme::kBalanced);
+    benchmark::DoNotOptimize(tree.max_branching());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeBuild)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule_at(static_cast<sim::SimTime>((i * 7919) % 1000),
+                        [&fired]() { ++fired; });
+    }
+    while (!queue.empty()) queue.run_next();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Reproduces the tree-height claims of Secs. 3.3 and 3.5: basic DAT height
+// is O(log n) (it equals the longest finger route); balanced DAT height is
+// at most log2(n) when identifiers are evenly spaced, and stays close to it
+// with probing.
+
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/tree_metrics.hpp"
+
+int main() {
+  using namespace dat;
+  constexpr unsigned kBits = 32;
+  constexpr unsigned kTrials = 3;
+  constexpr unsigned kKeys = 4;
+
+  std::printf("# Tree height vs network size (bound: log2 n for balanced/even)\n");
+  std::printf("%8s %8s %14s %14s %14s %16s\n", "n", "log2(n)", "basic/random",
+              "basic/probed", "balanced/even", "balanced/probed");
+
+  Rng rng(31337);
+  for (std::size_t n = 16; n <= 8192; n *= 2) {
+    const auto basic_random = analysis::measure_tree_properties(
+        kBits, n, chord::RoutingScheme::kGreedy, chord::IdAssignment::kRandom,
+        kTrials, kKeys, rng);
+    const auto basic_probed = analysis::measure_tree_properties(
+        kBits, n, chord::RoutingScheme::kGreedy, chord::IdAssignment::kProbed,
+        kTrials, kKeys, rng);
+    const auto balanced_even = analysis::measure_tree_properties(
+        kBits, n, chord::RoutingScheme::kBalanced, chord::IdAssignment::kEven,
+        1, kKeys, rng);
+    const auto balanced_probed = analysis::measure_tree_properties(
+        kBits, n, chord::RoutingScheme::kBalanced,
+        chord::IdAssignment::kProbed, kTrials, kKeys, rng);
+    std::printf("%8zu %8.0f %14u %14u %14u %16u\n", n,
+                std::ceil(std::log2(static_cast<double>(n))),
+                basic_random.height, basic_probed.height, balanced_even.height,
+                balanced_probed.height);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Node dynamics, the property the DAT design optimizes for (paper Secs. 1,
+// 2.3): because aggregation trees are implicit in Chord routing state,
+// arrivals and departures require no tree repair protocol at all. This
+// example subjects a 96-node overlay to continuous churn — graceful leaves,
+// crashes, and joins — while a COUNT aggregate keeps running, and prints
+// how the live tree and the global count track the membership.
+//
+// Run: ./build/examples/churn_dynamics
+
+#include <cstdio>
+
+#include "harness/live_tree.hpp"
+#include "harness/sim_cluster.hpp"
+
+int main() {
+  using namespace dat;
+  constexpr std::size_t kInitial = 96;
+
+  harness::ClusterOptions options;
+  options.seed = 31415;
+  options.dat.epoch_us = 500'000;
+  std::printf("bootstrapping %zu-node overlay...\n", kInitial);
+  harness::SimCluster cluster(kInitial, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+
+  Id key = 0;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    if (!cluster.is_live(i)) continue;
+    key = cluster.dat(i).start_aggregate("population",
+                                         core::AggregateKind::kCount,
+                                         chord::RoutingScheme::kBalanced,
+                                         []() { return 1.0; });
+  }
+  cluster.run_for(10'000'000);
+
+  const std::uint64_t maintenance_start = cluster.total_maintenance_rpcs();
+  std::printf("\n%6s %8s %8s %10s %12s %10s %12s\n", "round", "event",
+              "live", "agg-count", "tree-reach", "max-br", "chord-rpcs");
+
+  std::size_t victim = 1;
+  Rng rng(7);
+  for (int round = 1; round <= 16; ++round) {
+    const char* event = "";
+    switch (round % 4) {
+      case 1: {  // crash
+        while (victim < cluster.slot_count() && !cluster.is_live(victim)) {
+          ++victim;
+        }
+        cluster.remove_node(victim++, false);
+        event = "crash";
+        break;
+      }
+      case 2: {  // graceful leave
+        while (victim < cluster.slot_count() && !cluster.is_live(victim)) {
+          ++victim;
+        }
+        cluster.remove_node(victim++, true);
+        event = "leave";
+        break;
+      }
+      default: {  // join
+        const auto slot = cluster.add_node();
+        if (slot) {
+          cluster.dat(*slot).start_aggregate(
+              key, core::AggregateKind::kCount,
+              chord::RoutingScheme::kBalanced, []() { return 1.0; });
+          event = "join";
+        } else {
+          event = "join-fail";
+        }
+        break;
+      }
+    }
+    cluster.refresh_d0_hints();
+    cluster.run_for(8'000'000);  // let stabilization + soft state settle
+
+    std::uint64_t agg_count = 0;
+    const Id root_id = cluster.ring_view().successor(key);
+    for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+      if (!cluster.is_live(i) || cluster.node(i).id() != root_id) continue;
+      if (const auto g = cluster.dat(i).latest(key)) {
+        agg_count = g->state.count;
+      }
+    }
+    const auto stats = harness::live_tree_stats(
+        cluster, key, chord::RoutingScheme::kBalanced);
+    std::printf("%6d %8s %8zu %10llu %9zu/%zu %10zu %12llu\n", round, event,
+                cluster.live_count(),
+                static_cast<unsigned long long>(agg_count),
+                stats.reaching_root, stats.nodes, stats.max_branching,
+                static_cast<unsigned long long>(
+                    cluster.total_maintenance_rpcs() - maintenance_start));
+  }
+
+  std::printf(
+      "\nNote: the chord-rpcs column is ordinary Chord stabilization — the\n"
+      "DAT layer itself sent zero membership messages during this run; its\n"
+      "trees are recomputed from finger tables, never repaired.\n");
+  return 0;
+}

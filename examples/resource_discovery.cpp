@@ -1,0 +1,119 @@
+// Multi-attribute resource discovery on MAAN (paper Sec. 2.2) — the
+// indexing layer beneath the DAT aggregation trees. A 64-node overlay
+// indexes 256 heterogeneous machines; we then resolve the kinds of queries
+// a Grid scheduler issues, showing the hop accounting the paper analyzes
+// (O(m log n) registration, O(log n + k) range resolution, and the
+// single-attribute-dominated multi-attribute strategy).
+//
+// Run: ./build/examples/resource_discovery
+
+#include <cstdio>
+#include <string>
+
+#include "common/stats.hpp"
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+
+void run_query(harness::SimCluster& cluster, const char* label,
+               const std::vector<maan::RangePredicate>& predicates) {
+  bool done = false;
+  maan::QueryResult result;
+  cluster.maan(0).multi_query(predicates, [&](maan::QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  const auto deadline = cluster.engine().now() + 30'000'000;
+  while (!done && cluster.engine().now() < deadline) {
+    cluster.engine().run_steps(256);
+  }
+  if (!done) {
+    std::printf("%-44s TIMED OUT\n", label);
+    return;
+  }
+  std::printf("%-44s %5zu hits  (%2u routing + %3u sweep hops)%s\n", label,
+              result.resources.size(), result.routing_hops,
+              result.sweep_hops, result.complete ? "" : " [partial]");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kResources = 256;
+
+  harness::ClusterOptions options;
+  options.seed = 64064;
+  options.with_dat = false;
+  options.with_maan = true;
+  std::printf("bootstrapping %zu-node MAAN overlay...\n", kNodes);
+  harness::SimCluster cluster(kNodes, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+
+  // Index a heterogeneous machine park: 4 machine classes crossed with
+  // varying load.
+  std::printf("registering %zu resources (m=4 attributes each)...\n",
+              kResources);
+  Rng rng(5);
+  RunningStats reg_hops;
+  for (std::size_t r = 0; r < kResources; ++r) {
+    maan::Resource resource;
+    resource.id = "machine-" + std::to_string(r);
+    const double speed_ghz = 1.5 + 0.5 * static_cast<double>(r % 4);
+    resource.attributes = {
+        {"cpu-usage", maan::AttrValue{rng.next_double() * 100.0}},
+        {"cpu-speed", maan::AttrValue{speed_ghz * 1e9}},
+        {"memory-size", maan::AttrValue{(4.0 + 4.0 * (r % 8)) * 1e9}},
+        {"os", maan::AttrValue{std::string(r % 5 ? "linux" : "freebsd")}},
+    };
+    bool done = false;
+    cluster.maan(r % kNodes).register_resource(
+        resource, [&](bool ok, unsigned hops) {
+          done = true;
+          if (ok) reg_hops.add(static_cast<double>(hops) / 4.0);
+        });
+    const auto deadline = cluster.engine().now() + 30'000'000;
+    while (!done && cluster.engine().now() < deadline) {
+      cluster.engine().run_steps(256);
+    }
+  }
+  std::printf("mean routing hops per attribute: %.2f (log2 n = %.1f)\n\n",
+              reg_hops.mean(), 6.0);
+
+  using P = maan::RangePredicate;
+  run_query(cluster, "cpu-usage in [0, 10]", {P{.attr = "cpu-usage", .lo = 0, .hi = 10, .exact = {}}});
+  run_query(cluster, "cpu-usage in [0, 50]", {P{.attr = "cpu-usage", .lo = 0, .hi = 50, .exact = {}}});
+  run_query(cluster, "memory-size >= 24GB",
+            {P{.attr = "memory-size", .lo = 24e9, .hi = 64e9, .exact = {}}});
+
+  {
+    P os;
+    os.attr = "os";
+    os.exact = "freebsd";
+    run_query(cluster, "os == freebsd (exact lookup)", {os});
+  }
+  {
+    // Scheduler query: fast, idle, big-memory linux machines. The dominated
+    // axis is the most selective numeric range (cpu-speed = 25% of space).
+    P os;
+    os.attr = "os";
+    os.exact = "linux";
+    run_query(cluster,
+              "cpu<=30% && speed>=3GHz && mem>=16GB && linux",
+              {P{.attr = "cpu-usage", .lo = 0, .hi = 30, .exact = {}},
+               P{.attr = "cpu-speed", .lo = 3e9, .hi = 10e9, .exact = {}},
+               P{.attr = "memory-size", .lo = 16e9, .hi = 64e9, .exact = {}}, os});
+  }
+  run_query(cluster, "cpu-usage in [0, 100] (full sweep)",
+            {P{.attr = "cpu-usage", .lo = 0, .hi = 100, .exact = {}}});
+
+  std::printf(
+      "\nsweep hops scale with the dominated predicate's selectivity\n"
+      "(k in the paper's O(log n + k)); the full sweep visits every node.\n");
+  return 0;
+}

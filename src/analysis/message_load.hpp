@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+
+namespace dat::analysis {
+
+/// Which aggregation architecture a load profile models — the three curves
+/// of Fig. 8.
+enum class AggregationScheme : std::uint8_t {
+  /// No DAT: every node unicasts its value to the root monitor over Chord
+  /// finger routing; intermediate nodes forward (paper Sec. 5.3: "the
+  /// closer a node precedes the root ... the more aggregation messages it
+  /// has to forward").
+  kCentralizedRouted = 0,
+  /// No DAT, idealized direct IP unicast to the root (no forwarding) —
+  /// an ablation; the root still receives n-1 messages.
+  kCentralizedDirect = 1,
+  /// Basic DAT: one message per node to its greedy-routing parent.
+  kBasicDat = 2,
+  /// Balanced DAT: one message per node to its balanced-routing parent.
+  kBalancedDat = 3,
+};
+
+[[nodiscard]] const char* to_string(AggregationScheme s) noexcept;
+
+/// Per-node load profile for one global aggregation round.
+struct LoadProfile {
+  /// counts[i] = aggregation messages node ring.id(i) processes (receives
+  /// or forwards) in one round, index-aligned with RingView::ids().
+  std::vector<std::uint64_t> counts;
+
+  [[nodiscard]] std::uint64_t max() const;
+  [[nodiscard]] double average() const;
+  /// Imbalance factor = max / average (paper Sec. 5.3).
+  [[nodiscard]] double imbalance() const;
+  /// Counts sorted descending — the node-rank curve of Fig. 8(a).
+  [[nodiscard]] std::vector<std::uint64_t> by_rank() const;
+  [[nodiscard]] std::uint64_t total() const;
+};
+
+/// Computes the per-node message load of one aggregation round toward
+/// rendezvous key `key` under `scheme`.
+[[nodiscard]] LoadProfile message_load(const chord::RingView& ring, Id key,
+                                       AggregationScheme scheme);
+
+}  // namespace dat::analysis

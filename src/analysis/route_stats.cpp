@@ -1,0 +1,24 @@
+#include "analysis/route_stats.hpp"
+
+namespace dat::analysis {
+
+RouteLengthStats route_lengths(const chord::RingView& ring,
+                               chord::RoutingScheme scheme, unsigned keys,
+                               Rng& rng) {
+  RouteLengthStats stats;
+  for (unsigned k = 0; k < keys; ++k) {
+    const Id key = rng.next_id(ring.space());
+    for (const Id v : ring.ids()) {
+      const auto path = ring.route(v, key, scheme);
+      const auto hops = path.size() - 1;  // edges, not nodes
+      stats.hops.add(static_cast<double>(hops));
+      if (stats.histogram.size() <= hops) {
+        stats.histogram.resize(hops + 1, 0);
+      }
+      ++stats.histogram[hops];
+    }
+  }
+  return stats;
+}
+
+}  // namespace dat::analysis

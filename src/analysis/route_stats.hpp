@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace dat::analysis {
+
+/// Distribution of route lengths from every node to a set of rendezvous
+/// keys — the quantitative form of the O(log n) routing-hops claims of
+/// paper Secs. 2.2 and 3.3.
+struct RouteLengthStats {
+  RunningStats hops;                  ///< per-route hop counts
+  std::vector<std::uint64_t> histogram;  ///< histogram[h] = #routes of h hops
+
+  [[nodiscard]] unsigned max_hops() const {
+    return histogram.empty() ? 0u
+                             : static_cast<unsigned>(histogram.size() - 1);
+  }
+};
+
+/// Measures route lengths from all n nodes to `keys` rendezvous keys drawn
+/// from `rng`, under the given scheme.
+[[nodiscard]] RouteLengthStats route_lengths(const chord::RingView& ring,
+                                             chord::RoutingScheme scheme,
+                                             unsigned keys, Rng& rng);
+
+}  // namespace dat::analysis

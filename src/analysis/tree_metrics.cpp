@@ -1,0 +1,51 @@
+#include "analysis/tree_metrics.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "dat/tree.hpp"
+
+namespace dat::analysis {
+
+std::string TreeProperties::label() const {
+  return std::string(chord::to_string(scheme)) + "/" +
+         chord::to_string(assignment);
+}
+
+TreeProperties measure_tree_properties(unsigned bits, std::size_t n,
+                                       chord::RoutingScheme scheme,
+                                       chord::IdAssignment assignment,
+                                       unsigned trials,
+                                       unsigned keys_per_trial, Rng& rng) {
+  const IdSpace space(bits);
+  TreeProperties out;
+  out.n = n;
+  out.scheme = scheme;
+  out.assignment = assignment;
+
+  RunningStats avg_branching;
+  RunningStats heights;
+  RunningStats gap_ratios;
+  std::size_t max_branching = 0;
+
+  for (unsigned t = 0; t < trials; ++t) {
+    const std::vector<Id> ids = chord::make_ids(assignment, space, n, rng);
+    const chord::RingView ring(space, ids);
+    gap_ratios.add(ring.gap_ratio());
+    for (unsigned k = 0; k < keys_per_trial; ++k) {
+      const Id key = rng.next_id(space);
+      const core::Tree tree(ring, key, scheme);
+      max_branching = std::max(max_branching, tree.max_branching());
+      avg_branching.add(tree.avg_branching_internal());
+      heights.add(tree.height());
+    }
+  }
+
+  out.max_branching = max_branching;
+  out.avg_branching_internal = avg_branching.mean();
+  out.height = static_cast<unsigned>(heights.max());
+  out.gap_ratio = gap_ratios.mean();
+  return out;
+}
+
+}  // namespace dat::analysis

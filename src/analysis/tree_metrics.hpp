@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chord/id_assignment.hpp"
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+#include "common/rng.hpp"
+
+namespace dat::analysis {
+
+/// One measured configuration of the Fig. 7 sweeps.
+struct TreeProperties {
+  std::size_t n = 0;
+  chord::RoutingScheme scheme = chord::RoutingScheme::kGreedy;
+  chord::IdAssignment assignment = chord::IdAssignment::kRandom;
+  std::size_t max_branching = 0;
+  double avg_branching_internal = 0.0;
+  unsigned height = 0;
+  double gap_ratio = 0.0;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Measures DAT tree properties for one (n, scheme, assignment) cell,
+/// averaged over `trials` independent rings and `keys_per_trial` rendezvous
+/// keys per ring (max_branching reports the max over all trials, matching
+/// the paper's "maximal branching factor" metric; averages are means).
+[[nodiscard]] TreeProperties measure_tree_properties(
+    unsigned bits, std::size_t n, chord::RoutingScheme scheme,
+    chord::IdAssignment assignment, unsigned trials, unsigned keys_per_trial,
+    Rng& rng);
+
+}  // namespace dat::analysis

@@ -1,0 +1,129 @@
+#include "chord/id_assignment.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dat::chord {
+
+const char* to_string(IdAssignment a) noexcept {
+  switch (a) {
+    case IdAssignment::kRandom: return "random";
+    case IdAssignment::kProbed: return "probed";
+    case IdAssignment::kEven: return "even";
+  }
+  return "?";
+}
+
+std::vector<Id> random_ids(const IdSpace& space, std::size_t n, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("random_ids: n == 0");
+  if (space.bits() < 64 && n > space.size()) {
+    throw std::invalid_argument("random_ids: n exceeds identifier space");
+  }
+  std::set<Id> ids;
+  while (ids.size() < n) {
+    ids.insert(rng.next_id(space));
+  }
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<Id> even_ids(const IdSpace& space, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("even_ids: n == 0");
+  if (space.bits() < 64 && n > space.size()) {
+    throw std::invalid_argument("even_ids: n exceeds identifier space");
+  }
+  std::vector<Id> ids;
+  ids.reserve(n);
+  // floor(i * 2^b / n) via 128-bit to avoid overflow at large b.
+  const unsigned __int128 sz =
+      space.bits() == 64 ? (static_cast<unsigned __int128>(1) << 64)
+                         : static_cast<unsigned __int128>(space.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<Id>(sz * i / n) & space.mask());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() != n) {
+    throw std::invalid_argument("even_ids: space too small for distinct ids");
+  }
+  return ids;
+}
+
+namespace {
+
+/// Gap from the predecessor of ids[i] to ids[i] on the circle.
+Id pred_gap(const IdSpace& space, const std::vector<Id>& ids, std::size_t i) {
+  const std::size_t p = (i + ids.size() - 1) % ids.size();
+  return space.clockwise(ids[p], ids[i]);
+}
+
+std::size_t successor_index_sorted(const std::vector<Id>& ids, Id key) {
+  const auto it = std::lower_bound(ids.begin(), ids.end(), key);
+  return it == ids.end() ? 0 : static_cast<std::size_t>(it - ids.begin());
+}
+
+}  // namespace
+
+std::vector<Id> probed_ids(const IdSpace& space, std::size_t n, Rng& rng,
+                           unsigned probe_fingers) {
+  if (n == 0) throw std::invalid_argument("probed_ids: n == 0");
+  std::vector<Id> ids;  // kept sorted
+  ids.push_back(rng.next_id(space));
+
+  while (ids.size() < n) {
+    // Route a join request to the successor of a random point (the paper's
+    // "join request with a random identifier to a well-known node").
+    const Id z = rng.next_id(space);
+    const std::size_t s = successor_index_sorted(ids, z);
+
+    // Probe the successor's fingers (it and successor(s + 2^j), widest
+    // spans first): O(log n-ish) distinct nodes spaced across the ring.
+    std::set<std::size_t> candidates;
+    candidates.insert(s);
+    const unsigned lowest_j =
+        probe_fingers >= space.bits() ? 0 : space.bits() - probe_fingers;
+    for (unsigned j = lowest_j; j < space.bits(); ++j) {
+      const Id target = space.finger_target(ids[s], j);
+      candidates.insert(successor_index_sorted(ids, target));
+    }
+
+    // Split the probed node with the maximal predecessor interval.
+    std::size_t best = *candidates.begin();
+    Id best_gap = 0;
+    for (const std::size_t c : candidates) {
+      const Id gap = pred_gap(space, ids, c);
+      if (gap > best_gap) {
+        best_gap = gap;
+        best = c;
+      }
+    }
+    if (best_gap < 2) {
+      // Identifier space locally exhausted; fall back to a random free id.
+      Id id = rng.next_id(space);
+      while (std::binary_search(ids.begin(), ids.end(), id)) {
+        id = space.add(id, 1);
+      }
+      ids.insert(std::upper_bound(ids.begin(), ids.end(), id), id);
+      continue;
+    }
+    const std::size_t p = (best + ids.size() - 1) % ids.size();
+    const Id new_id = space.add(ids[p], best_gap / 2);
+    if (std::binary_search(ids.begin(), ids.end(), new_id)) {
+      continue;  // midpoint collides (tiny space); retry with a new probe
+    }
+    ids.insert(std::upper_bound(ids.begin(), ids.end(), new_id), new_id);
+  }
+  return ids;
+}
+
+std::vector<Id> make_ids(IdAssignment kind, const IdSpace& space, std::size_t n,
+                         Rng& rng) {
+  switch (kind) {
+    case IdAssignment::kRandom: return random_ids(space, n, rng);
+    case IdAssignment::kProbed: return probed_ids(space, n, rng);
+    case IdAssignment::kEven: return even_ids(space, n);
+  }
+  throw std::invalid_argument("make_ids: bad assignment kind");
+}
+
+}  // namespace dat::chord

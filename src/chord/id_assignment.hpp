@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "common/id_space.hpp"
+#include "common/rng.hpp"
+
+namespace dat::chord {
+
+/// How node identifiers are chosen — the experimental axis of Fig. 7.
+enum class IdAssignment : std::uint8_t {
+  kRandom = 0,  ///< plain Chord: uniform random ids (max/min gap ratio O(log n))
+  kProbed = 1,  ///< Adler-style identifier probing at join (constant ratio)
+  kEven = 2,    ///< perfectly even spacing (the closed-form analyses' regime)
+};
+
+[[nodiscard]] const char* to_string(IdAssignment a) noexcept;
+
+/// n distinct uniformly random identifiers.
+[[nodiscard]] std::vector<Id> random_ids(const IdSpace& space, std::size_t n,
+                                         Rng& rng);
+
+/// Perfectly even identifiers: floor(i * 2^b / n). The regime in which the
+/// paper's closed-form branching/height results hold exactly.
+[[nodiscard]] std::vector<Id> even_ids(const IdSpace& space, std::size_t n);
+
+/// Identifier probing (paper Sec. 3.5 / 4, after Adler et al.): nodes join
+/// one at a time; each join routes to the successor of a random point,
+/// probes that node's O(log n) fingers, finds the probed node owning the
+/// largest predecessor interval, and takes the midpoint of that interval as
+/// its own identifier. Keeps the max/min gap ratio bounded by a constant.
+/// `probe_fingers` limits how many fingers of the landing node each join
+/// probes (counted from the widest span down); by default all b fingers are
+/// probed. 0 means only the landing node itself — the knob for the probing
+/// ablation bench (Adler et al. need O(log n) probes for the constant
+/// gap-ratio bound).
+[[nodiscard]] std::vector<Id> probed_ids(const IdSpace& space, std::size_t n,
+                                         Rng& rng,
+                                         unsigned probe_fingers = 64);
+
+/// Dispatch helper for experiment sweeps.
+[[nodiscard]] std::vector<Id> make_ids(IdAssignment kind, const IdSpace& space,
+                                       std::size_t n, Rng& rng);
+
+}  // namespace dat::chord

@@ -1,0 +1,116 @@
+#include "chord/ring_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dat::chord {
+
+RingView::RingView(IdSpace space, std::vector<Id> ids)
+    : space_(space), ids_(std::move(ids)) {
+  if (ids_.empty()) {
+    throw std::invalid_argument("RingView: empty node set");
+  }
+  for (const Id id : ids_) {
+    if (!space_.contains(id)) {
+      throw std::invalid_argument("RingView: id outside identifier space");
+    }
+  }
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+std::size_t RingView::index_of(Id node) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), node);
+  if (it == ids_.end() || *it != node) {
+    throw std::out_of_range("RingView::index_of: node not in ring");
+  }
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+bool RingView::contains(Id node) const {
+  return std::binary_search(ids_.begin(), ids_.end(), node);
+}
+
+std::size_t RingView::successor_index(Id key) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), key);
+  if (it == ids_.end()) return 0;  // wrap to the smallest id
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+Id RingView::predecessor(Id node) const {
+  const std::size_t i = index_of(node);
+  return ids_[(i + ids_.size() - 1) % ids_.size()];
+}
+
+Id RingView::finger(Id node, unsigned j) const {
+  return successor(space_.finger_target(node, j));
+}
+
+std::vector<Id> RingView::finger_ids(Id node) const {
+  std::vector<Id> out;
+  out.reserve(space_.bits());
+  for (unsigned j = 0; j < space_.bits(); ++j) {
+    out.push_back(finger(node, j));
+  }
+  return out;
+}
+
+std::pair<std::uint64_t, std::uint64_t> RingView::d0_rational() const {
+  // d0 = 2^b / n. At b == 64 size() saturates; the library caps experiment
+  // spaces well below that (see IdSpace::size()).
+  return {space_.size(), ids_.size()};
+}
+
+std::optional<Id> RingView::parent(Id node, Id key,
+                                   RoutingScheme scheme) const {
+  const auto [num, den] = d0_rational();
+  return parent_with_d0(node, key, scheme, num, den);
+}
+
+std::optional<Id> RingView::parent_with_d0(Id node, Id key,
+                                           RoutingScheme scheme,
+                                           std::uint64_t d0_num,
+                                           std::uint64_t d0_den) const {
+  const bool is_root = successor(key) == node;
+  const std::vector<Id> fingers = finger_ids(node);
+  switch (scheme) {
+    case RoutingScheme::kGreedy:
+      return next_hop_greedy(space_, node, key, fingers, is_root);
+    case RoutingScheme::kBalanced:
+      return next_hop_balanced(space_, node, key, fingers, is_root, d0_num,
+                               d0_den);
+  }
+  return std::nullopt;
+}
+
+std::vector<Id> RingView::route(Id from, Id key, RoutingScheme scheme) const {
+  std::vector<Id> path{from};
+  Id current = from;
+  while (true) {
+    const std::optional<Id> next = parent(current, key, scheme);
+    if (!next) break;
+    path.push_back(*next);
+    current = *next;
+    if (path.size() > ids_.size()) {
+      throw std::logic_error("RingView::route: path longer than ring size");
+    }
+  }
+  return path;
+}
+
+double RingView::gap_ratio() const {
+  if (ids_.size() < 2) return 1.0;
+  Id max_gap = 0;
+  Id min_gap = space_.mask();
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    const Id next = ids_[(i + 1) % ids_.size()];
+    const Id gap = space_.clockwise(ids_[i], next);
+    max_gap = std::max(max_gap, gap);
+    min_gap = std::min(min_gap, gap);
+  }
+  return min_gap == 0 ? 0.0
+                      : static_cast<double>(max_gap) /
+                            static_cast<double>(min_gap);
+}
+
+}  // namespace dat::chord

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "chord/routing.hpp"
+#include "common/id_space.hpp"
+
+namespace dat::chord {
+
+/// A globally consistent view of a *converged* Chord ring: the successor
+/// relationships and finger tables that the distributed protocol reaches
+/// after stabilization settles. The paper's tree-property analyses
+/// (Figs. 7 and 8) are functions of this converged topology only, so the
+/// large-scale experiments (up to 8192 nodes) evaluate on a RingView while
+/// protocol-level tests verify that live nodes converge to the same tables.
+class RingView {
+ public:
+  /// Takes the node identifier multiset; duplicates are removed. Throws if
+  /// empty or if any id is outside the space.
+  RingView(IdSpace space, std::vector<Id> ids);
+
+  [[nodiscard]] const IdSpace& space() const noexcept { return space_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] const std::vector<Id>& ids() const noexcept { return ids_; }
+
+  /// Identifier of the i-th node in ascending order.
+  [[nodiscard]] Id id(std::size_t index) const { return ids_.at(index); }
+
+  /// Index of a node known to be present; throws if absent.
+  [[nodiscard]] std::size_t index_of(Id node) const;
+
+  [[nodiscard]] bool contains(Id node) const;
+
+  /// Index of successor(key): the first node whose id is >= key, wrapping.
+  [[nodiscard]] std::size_t successor_index(Id key) const;
+  [[nodiscard]] Id successor(Id key) const { return ids_[successor_index(key)]; }
+
+  /// The node immediately preceding `node` on the ring.
+  [[nodiscard]] Id predecessor(Id node) const;
+
+  /// FINGER(node, j) = successor(node + 2^j), j in [0, bits).
+  [[nodiscard]] Id finger(Id node, unsigned j) const;
+
+  /// All bits() fingers of `node`, index j -> FINGER(node, j).
+  [[nodiscard]] std::vector<Id> finger_ids(Id node) const;
+
+  /// Average inter-node gap d0 = 2^b / n as an exact rational (num, den).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> d0_rational() const;
+
+  /// Parent of `node` on the route toward `key` under `scheme`, or nullopt
+  /// when node == successor(key) (the root). See chord::next_hop.
+  [[nodiscard]] std::optional<Id> parent(Id node, Id key,
+                                         RoutingScheme scheme) const;
+
+  /// As parent(), but with an explicit d0 = d0_num/d0_den for the balanced
+  /// scheme's finger-limiting function — the sensitivity-analysis hook for
+  /// the d0-estimation ablation (greedy routing ignores d0).
+  [[nodiscard]] std::optional<Id> parent_with_d0(Id node, Id key,
+                                                 RoutingScheme scheme,
+                                                 std::uint64_t d0_num,
+                                                 std::uint64_t d0_den) const;
+
+  /// Full route from `from` to the root successor(key), inclusive of both
+  /// endpoints. Throws if the route exceeds n hops (would indicate a loop —
+  /// impossible by construction, checked defensively).
+  [[nodiscard]] std::vector<Id> route(Id from, Id key,
+                                      RoutingScheme scheme) const;
+
+  /// Max/min adjacent gap ratio — the quantity identifier probing bounds.
+  [[nodiscard]] double gap_ratio() const;
+
+ private:
+  IdSpace space_;
+  std::vector<Id> ids_;  // ascending
+};
+
+}  // namespace dat::chord

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/id_space.hpp"
+
+namespace dat::chord {
+
+/// Which next-hop policy a route (and hence a DAT tree) is built with.
+/// kGreedy is ordinary Chord finger routing (basic DAT, paper Sec. 3.2);
+/// kBalanced is the finger-limiting scheme (balanced DAT, Sec. 3.4).
+enum class RoutingScheme : std::uint8_t { kGreedy = 0, kBalanced = 1 };
+
+[[nodiscard]] const char* to_string(RoutingScheme s) noexcept;
+
+/// ceil(log2(num / den)) for positive rationals, exact in integer
+/// arithmetic: the smallest k >= 0 with 2^k * den >= num. Values <= 1
+/// yield 0. Used to evaluate the finger-limiting function without floating
+/// point (d0 = 2^b / n is rational when n does not divide 2^b).
+[[nodiscard]] unsigned ceil_log2_rational(std::uint64_t num, std::uint64_t den);
+
+/// The paper's finger limiting function g(x) = ceil(log2((x + 2*d0) / 3))
+/// (Sec. 3.4, Eq. 1 solved), with d0 expressed as the rational
+/// d0_num/d0_den = 2^b / n. `x` is the clockwise distance from the node to
+/// the rendezvous key. A node running balanced routing may only use fingers
+/// whose span 2^j satisfies j <= g(x).
+[[nodiscard]] unsigned finger_limit(std::uint64_t x, std::uint64_t d0_num,
+                                    std::uint64_t d0_den);
+
+/// Routing-policy core shared by the analytic RingView and the live
+/// protocol node. The caller supplies, for each finger index j in
+/// [0, bits), the identifier of FINGER(v, j) = successor(v + 2^j); entries
+/// may repeat (sparse rings) and may equal `self` (then they are skipped).
+///
+/// Returns the identifier of the parent/next hop of `self` on the route to
+/// `key`, or nullopt when `self` is the root (i.e. self == successor(key),
+/// signalled by the caller via `self_is_root`).
+///
+/// Rule (paper Sec. 3.2 / 3.4): among admissible fingers f in the interval
+/// (self, key] choose the one closest to `key` (equivalently, the largest
+/// admissible span). If no admissible finger lies in (self, key] — the key
+/// falls between self and its successor — the next hop is the successor,
+/// which is then the root. Admissible means j <= limit.
+[[nodiscard]] std::optional<Id> next_hop(const IdSpace& space, Id self, Id key,
+                                         std::span<const Id> fingers,
+                                         bool self_is_root, unsigned limit);
+
+/// Greedy next hop: no finger limit (limit = bits-1).
+[[nodiscard]] std::optional<Id> next_hop_greedy(const IdSpace& space, Id self,
+                                                Id key,
+                                                std::span<const Id> fingers,
+                                                bool self_is_root);
+
+/// Balanced next hop: fingers limited by g(clockwise(self, key)) with
+/// d0 = d0_num / d0_den.
+[[nodiscard]] std::optional<Id> next_hop_balanced(const IdSpace& space, Id self,
+                                                  Id key,
+                                                  std::span<const Id> fingers,
+                                                  bool self_is_root,
+                                                  std::uint64_t d0_num,
+                                                  std::uint64_t d0_den);
+
+}  // namespace dat::chord

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/id_space.hpp"
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+
+namespace dat::chord {
+
+/// A remote node as known to its peers: Chord identifier + network address.
+struct NodeRef {
+  Id id = 0;
+  net::Endpoint endpoint = net::kNullEndpoint;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return endpoint != net::kNullEndpoint;
+  }
+
+  friend bool operator==(const NodeRef& a, const NodeRef& b) noexcept {
+    return a.id == b.id && a.endpoint == b.endpoint;
+  }
+};
+
+inline void write_node_ref(net::Writer& w, const NodeRef& ref) {
+  w.u64(ref.id);
+  w.u64(ref.endpoint);
+}
+
+inline NodeRef read_node_ref(net::Reader& r) {
+  NodeRef ref;
+  ref.id = r.u64();
+  ref.endpoint = r.u64();
+  return ref;
+}
+
+[[nodiscard]] inline std::string to_string(const NodeRef& ref) {
+  return "N" + std::to_string(ref.id) + "@" + std::to_string(ref.endpoint);
+}
+
+}  // namespace dat::chord

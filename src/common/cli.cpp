@@ -1,0 +1,185 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace dat {
+
+namespace {
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CliFlags& CliFlags::flag(std::string name, std::string default_value,
+                         std::string help) {
+  order_.push_back(name);
+  entries_[std::move(name)] =
+      Entry{Kind::kString, default_value, default_value, std::move(help)};
+  return *this;
+}
+
+CliFlags& CliFlags::flag(std::string name, std::int64_t default_value,
+                         std::string help) {
+  const std::string text = std::to_string(default_value);
+  order_.push_back(name);
+  entries_[std::move(name)] = Entry{Kind::kInt, text, text, std::move(help)};
+  return *this;
+}
+
+CliFlags& CliFlags::flag(std::string name, double default_value,
+                         std::string help) {
+  std::ostringstream oss;
+  oss << default_value;
+  order_.push_back(name);
+  entries_[std::move(name)] =
+      Entry{Kind::kDouble, oss.str(), oss.str(), std::move(help)};
+  return *this;
+}
+
+CliFlags& CliFlags::flag(std::string name, bool default_value,
+                         std::string help) {
+  const std::string text = default_value ? "true" : "false";
+  order_.push_back(name);
+  entries_[std::move(name)] = Entry{Kind::kBool, text, text, std::move(help)};
+  return *this;
+}
+
+bool CliFlags::assign(const std::string& name, const std::string& value) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  switch (it->second.kind) {
+    case Kind::kString:
+      break;
+    case Kind::kInt: {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Kind::kDouble: {
+      try {
+        std::size_t used = 0;
+        (void)std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument("trailing");
+      } catch (const std::exception&) {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+    case Kind::kBool: {
+      bool v = false;
+      if (!parse_bool(value, v)) {
+        error_ = "flag --" + name + " expects a boolean, got '" + value + "'";
+        return false;
+      }
+      break;
+    }
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool CliFlags::parse(const std::vector<std::string>& args) {
+  error_.clear();
+  positional_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      error_ = "unknown flag --" + name;
+      return false;
+    }
+    if (!value) {
+      if (it->second.kind == Kind::kBool) {
+        value = "true";  // bare boolean flag
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        error_ = "flag --" + name + " needs a value";
+        return false;
+      }
+    }
+    if (!assign(name, *value)) return false;
+  }
+  return true;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+const CliFlags::Entry& CliFlags::require(const std::string& name,
+                                         Kind kind) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("CliFlags: undeclared flag " + name);
+  }
+  if (it->second.kind != kind) {
+    throw std::invalid_argument("CliFlags: type mismatch for flag " + name);
+  }
+  return it->second;
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  return require(name, Kind::kString).value;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return std::stoll(require(name, Kind::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(require(name, Kind::kDouble).value);
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  bool v = false;
+  parse_bool(require(name, Kind::kBool).value, v);
+  return v;
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream oss;
+  for (const std::string& name : order_) {
+    const Entry& entry = entries_.at(name);
+    oss << "  --" << name << " (default: " << entry.default_value << ")  "
+        << entry.help << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace dat

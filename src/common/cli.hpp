@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dat {
+
+/// Minimal declarative command-line flag parser for the tools and benches:
+/// `--name value` or `--name=value`; `--flag` alone sets a bool. Unknown
+/// flags are errors; positional arguments are collected in order.
+class CliFlags {
+ public:
+  /// Declares a flag with a default; returns *this for chaining.
+  CliFlags& flag(std::string name, std::string default_value,
+                 std::string help);
+  CliFlags& flag(std::string name, std::int64_t default_value,
+                 std::string help);
+  CliFlags& flag(std::string name, double default_value, std::string help);
+  CliFlags& flag(std::string name, bool default_value, std::string help);
+
+  /// Parses argv (excluding argv[0] or any subcommand the caller consumed).
+  /// Returns false and fills error() on malformed/unknown input.
+  bool parse(int argc, const char* const* argv);
+  bool parse(const std::vector<std::string>& args);
+
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Usage text listing every declared flag with its default and help.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  struct Entry {
+    Kind kind;
+    std::string value;  // canonical textual form
+    std::string default_value;
+    std::string help;
+  };
+
+  bool assign(const std::string& name, const std::string& value);
+  [[nodiscard]] const Entry& require(const std::string& name,
+                                     Kind kind) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace dat

@@ -1,0 +1,45 @@
+#include "common/id_space.hpp"
+
+#include <bit>
+#include <limits>
+
+namespace dat {
+
+IdSpace::IdSpace(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 64) {
+    throw std::invalid_argument("IdSpace: bits must be in [1, 64], got " +
+                                std::to_string(bits));
+  }
+  mask_ = bits == 64 ? std::numeric_limits<Id>::max()
+                     : ((Id{1} << bits) - 1);
+}
+
+Id IdSpace::size() const noexcept {
+  if (bits_ == 64) return std::numeric_limits<Id>::max();
+  return Id{1} << bits_;
+}
+
+Id IdSpace::finger_target(Id base, unsigned j) const {
+  if (j >= bits_) {
+    throw std::out_of_range("IdSpace::finger_target: finger index " +
+                            std::to_string(j) + " out of range for b=" +
+                            std::to_string(bits_));
+  }
+  return add(base, Id{1} << j);
+}
+
+unsigned IdSpace::ceil_log2(Id v) {
+  if (v == 0) throw std::invalid_argument("ceil_log2(0) is undefined");
+  return v == 1 ? 0u : static_cast<unsigned>(std::bit_width(v - 1));
+}
+
+unsigned IdSpace::floor_log2(Id v) {
+  if (v == 0) throw std::invalid_argument("floor_log2(0) is undefined");
+  return static_cast<unsigned>(std::bit_width(v)) - 1u;
+}
+
+std::string IdSpace::to_string(Id id) const {
+  return std::to_string(id) + "/" + std::to_string(bits_);
+}
+
+}  // namespace dat

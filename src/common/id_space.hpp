@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dat {
+
+/// Identifier of a node or key in the Chord circle. Interpreted modulo 2^b
+/// for the `IdSpace` it belongs to.
+using Id = std::uint64_t;
+
+/// b-bit circular identifier space used by Chord and DAT (paper Sec. 3.1).
+///
+/// All arithmetic is modulo 2^b. The paper writes
+/// `DIST(i1,i2) = (i1 + 2^b - i2) mod 2^b` but then uses `d = DIST(i,r)` as
+/// the clockwise distance from node `i` forward to the root `r` (see
+/// DESIGN.md Sec. 5). To avoid that ambiguity this class exposes
+/// `clockwise(from, to)` = "how far one must travel clockwise from `from`
+/// to reach `to`", which is the quantity every algorithm in the paper
+/// actually consumes.
+class IdSpace {
+ public:
+  /// Constructs a 2^bits identifier circle. `bits` must be in [1, 64].
+  explicit IdSpace(unsigned bits);
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+  /// Number of identifiers in the space (2^bits). Saturates the return type
+  /// at bits == 64, where size() would be 2^64; callers needing exact cardinality
+  /// at 64 bits should treat mask() + 1 with care. For this library b <= 48
+  /// in all experiments.
+  [[nodiscard]] Id size() const noexcept;
+
+  /// All-ones mask for the low `bits` bits: the largest valid identifier.
+  [[nodiscard]] Id mask() const noexcept { return mask_; }
+
+  /// True iff `id` is a canonical identifier of this space.
+  [[nodiscard]] bool contains(Id id) const noexcept { return (id & mask_) == id; }
+
+  /// (a + b) mod 2^bits.
+  [[nodiscard]] Id add(Id a, Id b) const noexcept { return (a + b) & mask_; }
+
+  /// (a - b) mod 2^bits.
+  [[nodiscard]] Id sub(Id a, Id b) const noexcept { return (a - b) & mask_; }
+
+  /// Clockwise distance travelled going from `from` to `to`:
+  /// (to - from) mod 2^bits. Zero iff from == to.
+  [[nodiscard]] Id clockwise(Id from, Id to) const noexcept {
+    return (to - from) & mask_;
+  }
+
+  /// True iff x lies in the open interval (a, b) walking clockwise from a.
+  /// Empty when a == b (the full circle minus a point is expressed via
+  /// in_open_closed / in_closed_open instead).
+  [[nodiscard]] bool in_open_open(Id a, Id x, Id b) const noexcept {
+    return clockwise(a, x) != 0 && clockwise(a, x) < clockwise(a, b) &&
+           clockwise(a, b) != 0;
+  }
+
+  /// True iff x lies in (a, b] walking clockwise from a. When a == b the
+  /// interval is the whole circle minus {a}... plus b itself: Chord's
+  /// convention is that (a, a] covers the entire circle, which this follows.
+  [[nodiscard]] bool in_open_closed(Id a, Id x, Id b) const noexcept {
+    if (a == b) return true;  // full circle
+    const Id ax = clockwise(a, x);
+    const Id ab = clockwise(a, b);
+    return ax != 0 && ax <= ab;
+  }
+
+  /// True iff x lies in [a, b) walking clockwise from a. [a, a) is the full
+  /// circle (mirror of the (a, a] convention above).
+  [[nodiscard]] bool in_closed_open(Id a, Id x, Id b) const noexcept {
+    if (a == b) return true;  // full circle
+    const Id ax = clockwise(a, x);
+    const Id ab = clockwise(a, b);
+    return ax < ab;
+  }
+
+  /// The identifier 2^j clockwise of `base` — the *target point* of the j-th
+  /// outbound finger FINGER+(base, j+1) in the paper's 1-based notation.
+  /// Requires j < bits().
+  [[nodiscard]] Id finger_target(Id base, unsigned j) const;
+
+  /// ceil(log2(v)) for v >= 1 computed in integer arithmetic (no floating
+  /// point, exact for the full 64-bit range). ceil_log2(1) == 0.
+  [[nodiscard]] static unsigned ceil_log2(Id v);
+
+  /// floor(log2(v)) for v >= 1.
+  [[nodiscard]] static unsigned floor_log2(Id v);
+
+  /// Human-readable "id/bits" string for diagnostics.
+  [[nodiscard]] std::string to_string(Id id) const;
+
+  friend bool operator==(const IdSpace& a, const IdSpace& b) noexcept {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  unsigned bits_;
+  Id mask_;
+};
+
+}  // namespace dat

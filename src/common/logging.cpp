@@ -1,0 +1,31 @@
+#include "common/logging.hpp"
+
+namespace dat {
+
+namespace {
+constexpr std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view component,
+                   std::string_view msg) {
+  const std::scoped_lock lock(mutex_);
+  std::cerr << "[" << level_name(level) << "] " << component << ": " << msg
+            << '\n';
+}
+
+}  // namespace dat

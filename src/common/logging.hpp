@@ -1,0 +1,53 @@
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace dat {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Default level is kWarn so that library
+/// internals stay quiet in tests and benches unless explicitly raised.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void write(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+inline void log(LogLevel level, std::string_view component,
+                const std::ostringstream& oss) {
+  Logger::instance().write(level, component, oss.str());
+}
+}  // namespace detail
+
+#define DAT_LOG(level, component, expr)                              \
+  do {                                                               \
+    if (::dat::Logger::instance().enabled(level)) {                  \
+      std::ostringstream dat_log_oss_;                               \
+      dat_log_oss_ << expr;                                          \
+      ::dat::detail::log(level, component, dat_log_oss_);            \
+    }                                                                \
+  } while (0)
+
+#define DAT_LOG_DEBUG(component, expr) DAT_LOG(::dat::LogLevel::kDebug, component, expr)
+#define DAT_LOG_INFO(component, expr) DAT_LOG(::dat::LogLevel::kInfo, component, expr)
+#define DAT_LOG_WARN(component, expr) DAT_LOG(::dat::LogLevel::kWarn, component, expr)
+#define DAT_LOG_ERROR(component, expr) DAT_LOG(::dat::LogLevel::kError, component, expr)
+
+}  // namespace dat

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+#include "common/id_space.hpp"
+
+namespace dat {
+
+/// Deterministic random source. Every stochastic component in the library
+/// (identifier assignment, simulated latency, synthetic traces, churn) draws
+/// from an explicitly seeded Rng so that experiments and tests are exactly
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derives an independent child stream, e.g. one per node, so that adding
+  /// a consumer of randomness does not perturb unrelated streams.
+  [[nodiscard]] Rng fork(std::uint64_t stream) {
+    return Rng(engine_() ^ (stream * 0x9E3779B97F4A7C15ull));
+  }
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform identifier in the given space.
+  Id next_id(const IdSpace& space) { return engine_() & space.mask(); }
+
+  /// Uniform real in [0, 1).
+  double next_double() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Normal(mean, stddev).
+  double next_normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double next_exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// True with probability p.
+  bool next_bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dat

@@ -1,0 +1,155 @@
+#include "common/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace dat {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t v, unsigned n) {
+  return std::rotl(v, static_cast<int>(n));
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u},
+      total_bytes_(0),
+      buffer_{},
+      buffered_(0),
+      finished_(false) {}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  if (finished_) throw std::logic_error("Sha1::update after finish");
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+void Sha1::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1::Digest Sha1::finish() {
+  if (finished_) throw std::logic_error("Sha1::finish called twice");
+  finished_ = true;
+
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  // Append 0x80 then zero-pad so that length occupies the final 8 bytes.
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  const std::size_t rem = buffered_;
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  std::array<std::uint8_t, 8> len_bytes{};
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  finished_ = false;  // allow the two updates below
+  update(std::span<const std::uint8_t>(pad.data(), pad_len));
+  update(std::span<const std::uint8_t>(len_bytes.data(), len_bytes.size()));
+  finished_ = true;
+
+  Digest out{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[t * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+Sha1::Digest Sha1::digest(std::string_view text) {
+  Sha1 h;
+  h.update(text);
+  return h.finish();
+}
+
+std::string Sha1::hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(kDigestBytes * 2);
+  for (const std::uint8_t byte : d) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  return out;
+}
+
+Id Sha1::hash_to_id(std::string_view text, const IdSpace& space) {
+  const Digest d = digest(text);
+  // Big-endian fold of the first 8 digest bytes, then truncate to b bits.
+  Id v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | d[i];
+  }
+  return v & space.mask();
+}
+
+}  // namespace dat

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/id_space.hpp"
+
+namespace dat {
+
+/// Minimal, dependency-free SHA-1 (FIPS 180-1). Chord and MAAN hash node
+/// addresses, attribute names and string attribute values onto the
+/// identifier circle with SHA-1, exactly as the paper (and the original
+/// Chord work) do. Not intended for any security purpose.
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestBytes = 20;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha1();
+
+  /// Absorbs `data` into the running hash. May be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalizes and returns the 160-bit digest. The object must not be
+  /// updated afterwards (construct a fresh Sha1 for a new message).
+  [[nodiscard]] Digest finish();
+
+  /// One-shot digest of `text`.
+  [[nodiscard]] static Digest digest(std::string_view text);
+
+  /// Lowercase hex string of a digest.
+  [[nodiscard]] static std::string hex(const Digest& d);
+
+  /// Folds the top bits of SHA1(text) into a b-bit Chord identifier.
+  /// This is the consistent-hashing function H used for node ids and
+  /// rendezvous keys (e.g. H("cpu-usage")).
+  [[nodiscard]] static Id hash_to_id(std::string_view text, const IdSpace& space);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_bytes_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_;
+  bool finished_;
+};
+
+}  // namespace dat

@@ -1,0 +1,112 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dat {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) throw std::invalid_argument("percentile of empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q out of [0,1]");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson: series length mismatch");
+  }
+  const std::size_t n = xs.size();
+  if (n == 0) return 0.0;
+  RunningStats sx;
+  RunningStats sy;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx.add(xs[i]);
+    sy.add(ys[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (xs[i] - sx.mean()) * (ys[i] - sy.mean());
+  }
+  cov /= static_cast<double>(n);
+  const double denom = sx.stddev() * sy.stddev();
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double mean_relative_error(std::span<const double> measured,
+                           std::span<const double> truth, double eps) {
+  if (measured.size() != truth.size()) {
+    throw std::invalid_argument("mean_relative_error: length mismatch");
+  }
+  if (measured.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    acc += std::abs(measured[i] - truth[i]) / std::max(std::abs(truth[i]), eps);
+  }
+  return acc / static_cast<double>(measured.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (buckets == 0) throw std::invalid_argument("Histogram: zero buckets");
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) noexcept {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>((x - lo_) / width);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_low(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bucket_low");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+}  // namespace dat

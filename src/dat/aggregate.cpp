@@ -1,0 +1,56 @@
+#include "dat/aggregate.hpp"
+
+#include <cmath>
+
+namespace dat::core {
+
+const char* to_string(AggregateKind k) noexcept {
+  switch (k) {
+    case AggregateKind::kSum: return "sum";
+    case AggregateKind::kCount: return "count";
+    case AggregateKind::kAvg: return "avg";
+    case AggregateKind::kMin: return "min";
+    case AggregateKind::kMax: return "max";
+    case AggregateKind::kVariance: return "variance";
+    case AggregateKind::kStddev: return "stddev";
+  }
+  return "?";
+}
+
+AggregateKind aggregate_kind_from(std::uint8_t raw) {
+  if (raw > static_cast<std::uint8_t>(AggregateKind::kStddev)) {
+    throw std::invalid_argument("bad AggregateKind: " + std::to_string(raw));
+  }
+  return static_cast<AggregateKind>(raw);
+}
+
+double AggState::result(AggregateKind kind) const {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kCount:
+      return static_cast<double>(count);
+    case AggregateKind::kAvg:
+      if (count == 0) throw std::domain_error("AVG of empty aggregate");
+      return sum / static_cast<double>(count);
+    case AggregateKind::kMin:
+      if (count == 0) throw std::domain_error("MIN of empty aggregate");
+      return min;
+    case AggregateKind::kMax:
+      if (count == 0) throw std::domain_error("MAX of empty aggregate");
+      return max;
+    case AggregateKind::kVariance:
+    case AggregateKind::kStddev: {
+      if (count == 0) throw std::domain_error("VAR of empty aggregate");
+      const double mean = sum / static_cast<double>(count);
+      // Clamp tiny negative values from floating-point cancellation.
+      const double variance =
+          std::max(sum_sq / static_cast<double>(count) - mean * mean, 0.0);
+      return kind == AggregateKind::kVariance ? variance
+                                              : std::sqrt(variance);
+    }
+  }
+  throw std::invalid_argument("bad AggregateKind");
+}
+
+}  // namespace dat::core

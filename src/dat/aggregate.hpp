@@ -1,0 +1,84 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "net/codec.hpp"
+
+namespace dat::core {
+
+/// Built-in aggregate functions f : X+ -> X (paper Sec. 2.3). AVG is
+/// computed from the (sum, count) pair so that it composes associatively
+/// across the tree.
+enum class AggregateKind : std::uint8_t {
+  kSum = 0,
+  kCount = 1,
+  kAvg = 2,
+  kMin = 3,
+  kMax = 4,
+  kVariance = 5,  ///< population variance, from the (sum, sum_sq, count) triple
+  kStddev = 6,
+};
+
+[[nodiscard]] const char* to_string(AggregateKind k) noexcept;
+[[nodiscard]] AggregateKind aggregate_kind_from(std::uint8_t raw);
+
+/// Composable partial-aggregate state. One fixed carrier supports all five
+/// built-in functions, so a single update-message format serves any tree.
+/// merge() is associative and commutative; identity() is the neutral
+/// element — exactly the algebraic requirements for bottom-up aggregation.
+struct AggState {
+  double sum = 0.0;
+  double sum_sq = 0.0;  ///< sum of squares, for variance/stddev
+  std::uint64_t count = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] static AggState identity() noexcept { return AggState{}; }
+
+  [[nodiscard]] static AggState of(double value) noexcept {
+    return AggState{value, value * value, 1, value, value};
+  }
+
+  void merge(const AggState& other) noexcept {
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    count += other.count;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return count == 0; }
+
+  /// Final value under the given aggregate function. Throws on an empty
+  /// state for AVG/MIN/MAX (undefined over zero inputs).
+  [[nodiscard]] double result(AggregateKind kind) const;
+
+  friend bool operator==(const AggState& a, const AggState& b) noexcept {
+    return a.sum == b.sum && a.sum_sq == b.sum_sq && a.count == b.count &&
+           a.min == b.min && a.max == b.max;
+  }
+};
+
+inline void write_agg_state(net::Writer& w, const AggState& s) {
+  w.f64(s.sum);
+  w.f64(s.sum_sq);
+  w.u64(s.count);
+  w.f64(s.min);
+  w.f64(s.max);
+}
+
+inline AggState read_agg_state(net::Reader& r) {
+  AggState s;
+  s.sum = r.f64();
+  s.sum_sq = r.f64();
+  s.count = r.u64();
+  s.min = r.f64();
+  s.max = r.f64();
+  return s;
+}
+
+}  // namespace dat::core

@@ -1,0 +1,562 @@
+#include "dat/dat_node.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/sha1.hpp"
+
+namespace dat::core {
+
+namespace {
+constexpr const char* kUpdate = "dat.update";
+constexpr const char* kGetGlobal = "dat.get_global";
+constexpr const char* kGetHistory = "dat.get_history";
+constexpr const char* kSnapReq = "dat.snap_req";
+constexpr const char* kSnapResp = "dat.snap_resp";
+constexpr const char* kCollectStart = "dat.collect_start";
+constexpr const char* kCollectReq = "dat.collect_req";
+}  // namespace
+
+Id rendezvous_key(std::string_view aggregate_name, const IdSpace& space) {
+  return Sha1::hash_to_id(std::string("agg:") + std::string(aggregate_name),
+                          space);
+}
+
+DatNode::DatNode(chord::Node& chord, DatOptions options)
+    : chord_(chord), options_(options) {
+  register_handlers();
+}
+
+DatNode::~DatNode() {
+  alive_ = false;
+  for (auto& [key, entry] : table_) {
+    if (entry.timer != 0) chord_.rpc().transport().cancel_timer(entry.timer);
+  }
+  for (auto& [seq, snap] : snapshots_) {
+    if (snap.timer != 0) chord_.rpc().transport().cancel_timer(snap.timer);
+  }
+}
+
+void DatNode::register_handlers() {
+  chord_.rpc().register_one_way(
+      kUpdate,
+      [this](net::Endpoint from, net::Reader& msg) { handle_update(from, msg); });
+  chord_.rpc().register_method(
+      kGetGlobal, [this](net::Endpoint from, net::Reader& req,
+                         net::Writer& reply) {
+        handle_get_global(from, req, reply);
+      });
+  chord_.rpc().register_method(
+      kGetHistory, [this](net::Endpoint from, net::Reader& req,
+                          net::Writer& reply) {
+        handle_get_history(from, req, reply);
+      });
+  chord_.rpc().register_one_way(
+      kSnapReq, [this](net::Endpoint from, net::Reader& msg) {
+        handle_snap_req(from, msg);
+      });
+  chord_.rpc().register_one_way(
+      kSnapResp, [this](net::Endpoint from, net::Reader& msg) {
+        handle_snap_resp(from, msg);
+      });
+  chord_.rpc().register_one_way(
+      kCollectStart, [this](net::Endpoint from, net::Reader& msg) {
+        handle_collect_start(from, msg);
+      });
+  chord_.rpc().register_one_way(
+      kCollectReq, [this](net::Endpoint from, net::Reader& msg) {
+        handle_collect_req(from, msg);
+      });
+}
+
+// -- on-demand tree collection ----------------------------------------------
+
+void DatNode::collect_tree(Id key, SnapshotHandler handler) {
+  key &= chord_.space().mask();
+  if (chord_.owns(key)) {
+    run_collect(key, net::kNullEndpoint, 0, 2 * chord_.space().bits(),
+                std::move(handler));
+    return;
+  }
+  // Route the request to the root; the root collects and answers us on the
+  // snapshot-response channel.
+  const std::uint64_t seq = next_seq_++;
+  PendingSnapshot pending;
+  pending.handler = std::move(handler);
+  pending.outstanding = 1;
+  snapshots_.emplace(seq, std::move(pending));
+  snapshots_.at(seq).timer = chord_.rpc().transport().set_timer(
+      2 * options_.snapshot_timeout_us, [this, seq]() {
+        if (!alive_) return;
+        finish_snapshot(seq);
+      });
+  chord_.find_successor(key, [this, key, seq](net::RpcStatus status,
+                                              chord::NodeRef root) {
+    if (!alive_) return;
+    if (status != net::RpcStatus::kOk || !root.valid()) {
+      finish_snapshot(seq);
+      return;
+    }
+    net::Writer w;
+    w.u64(seq);
+    w.u64(key);
+    w.u8(static_cast<std::uint8_t>(2 * chord_.space().bits()));
+    chord_.rpc().send_one_way(root.endpoint, kCollectStart, w);
+  });
+}
+
+void DatNode::handle_collect_start(net::Endpoint from, net::Reader& msg) {
+  const std::uint64_t reply_seq = msg.u64();
+  const Id key = msg.u64();
+  const std::uint8_t depth = msg.u8();
+  run_collect(key, from, reply_seq, depth, nullptr);
+}
+
+void DatNode::handle_collect_req(net::Endpoint from, net::Reader& msg) {
+  const std::uint64_t reply_seq = msg.u64();
+  const Id key = msg.u64();
+  const std::uint8_t depth = msg.u8();
+  run_collect(key, from, reply_seq, depth, nullptr);
+}
+
+void DatNode::run_collect(Id key, net::Endpoint reply_to,
+                          std::uint64_t reply_seq, unsigned depth,
+                          SnapshotHandler handler) {
+  const std::uint64_t seq = next_seq_++;
+  PendingSnapshot pending;
+  const auto it = table_.find(key);
+  pending.acc = (it != table_.end() && it->second.local)
+                    ? AggState::of(it->second.local())
+                    : AggState::identity();
+  pending.handler = std::move(handler);
+  pending.reply_to = reply_to;
+  pending.reply_seq = reply_seq;
+
+  // Pull from every fresh soft-state child (unless the depth budget is
+  // spent, which indicates a transient cycle in stale child records).
+  unsigned issued = 0;
+  if (it != table_.end() && depth > 0) {
+    const std::uint64_t now = chord_.rpc().transport().now_us();
+    const std::uint64_t ttl =
+        static_cast<std::uint64_t>(options_.child_ttl_epochs) *
+        options_.epoch_us;
+    for (const auto& [child_ep, record] : it->second.children) {
+      if (now - record.received_at_us > ttl) continue;
+      net::Writer w;
+      w.u64(seq);
+      w.u64(key);
+      w.u8(static_cast<std::uint8_t>(depth - 1));
+      chord_.rpc().send_one_way(child_ep, kCollectReq, w);
+      ++issued;
+    }
+  }
+  snapshots_.emplace(seq, std::move(pending));
+  auto& slot = snapshots_.at(seq);
+  slot.outstanding = issued;
+  if (issued == 0) {
+    finish_snapshot(seq);
+    return;
+  }
+  // Scale the timeout with the remaining depth budget so that deeper
+  // levels give up strictly before their parents do — otherwise a dead
+  // branch at the bottom would exhaust every ancestor's identical timeout
+  // simultaneously and the root would return only its own value.
+  const unsigned max_depth = 2 * chord_.space().bits();
+  const std::uint64_t level_timeout = std::max<std::uint64_t>(
+      options_.snapshot_timeout_us * std::min(depth, max_depth) / max_depth,
+      options_.snapshot_timeout_us / 8);
+  slot.timer = chord_.rpc().transport().set_timer(
+      level_timeout, [this, seq]() {
+        if (!alive_) return;
+        finish_snapshot(seq);
+      });
+}
+
+void DatNode::start_aggregate(Id key, AggregateKind kind,
+                              chord::RoutingScheme scheme, LocalValueFn local) {
+  key &= chord_.space().mask();
+  auto [it, inserted] = table_.try_emplace(key);
+  Entry& entry = it->second;
+  entry.key = key;
+  entry.kind = kind;
+  entry.scheme = scheme;
+  entry.local = std::move(local);
+  if (inserted) {
+    arm_epoch(key);
+  }
+}
+
+Id DatNode::start_aggregate(std::string_view name, AggregateKind kind,
+                            chord::RoutingScheme scheme, LocalValueFn local) {
+  const Id key = rendezvous_key(name, chord_.space());
+  start_aggregate(key, kind, scheme, std::move(local));
+  return key;
+}
+
+void DatNode::stop_aggregate(Id key) {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return;
+  if (it->second.timer != 0) {
+    chord_.rpc().transport().cancel_timer(it->second.timer);
+  }
+  table_.erase(it);
+}
+
+std::optional<GlobalValue> DatNode::latest(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return std::nullopt;
+  return it->second.global;
+}
+
+void DatNode::arm_epoch(Id key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) return;
+  it->second.timer = chord_.rpc().transport().set_timer(
+      options_.epoch_us, [this, key]() {
+        if (!alive_) return;
+        run_epoch(key);
+        arm_epoch(key);
+      });
+}
+
+AggState DatNode::collect(Entry& entry) {
+  AggState state = AggState::identity();
+  if (entry.local) {
+    state.merge(AggState::of(entry.local()));
+  }
+  const std::uint64_t now = chord_.rpc().transport().now_us();
+  const std::uint64_t ttl =
+      static_cast<std::uint64_t>(options_.child_ttl_epochs) * options_.epoch_us;
+  for (auto it = entry.children.begin(); it != entry.children.end();) {
+    if (now - it->second.received_at_us > ttl) {
+      it = entry.children.erase(it);  // soft-state expiry: departed child
+    } else {
+      state.merge(it->second.state);
+      ++it;
+    }
+  }
+  return state;
+}
+
+void DatNode::run_epoch(Id key) {
+  auto it = table_.find(key);
+  if (it == table_.end() || !chord_.alive()) return;
+  Entry& entry = it->second;
+  ++entry.epoch;
+  const AggState state = collect(entry);
+
+  const auto parent = chord_.dat_parent(key, entry.scheme);
+  if (!parent) {
+    // This node is the root: the collected state is the global aggregate.
+    entry.global = GlobalValue{state, entry.epoch,
+                               chord_.rpc().transport().now_us()};
+    entry.history.push_back(*entry.global);
+    while (entry.history.size() > options_.history_size) {
+      entry.history.pop_front();
+    }
+    return;
+  }
+  entry.global.reset();  // no longer (or not) the root
+  net::Writer w;
+  w.u64(key);
+  w.u8(static_cast<std::uint8_t>(entry.kind));
+  w.u8(static_cast<std::uint8_t>(entry.scheme));
+  chord::write_node_ref(w, chord_.self());
+  write_agg_state(w, state);
+  chord_.rpc().send_one_way(parent->endpoint, kUpdate, w);
+  ++entry.updates_sent;
+}
+
+void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
+  const Id key = msg.u64();
+  const AggregateKind kind = aggregate_kind_from(msg.u8());
+  const std::uint8_t raw_scheme = msg.u8();
+  const chord::NodeRef sender = chord::read_node_ref(msg);
+  const AggState state = read_agg_state(msg);
+
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    // First sighting of this tree: create a passive (relay-only) entry so
+    // the aggregate flows through us — the paper's "adds a new entry in the
+    // aggregation table" on first contact with an aggregate.
+    const auto scheme = raw_scheme <= 1
+                            ? static_cast<chord::RoutingScheme>(raw_scheme)
+                            : chord::RoutingScheme::kBalanced;
+    start_aggregate(key, kind, scheme, nullptr);
+    it = table_.find(key);
+  }
+  Entry& entry = it->second;
+  ++entry.updates_received;
+  ChildRecord& rec = entry.children[from];
+  rec.ref = sender;
+  rec.state = state;
+  rec.received_at_us = chord_.rpc().transport().now_us();
+}
+
+void DatNode::handle_get_global(net::Endpoint /*from*/, net::Reader& req,
+                                net::Writer& reply) {
+  const Id key = req.u64();
+  const auto it = table_.find(key);
+  const bool found = it != table_.end() && it->second.global.has_value();
+  reply.boolean(found);
+  if (found) {
+    const GlobalValue& g = *it->second.global;
+    write_agg_state(reply, g.state);
+    reply.u64(g.epoch);
+    reply.u64(g.updated_at_us);
+  }
+}
+
+void DatNode::query_global(Id key, QueryHandler handler) {
+  key &= chord_.space().mask();
+  chord_.find_successor(
+      key, [this, key, handler = std::move(handler)](net::RpcStatus status,
+                                                     chord::NodeRef root) {
+        if (!alive_) return;
+        if (status != net::RpcStatus::kOk || !root.valid()) {
+          handler(status, std::nullopt);
+          return;
+        }
+        net::Writer w;
+        w.u64(key);
+        chord_.rpc().call(
+            root.endpoint, kGetGlobal, w,
+            [this, handler](net::RpcStatus st, net::Reader& r) {
+              if (!alive_) return;
+              if (st != net::RpcStatus::kOk) {
+                handler(st, std::nullopt);
+                return;
+              }
+              if (!r.boolean()) {
+                handler(net::RpcStatus::kOk, std::nullopt);
+                return;
+              }
+              GlobalValue g;
+              g.state = read_agg_state(r);
+              g.epoch = r.u64();
+              g.updated_at_us = r.u64();
+              handler(net::RpcStatus::kOk, g);
+            },
+            options_.rpc);
+      });
+}
+
+std::vector<GlobalValue> DatNode::history(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return {};
+  return {it->second.history.begin(), it->second.history.end()};
+}
+
+void DatNode::handle_get_history(net::Endpoint /*from*/, net::Reader& req,
+                                 net::Writer& reply) {
+  const Id key = req.u64();
+  const auto max_points = static_cast<std::size_t>(req.u32());
+  const auto it = table_.find(key);
+  if (it == table_.end() || it->second.history.empty()) {
+    reply.u32(0);
+    return;
+  }
+  const auto& hist = it->second.history;
+  const std::size_t count = std::min(max_points, hist.size());
+  reply.u32(static_cast<std::uint32_t>(count));
+  for (std::size_t i = hist.size() - count; i < hist.size(); ++i) {
+    write_agg_state(reply, hist[i].state);
+    reply.u64(hist[i].epoch);
+    reply.u64(hist[i].updated_at_us);
+  }
+}
+
+void DatNode::query_history(Id key, std::size_t max_points,
+                            HistoryHandler handler) {
+  key &= chord_.space().mask();
+  chord_.find_successor(
+      key, [this, key, max_points, handler = std::move(handler)](
+               net::RpcStatus status, chord::NodeRef root) {
+        if (!alive_) return;
+        if (status != net::RpcStatus::kOk || !root.valid()) {
+          handler(status, {});
+          return;
+        }
+        net::Writer w;
+        w.u64(key);
+        w.u32(static_cast<std::uint32_t>(max_points));
+        chord_.rpc().call(
+            root.endpoint, kGetHistory, w,
+            [this, handler](net::RpcStatus st, net::Reader& r) {
+              if (!alive_) return;
+              std::vector<GlobalValue> points;
+              if (st == net::RpcStatus::kOk) {
+                const auto count = r.u32();
+                points.reserve(count);
+                for (std::uint32_t i = 0; i < count; ++i) {
+                  GlobalValue g;
+                  g.state = read_agg_state(r);
+                  g.epoch = r.u64();
+                  g.updated_at_us = r.u64();
+                  points.push_back(g);
+                }
+              }
+              handler(st, std::move(points));
+            },
+            options_.rpc);
+      });
+}
+
+// -- on-demand snapshots ------------------------------------------------------
+
+void DatNode::snapshot(Id key, SnapshotHandler handler) {
+  key &= chord_.space().mask();
+  const std::uint64_t seq = next_seq_++;
+  PendingSnapshot snap;
+  const auto it = table_.find(key);
+  snap.acc = (it != table_.end() && it->second.local)
+                 ? AggState::of(it->second.local())
+                 : AggState::identity();
+  snap.handler = std::move(handler);
+  snapshots_.emplace(seq, std::move(snap));
+
+  // Cover the whole circle (self, self] via the fingers.
+  const unsigned issued = snapshot_fan_out(key, chord_.id(), seq);
+  auto& pending = snapshots_.at(seq);
+  pending.outstanding = issued;
+  if (issued == 0) {
+    finish_snapshot(seq);
+    return;
+  }
+  pending.timer = chord_.rpc().transport().set_timer(
+      options_.snapshot_timeout_us, [this, seq]() {
+        if (!alive_) return;
+        finish_snapshot(seq);  // return what we have; stragglers are dropped
+      });
+}
+
+unsigned DatNode::snapshot_fan_out(Id key, Id limit, std::uint64_t seq) {
+  // Segmented DHT broadcast (the Chord `broadcast` routine of Fig. 6):
+  // delegate (f_j, boundary) to finger f_j, where boundary is the next
+  // higher finger already delegated (or `limit` for the highest). Every
+  // node in (self, limit) is reached exactly once.
+  const IdSpace& space = chord_.space();
+
+  // Membership test for the delegated segment (self, limit), where
+  // limit == self means the full circle minus self (the initiator's case).
+  const auto in_segment = [&](Id x) {
+    if (x == chord_.id()) return false;
+    if (limit == chord_.id()) return true;  // full circle minus self
+    return space.in_open_open(chord_.id(), x, limit);
+  };
+
+  // Collect distinct fingers inside the segment.
+  std::vector<std::pair<Id, net::Endpoint>> targets;
+  for (unsigned j = space.bits(); j-- > 0;) {
+    const chord::NodeRef& f =
+        j == 0 ? chord_.successor() : chord_.finger(j);
+    if (!f.valid() || f.endpoint == chord_.rpc().local()) continue;
+    if (!in_segment(f.id)) continue;
+    if (std::any_of(targets.begin(), targets.end(),
+                    [&](const auto& t) { return t.first == f.id; })) {
+      continue;
+    }
+    targets.emplace_back(f.id, f.endpoint);
+  }
+  // Highest-id target first: delegate (f, previous boundary).
+  std::sort(targets.begin(), targets.end(), [&](const auto& a, const auto& b) {
+    return space.clockwise(chord_.id(), a.first) >
+           space.clockwise(chord_.id(), b.first);
+  });
+
+  unsigned issued = 0;
+  Id boundary = limit;
+  for (const auto& [fid, fep] : targets) {
+    net::Writer w;
+    w.u64(seq);
+    w.u64(key);
+    w.u64(boundary);
+    chord_.rpc().send_one_way(fep, kSnapReq, w);
+    ++issued;
+    boundary = fid;
+  }
+  return issued;
+}
+
+void DatNode::handle_snap_req(net::Endpoint from, net::Reader& msg) {
+  const std::uint64_t origin_seq = msg.u64();
+  const Id key = msg.u64();
+  const Id limit = msg.u64();
+
+  const std::uint64_t seq = next_seq_++;
+  PendingSnapshot snap;
+  const auto it = table_.find(key);
+  snap.acc = (it != table_.end() && it->second.local)
+                 ? AggState::of(it->second.local())
+                 : AggState::identity();
+  snap.reply_to = from;
+  snap.reply_seq = origin_seq;
+  snapshots_.emplace(seq, std::move(snap));
+
+  const unsigned issued = snapshot_fan_out(key, limit, seq);
+  auto& pending = snapshots_.at(seq);
+  pending.outstanding = issued;
+  if (issued == 0) {
+    finish_snapshot(seq);
+    return;
+  }
+  pending.timer = chord_.rpc().transport().set_timer(
+      options_.snapshot_timeout_us,
+      [this, seq]() {
+        if (!alive_) return;
+        finish_snapshot(seq);
+      });
+}
+
+void DatNode::handle_snap_resp(net::Endpoint /*from*/, net::Reader& msg) {
+  const std::uint64_t seq = msg.u64();
+  const AggState state = read_agg_state(msg);
+  const auto it = snapshots_.find(seq);
+  if (it == snapshots_.end() || it->second.done) return;
+  it->second.acc.merge(state);
+  if (it->second.outstanding > 0) --it->second.outstanding;
+  if (it->second.outstanding == 0) {
+    finish_snapshot(seq);
+  }
+}
+
+void DatNode::finish_snapshot(std::uint64_t seq) {
+  const auto it = snapshots_.find(seq);
+  if (it == snapshots_.end() || it->second.done) return;
+  PendingSnapshot& snap = it->second;
+  snap.done = true;
+  if (snap.timer != 0) chord_.rpc().transport().cancel_timer(snap.timer);
+
+  if (snap.handler) {
+    SnapshotHandler handler = std::move(snap.handler);
+    const AggState acc = snap.acc;
+    snapshots_.erase(it);
+    handler(acc);
+    return;
+  }
+  net::Writer w;
+  w.u64(snap.reply_seq);
+  write_agg_state(w, snap.acc);
+  chord_.rpc().send_one_way(snap.reply_to, kSnapResp, w);
+  snapshots_.erase(it);
+}
+
+// -- instrumentation ----------------------------------------------------------
+
+std::uint64_t DatNode::updates_received(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  return it == table_.end() ? 0 : it->second.updates_received;
+}
+
+std::uint64_t DatNode::updates_sent(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  return it == table_.end() ? 0 : it->second.updates_sent;
+}
+
+std::size_t DatNode::child_count(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  return it == table_.end() ? 0 : it->second.children.size();
+}
+
+}  // namespace dat::core

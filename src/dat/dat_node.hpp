@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "chord/node.hpp"
+#include "dat/aggregate.hpp"
+
+namespace dat::core {
+
+/// Derives the rendezvous key of a named aggregate: the SHA-1 hash of the
+/// attribute name on the identifier circle (paper Sec. 2.3 — "the
+/// rendezvous key is the SHA1 hash value of the attribute name").
+[[nodiscard]] Id rendezvous_key(std::string_view aggregate_name,
+                                const IdSpace& space);
+
+struct DatOptions {
+  /// Continuous-mode push period (the paper's "time slot").
+  std::uint64_t epoch_us = 500'000;
+  /// Number of recent global values the root retains per aggregate — the
+  /// time series consumers chart (Fig. 9(a)-style monitoring).
+  std::size_t history_size = 256;
+  /// A child whose last update is older than this many epochs is presumed
+  /// departed and dropped from the aggregation (soft-state membership).
+  unsigned child_ttl_epochs = 3;
+  /// Timeout for collecting one level of snapshot (on-demand) responses.
+  std::uint64_t snapshot_timeout_us = 2'000'000;
+  net::RpcManager::Options rpc{};
+};
+
+/// Latest global value as held by a tree's root.
+struct GlobalValue {
+  AggState state;
+  std::uint64_t epoch = 0;
+  std::uint64_t updated_at_us = 0;
+};
+
+/// The DAT layer of one node (paper Sec. 4, Fig. 6): an aggregation table
+/// of active trees, the continuous bottom-up push protocol along
+/// implicitly-constructed tree edges, an on-demand snapshot mode via
+/// segmented broadcast with echo aggregation, and a routed query for the
+/// root's latest global value.
+///
+/// Parent selection is purely local (chord::Node::dat_parent — Algorithm 1
+/// evaluated against the live finger table), so the tree needs no
+/// membership maintenance: churn is absorbed by Chord stabilization, and a
+/// node's children are known only as soft state refreshed by their updates.
+class DatNode {
+ public:
+  using LocalValueFn = std::function<double()>;
+
+  DatNode(chord::Node& chord, DatOptions options);
+  ~DatNode();
+
+  DatNode(const DatNode&) = delete;
+  DatNode& operator=(const DatNode&) = delete;
+
+  /// Registers an aggregate in the local aggregation table and starts the
+  /// continuous push loop. `local` supplies this node's x_i(t) each epoch;
+  /// pass nullptr for a node that only relays (contributes no value).
+  void start_aggregate(Id key, AggregateKind kind,
+                       chord::RoutingScheme scheme, LocalValueFn local);
+
+  /// Convenience: aggregate named by attribute (e.g. "cpu-usage").
+  Id start_aggregate(std::string_view name, AggregateKind kind,
+                     chord::RoutingScheme scheme, LocalValueFn local);
+
+  void stop_aggregate(Id key);
+  [[nodiscard]] bool has_aggregate(Id key) const {
+    return table_.contains(key);
+  }
+
+  /// Root-side: the latest global value for `key`, if this node is the
+  /// root and has completed at least one epoch.
+  [[nodiscard]] std::optional<GlobalValue> latest(Id key) const;
+
+  /// Root-side: recent global values, oldest first (bounded by
+  /// DatOptions::history_size). Empty unless this node is the root.
+  [[nodiscard]] std::vector<GlobalValue> history(Id key) const;
+
+  /// Routes to the root and fetches up to `max_points` of its recent
+  /// history, oldest first. Usable from any node.
+  using HistoryHandler =
+      std::function<void(net::RpcStatus, std::vector<GlobalValue>)>;
+  void query_history(Id key, std::size_t max_points, HistoryHandler handler);
+
+  /// Routes to the root of `key`'s tree and fetches its latest global
+  /// value. Usable from any node.
+  using QueryHandler =
+      std::function<void(net::RpcStatus, std::optional<GlobalValue>)>;
+  void query_global(Id key, QueryHandler handler);
+
+  /// On-demand aggregation (paper Sec. 4's on-demand mode): a segmented
+  /// broadcast over the ring with echo aggregation on the way back. Every
+  /// live node's registered local value for `key` is merged exactly once.
+  /// Completes after at most `snapshot_timeout_us` per level even if nodes
+  /// fail mid-collection (partial state is then returned).
+  using SnapshotHandler = std::function<void(const AggState&)>;
+  void snapshot(Id key, SnapshotHandler handler);
+
+  /// On-demand collection down the DAT tree itself: the request is routed
+  /// to the root, which recursively pulls fresh values from its soft-state
+  /// children (the nodes whose continuous updates it has seen) — the
+  /// paper's "computes its child nodes based on the information in the
+  /// [aggregation] table". Coverage equals the continuous tree's coverage;
+  /// unlike snapshot() it touches only tree edges, not the whole ring.
+  void collect_tree(Id key, SnapshotHandler handler);
+
+  // -- instrumentation -------------------------------------------------------
+  /// Continuous-mode child updates received per key (the per-node
+  /// "aggregation messages" metric of Fig. 8).
+  [[nodiscard]] std::uint64_t updates_received(Id key) const;
+  [[nodiscard]] std::uint64_t updates_sent(Id key) const;
+  /// Number of distinct live children currently known for `key`.
+  [[nodiscard]] std::size_t child_count(Id key) const;
+
+  [[nodiscard]] chord::Node& chord() noexcept { return chord_; }
+  [[nodiscard]] const DatOptions& options() const noexcept { return options_; }
+
+ private:
+  struct ChildRecord {
+    chord::NodeRef ref;
+    AggState state;
+    std::uint64_t received_at_us = 0;
+  };
+
+  struct Entry {
+    Id key = 0;
+    AggregateKind kind = AggregateKind::kSum;
+    chord::RoutingScheme scheme = chord::RoutingScheme::kBalanced;
+    LocalValueFn local;  // may be null (relay-only)
+    std::map<net::Endpoint, ChildRecord> children;
+    std::uint64_t epoch = 0;
+    net::TimerId timer = 0;
+    std::optional<GlobalValue> global;  // set while this node is the root
+    std::deque<GlobalValue> history;    // root-side time series
+    std::uint64_t updates_received = 0;
+    std::uint64_t updates_sent = 0;
+  };
+
+  struct PendingSnapshot {
+    AggState acc;
+    unsigned outstanding = 0;
+    // Exactly one of handler / (reply_to, reply_seq) is set: the initiator
+    // keeps the handler, forwarders reply upstream.
+    SnapshotHandler handler;
+    net::Endpoint reply_to = net::kNullEndpoint;
+    std::uint64_t reply_seq = 0;
+    net::TimerId timer = 0;
+    bool done = false;
+  };
+
+  void register_handlers();
+  void arm_epoch(Id key);
+  void run_epoch(Id key);
+  [[nodiscard]] AggState collect(Entry& entry);
+
+  void handle_update(net::Endpoint from, net::Reader& msg);
+  void handle_get_global(net::Endpoint from, net::Reader& req,
+                         net::Writer& reply);
+  void handle_get_history(net::Endpoint from, net::Reader& req,
+                          net::Writer& reply);
+  void handle_snap_req(net::Endpoint from, net::Reader& msg);
+  void handle_snap_resp(net::Endpoint from, net::Reader& msg);
+  void handle_collect_start(net::Endpoint from, net::Reader& msg);
+  void handle_collect_req(net::Endpoint from, net::Reader& msg);
+
+  /// Runs one level of tree collection: pull from fresh children, merge
+  /// with the local value, reply upstream through the snapshot plumbing.
+  /// `depth` bounds recursion: stale soft-state child records can form
+  /// transient cycles right after re-parenting.
+  void run_collect(Id key, net::Endpoint reply_to, std::uint64_t reply_seq,
+                   unsigned depth, SnapshotHandler handler);
+
+  /// Fans a snapshot out over the ring segment (self, limit); returns the
+  /// number of sub-requests issued against pending sequence `seq`.
+  unsigned snapshot_fan_out(Id key, Id limit, std::uint64_t seq);
+  void finish_snapshot(std::uint64_t seq);
+
+  chord::Node& chord_;
+  DatOptions options_;
+  std::unordered_map<Id, Entry> table_;  // the paper's aggregation table
+  std::unordered_map<std::uint64_t, PendingSnapshot> snapshots_;
+  std::uint64_t next_seq_ = 1;
+  bool alive_ = true;
+};
+
+}  // namespace dat::core

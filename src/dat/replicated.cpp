@@ -1,0 +1,72 @@
+#include "dat/replicated.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dat::core {
+
+ReplicatedAggregate::ReplicatedAggregate(DatNode& dat, std::string name,
+                                         unsigned replicas,
+                                         AggregateKind kind,
+                                         chord::RoutingScheme scheme)
+    : dat_(dat), name_(std::move(name)), kind_(kind), scheme_(scheme) {
+  if (replicas == 0) {
+    throw std::invalid_argument("ReplicatedAggregate: zero replicas");
+  }
+  if (name_.empty()) {
+    throw std::invalid_argument("ReplicatedAggregate: empty name");
+  }
+  keys_.reserve(replicas);
+  for (unsigned i = 0; i < replicas; ++i) {
+    keys_.push_back(rendezvous_key(name_ + "#" + std::to_string(i),
+                                   dat_.chord().space()));
+  }
+}
+
+ReplicatedAggregate::~ReplicatedAggregate() { stop(); }
+
+void ReplicatedAggregate::start(DatNode::LocalValueFn local) {
+  if (started_) return;
+  started_ = true;
+  for (const Id key : keys_) {
+    dat_.start_aggregate(key, kind_, scheme_, local);
+  }
+}
+
+void ReplicatedAggregate::stop() {
+  if (!started_) return;
+  started_ = false;
+  for (const Id key : keys_) {
+    dat_.stop_aggregate(key);
+  }
+}
+
+void ReplicatedAggregate::query(Handler handler) {
+  struct Collect {
+    Result result;
+    std::size_t outstanding;
+    Handler handler;
+  };
+  auto collect = std::make_shared<Collect>();
+  collect->outstanding = keys_.size();
+  collect->handler = std::move(handler);
+
+  for (const Id key : keys_) {
+    dat_.query_global(key, [collect](net::RpcStatus status,
+                                     std::optional<GlobalValue> g) {
+      if (status == net::RpcStatus::kOk && g) {
+        ++collect->result.roots_answered;
+        const auto& best = collect->result.best;
+        if (!best || g->state.count > best->state.count ||
+            (g->state.count == best->state.count && g->epoch > best->epoch)) {
+          collect->result.best = g;
+        }
+      }
+      if (--collect->outstanding == 0) {
+        collect->handler(std::move(collect->result));
+      }
+    });
+  }
+}
+
+}  // namespace dat::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dat/dat_node.hpp"
+
+namespace dat::core {
+
+/// k independent DAT trees for one aggregate — the multiple-tree
+/// fault-tolerance idea of Li, Sollins & Lim (SIGCOMM CCR '05), which the
+/// paper discusses in its related work (Sec. 6). Tree i uses rendezvous
+/// key H(name "#" i), so the k roots (and with high probability the k
+/// interior node sets) land on different nodes; a reader queries all roots
+/// and keeps the answer with the widest coverage. A root or interior crash
+/// in one tree is masked by the others with zero repair traffic.
+class ReplicatedAggregate {
+ public:
+  /// `replicas` >= 1 trees. Nothing starts until start().
+  ReplicatedAggregate(DatNode& dat, std::string name, unsigned replicas,
+                      AggregateKind kind, chord::RoutingScheme scheme);
+  ~ReplicatedAggregate();
+
+  ReplicatedAggregate(const ReplicatedAggregate&) = delete;
+  ReplicatedAggregate& operator=(const ReplicatedAggregate&) = delete;
+
+  /// Starts contributing this node's value to every replica tree.
+  void start(DatNode::LocalValueFn local);
+  void stop();
+
+  [[nodiscard]] const std::vector<Id>& keys() const noexcept { return keys_; }
+  [[nodiscard]] unsigned replicas() const noexcept {
+    return static_cast<unsigned>(keys_.size());
+  }
+
+  /// Queries every replica root and delivers the best answer: the global
+  /// value with the highest node coverage (ties: freshest epoch). Fails
+  /// only if no root answered at all.
+  struct Result {
+    std::optional<GlobalValue> best;
+    unsigned roots_answered = 0;
+  };
+  using Handler = std::function<void(Result)>;
+  void query(Handler handler);
+
+ private:
+  DatNode& dat_;
+  std::string name_;
+  AggregateKind kind_;
+  chord::RoutingScheme scheme_;
+  std::vector<Id> keys_;
+  bool started_ = false;
+};
+
+}  // namespace dat::core

@@ -1,0 +1,111 @@
+#include "dat/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dat::core {
+
+Tree::Tree(const chord::RingView& ring, Id key, chord::RoutingScheme scheme)
+    : key_(key & ring.space().mask()),
+      root_(ring.successor(key_)),
+      scheme_(scheme),
+      nodes_(ring.ids()) {
+  parent_.reserve(nodes_.size());
+  children_.reserve(nodes_.size());
+  for (const Id v : nodes_) {
+    if (v == root_) continue;
+    const auto p = ring.parent(v, key_, scheme);
+    if (!p) {
+      throw std::logic_error("Tree: non-root node has no parent");
+    }
+    parent_.emplace(v, *p);
+    children_[*p].push_back(v);
+  }
+  for (auto& [node, kids] : children_) {
+    std::sort(kids.begin(), kids.end());
+  }
+
+  // Depths via memoized walk to the root; also validates acyclicity.
+  depth_.reserve(nodes_.size());
+  depth_[root_] = 0;
+  for (const Id v : nodes_) {
+    std::vector<Id> stack;
+    Id cur = v;
+    while (!depth_.contains(cur)) {
+      stack.push_back(cur);
+      const auto it = parent_.find(cur);
+      if (it == parent_.end()) {
+        throw std::logic_error("Tree: walk escaped the tree");
+      }
+      cur = it->second;
+      if (stack.size() > nodes_.size()) {
+        throw std::logic_error("Tree: cycle detected in parent relation");
+      }
+    }
+    unsigned d = depth_[cur];
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      depth_[*it] = ++d;
+    }
+  }
+
+  for (const Id v : nodes_) {
+    height_ = std::max(height_, depth_[v]);
+    const auto it = children_.find(v);
+    const std::size_t b = it == children_.end() ? 0 : it->second.size();
+    max_branching_ = std::max(max_branching_, b);
+    if (b > 0) ++internal_nodes_;
+  }
+}
+
+Id Tree::parent(Id node) const {
+  const auto it = parent_.find(node);
+  if (it == parent_.end()) {
+    throw std::out_of_range("Tree::parent: root or unknown node");
+  }
+  return it->second;
+}
+
+const std::vector<Id>& Tree::children(Id node) const {
+  static const std::vector<Id> kEmpty;
+  const auto it = children_.find(node);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+unsigned Tree::depth(Id node) const {
+  const auto it = depth_.find(node);
+  if (it == depth_.end()) {
+    throw std::out_of_range("Tree::depth: unknown node");
+  }
+  return it->second;
+}
+
+double Tree::avg_branching_internal() const noexcept {
+  if (internal_nodes_ == 0) return 0.0;
+  // Every non-root node contributes exactly one edge.
+  return static_cast<double>(nodes_.size() - 1) /
+         static_cast<double>(internal_nodes_);
+}
+
+double Tree::avg_branching_all() const noexcept {
+  if (nodes_.empty()) return 0.0;
+  return static_cast<double>(nodes_.size() - 1) /
+         static_cast<double>(nodes_.size());
+}
+
+bool Tree::all_reach_root() const {
+  // depth_ was fully populated during construction (it throws otherwise),
+  // so reachability holds if every node has a depth entry.
+  return depth_.size() == nodes_.size();
+}
+
+unsigned basic_branching_closed_form(std::size_t n, Id d, Id d0) {
+  if (n == 0 || d0 == 0) {
+    throw std::invalid_argument("basic_branching_closed_form: bad arguments");
+  }
+  const unsigned log_n = IdSpace::ceil_log2(n);
+  const Id m = d / d0;  // d = m * d0 under even spacing
+  const unsigned j = IdSpace::ceil_log2(m + 1);
+  return j >= log_n ? 0 : log_n - j;
+}
+
+}  // namespace dat::core

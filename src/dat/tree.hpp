@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+#include "common/id_space.hpp"
+
+namespace dat::core {
+
+/// A fully materialized DAT tree over a converged ring — the object the
+/// paper's tree-property experiments (Fig. 7) and closed-form analyses
+/// (Secs. 3.3/3.5) are about. Built implicitly from routing next hops: the
+/// parent of every non-root node is its next hop toward the rendezvous key.
+class Tree {
+ public:
+  /// Builds the DAT for rendezvous key `key` under `scheme`. O(n log n).
+  Tree(const chord::RingView& ring, Id key, chord::RoutingScheme scheme);
+
+  [[nodiscard]] Id root() const noexcept { return root_; }
+  [[nodiscard]] Id key() const noexcept { return key_; }
+  [[nodiscard]] chord::RoutingScheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] std::size_t size() const noexcept { return parent_.size() + 1; }
+
+  /// Parent of a non-root node; throws for the root or unknown nodes.
+  [[nodiscard]] Id parent(Id node) const;
+  [[nodiscard]] bool is_root(Id node) const noexcept { return node == root_; }
+
+  /// Children of `node` (empty for leaves).
+  [[nodiscard]] const std::vector<Id>& children(Id node) const;
+
+  /// Depth of `node` (root = 0).
+  [[nodiscard]] unsigned depth(Id node) const;
+
+  /// Branching factor B(node) = number of children.
+  [[nodiscard]] std::size_t branching(Id node) const {
+    return children(node).size();
+  }
+
+  /// Tree height: max depth over all nodes.
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+
+  /// Maximum branching factor over all nodes.
+  [[nodiscard]] std::size_t max_branching() const noexcept {
+    return max_branching_;
+  }
+
+  /// Mean branching factor over *internal* (non-leaf) nodes — the figure the
+  /// paper plots in Fig. 7(b).
+  [[nodiscard]] double avg_branching_internal() const noexcept;
+
+  /// Mean branching over all nodes ( = (n-1)/n, a sanity invariant).
+  [[nodiscard]] double avg_branching_all() const noexcept;
+
+  /// Every node reaches the root (always true by construction; exposed for
+  /// property tests).
+  [[nodiscard]] bool all_reach_root() const;
+
+  /// All node ids in the tree, ascending.
+  [[nodiscard]] const std::vector<Id>& nodes() const noexcept { return nodes_; }
+
+ private:
+  Id key_;
+  Id root_;
+  chord::RoutingScheme scheme_;
+  std::vector<Id> nodes_;
+  std::unordered_map<Id, Id> parent_;                 // non-root nodes only
+  std::unordered_map<Id, std::vector<Id>> children_;  // node -> children
+  std::unordered_map<Id, unsigned> depth_;
+  unsigned height_ = 0;
+  std::size_t max_branching_ = 0;
+  std::size_t internal_nodes_ = 0;
+};
+
+/// Closed-form branching factor of the basic DAT under perfectly even node
+/// spacing (paper Sec. 3.3): B(i,n) = log2(n) - ceil(log2(d/d0 + 1)), where
+/// d is the clockwise distance from node i to the root and d0 the adjacent
+/// gap. Returns the predicted child count of node i.
+[[nodiscard]] unsigned basic_branching_closed_form(std::size_t n, Id d, Id d0);
+
+}  // namespace dat::core

@@ -1,0 +1,62 @@
+#include "gma/group_by.hpp"
+
+#include <stdexcept>
+
+namespace dat::gma {
+
+std::string grouped_attribute(std::string_view attribute,
+                              std::string_view group) {
+  if (attribute.empty() || group.empty()) {
+    throw std::invalid_argument("grouped_attribute: empty attribute or group");
+  }
+  std::string out;
+  out.reserve(attribute.size() + group.size() + 1);
+  out.append(attribute);
+  out.push_back('@');
+  out.append(group);
+  return out;
+}
+
+GroupedAggregate::GroupedAggregate(core::DatNode& dat, std::string attribute,
+                                   core::AggregateKind kind,
+                                   chord::RoutingScheme scheme)
+    : dat_(dat), attribute_(std::move(attribute)), kind_(kind),
+      scheme_(scheme) {
+  if (attribute_.empty()) {
+    throw std::invalid_argument("GroupedAggregate: empty attribute");
+  }
+}
+
+GroupedAggregate::~GroupedAggregate() { stop(); }
+
+Id GroupedAggregate::key_for(const std::string& group) const {
+  return core::rendezvous_key(grouped_attribute(attribute_, group),
+                              dat_.chord().space());
+}
+
+void GroupedAggregate::contribute(const std::string& group,
+                                  core::DatNode::LocalValueFn fn) {
+  stop();
+  const Id key = key_for(group);
+  dat_.start_aggregate(key, kind_, scheme_, std::move(fn));
+  active_key_ = key;
+}
+
+void GroupedAggregate::stop() {
+  if (active_key_) {
+    dat_.stop_aggregate(*active_key_);
+    active_key_.reset();
+  }
+}
+
+void GroupedAggregate::query(const std::string& group,
+                             core::DatNode::QueryHandler handler) {
+  dat_.query_global(key_for(group), std::move(handler));
+}
+
+void GroupedAggregate::snapshot(const std::string& group,
+                                core::DatNode::SnapshotHandler handler) {
+  dat_.snapshot(key_for(group), std::move(handler));
+}
+
+}  // namespace dat::gma

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dat/dat_node.hpp"
+
+namespace dat::gma {
+
+/// Name of the per-group aggregate for (attribute, group) — the paper's
+/// "Group By" remark (Sec. 2.3: "a rendezvous key is the Chord identifier
+/// of a given aggregate index similar to the 'Group By' clause in SQL").
+/// Each group value gets its own rendezvous key and therefore its own DAT
+/// tree with its own (consistently hashed, hence load-spread) root.
+[[nodiscard]] std::string grouped_attribute(std::string_view attribute,
+                                            std::string_view group);
+
+/// One attribute aggregated separately per group — e.g. average cpu-usage
+/// GROUP BY os. A producer contributes its node's value to exactly its own
+/// group's tree; consumers query any group from any node.
+class GroupedAggregate {
+ public:
+  /// Does not start anything yet; contribute()/query() drive it.
+  GroupedAggregate(core::DatNode& dat, std::string attribute,
+                   core::AggregateKind kind, chord::RoutingScheme scheme);
+  ~GroupedAggregate();
+
+  GroupedAggregate(const GroupedAggregate&) = delete;
+  GroupedAggregate& operator=(const GroupedAggregate&) = delete;
+
+  /// Producer side: start contributing this node's value to `group`'s
+  /// tree. A node belongs to one group per attribute; contributing to a
+  /// second group stops the first.
+  void contribute(const std::string& group, core::DatNode::LocalValueFn fn);
+
+  /// Stops contributing (the soft-state child record upstream expires).
+  void stop();
+
+  /// Rendezvous key of a group's tree.
+  [[nodiscard]] Id key_for(const std::string& group) const;
+
+  /// Consumer side: latest global value of `group`'s aggregate.
+  void query(const std::string& group, core::DatNode::QueryHandler handler);
+
+  /// Consumer side: on-demand snapshot of `group`'s aggregate.
+  void snapshot(const std::string& group,
+                core::DatNode::SnapshotHandler handler);
+
+  [[nodiscard]] const std::string& attribute() const noexcept {
+    return attribute_;
+  }
+
+ private:
+  core::DatNode& dat_;
+  std::string attribute_;
+  core::AggregateKind kind_;
+  chord::RoutingScheme scheme_;
+  std::optional<Id> active_key_;  // key we currently contribute to
+};
+
+}  // namespace dat::gma

@@ -1,0 +1,102 @@
+#include "gma/producer.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace dat::gma {
+
+Producer::Producer(core::DatNode& dat, maan::MaanNode& maan,
+                   std::string resource_id)
+    : dat_(dat), maan_(maan), resource_id_(std::move(resource_id)) {
+  if (resource_id_.empty()) {
+    throw std::invalid_argument("Producer: empty resource id");
+  }
+}
+
+Producer::~Producer() { stop(); }
+
+void Producer::add_sensor(Sensor sensor) {
+  if (running_) {
+    throw std::logic_error("Producer::add_sensor after start");
+  }
+  if (!sensor.sample || sensor.attribute.empty()) {
+    throw std::invalid_argument("Producer::add_sensor: incomplete sensor");
+  }
+  sensors_.push_back(std::move(sensor));
+}
+
+void Producer::add_static_attribute(std::string attr, maan::AttrValue value) {
+  static_attrs_.emplace_back(std::move(attr), std::move(value));
+}
+
+void Producer::start(chord::RoutingScheme scheme, std::uint64_t refresh_us) {
+  if (running_) return;
+  running_ = true;
+  refresh_us_ = refresh_us;
+  keys_.clear();
+  for (const Sensor& sensor : sensors_) {
+    const Id key = dat_.start_aggregate(sensor.attribute, sensor.kind, scheme,
+                                        sensor.sample);
+    keys_.push_back(key);
+  }
+  refresh_registration();
+}
+
+void Producer::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (const Id key : keys_) {
+    dat_.stop_aggregate(key);
+  }
+  if (refresh_timer_ != 0) {
+    dat_.chord().rpc().transport().cancel_timer(refresh_timer_);
+    refresh_timer_ = 0;
+  }
+}
+
+maan::Resource Producer::current_resource() const {
+  maan::Resource resource;
+  resource.id = resource_id_;
+  for (const Sensor& sensor : sensors_) {
+    resource.attributes.emplace_back(sensor.attribute,
+                                     maan::AttrValue{sensor.sample()});
+  }
+  for (const auto& [attr, value] : static_attrs_) {
+    resource.attributes.emplace_back(attr, value);
+  }
+  return resource;
+}
+
+void Producer::refresh_registration() {
+  if (!running_) return;
+  maan_.register_resource(current_resource(), [](bool ok, unsigned) {
+    if (!ok) {
+      DAT_LOG_DEBUG("gma", "resource registration incomplete; will retry");
+    }
+  });
+  if (refresh_us_ == 0) return;  // one-shot registration
+  refresh_timer_ = dat_.chord().rpc().transport().set_timer(
+      refresh_us_, [this]() { refresh_registration(); });
+}
+
+void Consumer::monitor_global(const std::string& attribute,
+                              core::DatNode::QueryHandler handler) {
+  const Id key =
+      core::rendezvous_key(attribute, dat_.chord().space());
+  dat_.query_global(key, std::move(handler));
+}
+
+void Consumer::snapshot_global(const std::string& attribute,
+                               core::DatNode::SnapshotHandler handler) {
+  const Id key =
+      core::rendezvous_key(attribute, dat_.chord().space());
+  dat_.snapshot(key, std::move(handler));
+}
+
+void Consumer::discover(const std::vector<maan::RangePredicate>& predicates,
+                        maan::MaanNode::QueryHandler handler) {
+  maan_.multi_query(predicates, std::move(handler));
+}
+
+}  // namespace dat::gma

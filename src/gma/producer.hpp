@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dat/dat_node.hpp"
+#include "maan/maan_node.hpp"
+
+namespace dat::gma {
+
+/// A sensor monitors the status of one or more resources and generates
+/// events to producers (P-GMA sensor layer, paper Sec. 2.1). In this
+/// library a sensor is a sampling function — e.g. a /proc-style CPU reader,
+/// or a TraceReplayer adapter in simulations.
+struct Sensor {
+  std::string attribute;            ///< e.g. "cpu-usage"
+  core::AggregateKind kind = core::AggregateKind::kAvg;
+  std::function<double()> sample;   ///< current value
+};
+
+/// The P-GMA producer of one node (paper Fig. 1): collects sensor events,
+/// registers the node's resource descriptor with the MAAN indexing layer,
+/// and feeds each sensor into a DAT aggregate so the attribute's global
+/// statistic is continuously maintained at the tree root.
+class Producer {
+ public:
+  Producer(core::DatNode& dat, maan::MaanNode& maan, std::string resource_id);
+  ~Producer();
+
+  Producer(const Producer&) = delete;
+  Producer& operator=(const Producer&) = delete;
+
+  void add_sensor(Sensor sensor);
+
+  /// Also attach static (non-aggregated) attributes to the resource
+  /// descriptor, e.g. <os, "linux">, <cpu-speed, 3.0e9>.
+  void add_static_attribute(std::string attr, maan::AttrValue value);
+
+  /// Starts the producer: begins the DAT aggregates for every sensor and
+  /// (re-)registers the resource descriptor in MAAN every `refresh_us`.
+  void start(chord::RoutingScheme scheme, std::uint64_t refresh_us);
+  void stop();
+
+  /// The resource descriptor with current sensor readings.
+  [[nodiscard]] maan::Resource current_resource() const;
+
+  /// Rendezvous keys of the aggregates this producer feeds, in sensor
+  /// registration order.
+  [[nodiscard]] const std::vector<Id>& aggregate_keys() const noexcept {
+    return keys_;
+  }
+
+ private:
+  void refresh_registration();
+
+  core::DatNode& dat_;
+  maan::MaanNode& maan_;
+  std::string resource_id_;
+  std::vector<Sensor> sensors_;
+  std::vector<std::pair<std::string, maan::AttrValue>> static_attrs_;
+  std::vector<Id> keys_;
+  std::uint64_t refresh_us_ = 0;
+  net::TimerId refresh_timer_ = 0;
+  bool running_ = false;
+};
+
+/// The P-GMA consumer side (paper Fig. 1's consumer layer): monitors global
+/// aggregates and discovers resources by multi-attribute range query — the
+/// building blocks for application scheduling, diagnostics and capacity
+/// planning.
+class Consumer {
+ public:
+  Consumer(core::DatNode& dat, maan::MaanNode& maan)
+      : dat_(dat), maan_(maan) {}
+
+  /// Latest global statistic of `attribute` from the root of its DAT tree.
+  void monitor_global(const std::string& attribute,
+                      core::DatNode::QueryHandler handler);
+
+  /// On-demand snapshot of `attribute` across all live nodes.
+  void snapshot_global(const std::string& attribute,
+                       core::DatNode::SnapshotHandler handler);
+
+  /// Discover resources matching all predicates.
+  void discover(const std::vector<maan::RangePredicate>& predicates,
+                maan::MaanNode::QueryHandler handler);
+
+ private:
+  core::DatNode& dat_;
+  maan::MaanNode& maan_;
+};
+
+}  // namespace dat::gma

@@ -1,0 +1,80 @@
+#include "gma/threshold_monitor.hpp"
+
+#include <stdexcept>
+
+namespace dat::gma {
+
+ThresholdMonitor::ThresholdMonitor(core::DatNode& dat, std::string attribute,
+                                   Options options, AlertHandler alert)
+    : dat_(dat),
+      key_(core::rendezvous_key(attribute, dat.chord().space())),
+      options_(options),
+      alert_(std::move(alert)) {
+  if (!alert_) {
+    throw std::invalid_argument("ThresholdMonitor: null alert handler");
+  }
+  const bool above = options_.direction == Direction::kAbove;
+  if ((above && options_.clear > options_.trigger) ||
+      (!above && options_.clear < options_.trigger)) {
+    throw std::invalid_argument(
+        "ThresholdMonitor: clear level must re-arm on the safe side of the "
+        "trigger");
+  }
+}
+
+ThresholdMonitor::~ThresholdMonitor() {
+  alive_ = false;
+  stop();
+}
+
+void ThresholdMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  poll();
+}
+
+void ThresholdMonitor::stop() {
+  running_ = false;
+  if (timer_ != 0) {
+    dat_.chord().rpc().transport().cancel_timer(timer_);
+    timer_ = 0;
+  }
+}
+
+void ThresholdMonitor::poll() {
+  if (!running_ || !alive_) return;
+  dat_.query_global(key_, [this](net::RpcStatus status,
+                                 std::optional<core::GlobalValue> global) {
+    if (!alive_) return;
+    if (status == net::RpcStatus::kOk && global &&
+        !global->state.empty()) {
+      const double value = global->state.result(options_.statistic);
+      last_value_ = value;
+      evaluate(value, *global);
+    }
+    if (!running_) return;
+    timer_ = dat_.chord().rpc().transport().set_timer(
+        options_.poll_interval_us, [this]() {
+          timer_ = 0;
+          poll();
+        });
+  });
+}
+
+void ThresholdMonitor::evaluate(double value,
+                                const core::GlobalValue& global) {
+  const bool above = options_.direction == Direction::kAbove;
+  const bool breached = above ? value >= options_.trigger
+                              : value <= options_.trigger;
+  const bool cleared = above ? value <= options_.clear
+                             : value >= options_.clear;
+  if (armed_ && breached) {
+    armed_ = false;
+    ++alerts_fired_;
+    alert_(value, global);
+  } else if (!armed_ && cleared) {
+    armed_ = true;  // hysteresis: re-arm only after a full recovery
+  }
+}
+
+}  // namespace dat::gma

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "dat/dat_node.hpp"
+
+namespace dat::gma {
+
+/// Fires when a monitored global statistic crosses a threshold — the
+/// "system diagnostics" consumer of the paper's P-GMA (Sec. 2.1): e.g.
+/// alert when the Grid-wide average CPU usage exceeds 90 %. Polls the
+/// aggregate's root at a fixed period; edge-triggered with hysteresis
+/// (re-arms only after the value falls back past `clear` in the other
+/// direction).
+class ThresholdMonitor {
+ public:
+  enum class Direction : std::uint8_t { kAbove, kBelow };
+
+  struct Options {
+    double trigger = 90.0;             ///< alert when value crosses this
+    double clear = 85.0;               ///< re-arm when it comes back past this
+    Direction direction = Direction::kAbove;
+    core::AggregateKind statistic = core::AggregateKind::kAvg;
+    std::uint64_t poll_interval_us = 2'000'000;
+  };
+
+  /// alert(value, global) fires once per excursion past the threshold.
+  using AlertHandler =
+      std::function<void(double value, const core::GlobalValue& global)>;
+
+  ThresholdMonitor(core::DatNode& dat, std::string attribute, Options options,
+                   AlertHandler alert);
+  ~ThresholdMonitor();
+
+  ThresholdMonitor(const ThresholdMonitor&) = delete;
+  ThresholdMonitor& operator=(const ThresholdMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] std::uint64_t alerts_fired() const noexcept {
+    return alerts_fired_;
+  }
+  /// Value observed at the last completed poll, if any.
+  [[nodiscard]] std::optional<double> last_value() const noexcept {
+    return last_value_;
+  }
+
+ private:
+  void poll();
+  void evaluate(double value, const core::GlobalValue& global);
+
+  core::DatNode& dat_;
+  Id key_;
+  Options options_;
+  AlertHandler alert_;
+  bool running_ = false;
+  bool armed_ = true;  // fires on the next crossing
+  std::optional<double> last_value_;
+  std::uint64_t alerts_fired_ = 0;
+  net::TimerId timer_ = 0;
+  bool alive_ = true;
+};
+
+}  // namespace dat::gma

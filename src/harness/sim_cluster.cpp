@@ -1,0 +1,206 @@
+#include "harness/sim_cluster.hpp"
+
+#include <stdexcept>
+
+namespace dat::harness {
+
+void install_default_schema(maan::Schema& schema) {
+  schema.add({.name = "cpu-usage", .numeric = true, .lo = 0.0, .hi = 100.0});
+  schema.add({.name = "cpu-speed", .numeric = true, .lo = 0.0, .hi = 10e9});
+  schema.add({.name = "memory-size", .numeric = true, .lo = 0.0, .hi = 64e9});
+  schema.add({.name = "disk-free", .numeric = true, .lo = 0.0, .hi = 100.0});
+  schema.add({.name = "os", .numeric = false});
+  schema.add({.name = "arch", .numeric = false});
+}
+
+SimCluster::SimCluster(std::size_t n, ClusterOptions options)
+    : options_(std::move(options)),
+      space_(options_.bits),
+      next_seed_(options_.seed * 1000003 + 1) {
+  if (n == 0) throw std::invalid_argument("SimCluster: n == 0");
+  install_default_schema(schema_);
+  engine_ = std::make_unique<sim::Engine>(options_.seed,
+                                          std::move(options_.latency));
+  network_ = std::make_unique<net::SimNetwork>(*engine_);
+
+  slots_.reserve(n);
+  // First node creates the ring.
+  {
+    Slot slot;
+    slot.transport = &network_->add_node();
+    slot.node = std::make_unique<chord::Node>(space_, *slot.transport,
+                                              options_.node, next_seed_++);
+    slot.node->create();
+    slot.live = true;
+    attach_layers(slot);
+    slots_.push_back(std::move(slot));
+  }
+  // The rest join sequentially with some settle time, as a real deployment
+  // rolls out.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (!add_node()) {
+      throw std::runtime_error("SimCluster: bootstrap join failed at node " +
+                               std::to_string(i));
+    }
+  }
+  if (options_.inject_d0_hint) refresh_d0_hints();
+}
+
+SimCluster::~SimCluster() {
+  // Layered teardown: protocol objects before their transports.
+  for (Slot& slot : slots_) {
+    slot.maan.reset();
+    slot.dat.reset();
+    slot.node.reset();
+  }
+}
+
+void SimCluster::attach_layers(Slot& slot) {
+  if (options_.with_dat) {
+    slot.dat = std::make_unique<core::DatNode>(*slot.node, options_.dat);
+  }
+  if (options_.with_maan) {
+    slot.maan =
+        std::make_unique<maan::MaanNode>(*slot.node, schema_, options_.maan);
+  }
+}
+
+std::size_t SimCluster::live_count() const {
+  std::size_t count = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.live) ++count;
+  }
+  return count;
+}
+
+bool SimCluster::is_live(std::size_t slot) const {
+  return slot < slots_.size() && slots_[slot].live;
+}
+
+chord::Node& SimCluster::node(std::size_t slot) {
+  if (!is_live(slot)) throw std::out_of_range("SimCluster::node: dead slot");
+  return *slots_[slot].node;
+}
+
+core::DatNode& SimCluster::dat(std::size_t slot) {
+  if (!is_live(slot) || !slots_[slot].dat) {
+    throw std::out_of_range("SimCluster::dat: dead slot or DAT disabled");
+  }
+  return *slots_[slot].dat;
+}
+
+maan::MaanNode& SimCluster::maan(std::size_t slot) {
+  if (!is_live(slot) || !slots_[slot].maan) {
+    throw std::out_of_range("SimCluster::maan: dead slot or MAAN disabled");
+  }
+  return *slots_[slot].maan;
+}
+
+chord::RingView SimCluster::ring_view() const {
+  std::vector<Id> ids;
+  ids.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.live) ids.push_back(slot.node->id());
+  }
+  return {space_, std::move(ids)};
+}
+
+bool SimCluster::wait_converged(std::uint64_t max_us) {
+  const std::uint64_t deadline = engine_->now() + max_us;
+  while (engine_->now() < deadline) {
+    const chord::RingView ring = ring_view();
+    bool all = true;
+    for (const Slot& slot : slots_) {
+      if (slot.live && !slot.node->converged_against(ring)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    engine_->run_until(
+        std::min<sim::SimTime>(deadline, engine_->now() + 500'000));
+  }
+  return false;
+}
+
+std::size_t SimCluster::lowest_live_slot() const {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) return i;
+  }
+  throw std::logic_error("SimCluster: no live nodes");
+}
+
+std::optional<std::size_t> SimCluster::add_node() {
+  // A join can fail transiently when routing crosses a just-crashed node;
+  // retry with a fresh transport, as a real deployment script would.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (const auto slot = try_add_node()) return slot;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> SimCluster::try_add_node() {
+  const std::size_t bootstrap = lowest_live_slot();
+  Slot slot;
+  slot.transport = &network_->add_node();
+  slot.node = std::make_unique<chord::Node>(space_, *slot.transport,
+                                            options_.node, next_seed_++);
+  bool joined = false;
+  bool failed = false;
+  slot.node->join(slots_[bootstrap].transport->local(), [&](bool ok) {
+    joined = ok;
+    failed = !ok;
+  });
+  const std::uint64_t deadline = engine_->now() + 30'000'000;
+  while (!joined && !failed && engine_->now() < deadline &&
+         !engine_->idle()) {
+    engine_->run_steps(256);
+  }
+  if (!joined) {
+    // Destroy the node (which still references the transport) before the
+    // transport itself.
+    const net::Endpoint ep = slot.transport->local();
+    slot.node.reset();
+    network_->remove_node(ep);
+    return std::nullopt;
+  }
+  engine_->run_until(engine_->now() + options_.join_settle_us);
+  slot.live = true;
+  attach_layers(slot);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void SimCluster::remove_node(std::size_t slot_idx, bool graceful) {
+  if (!is_live(slot_idx)) return;
+  Slot& slot = slots_[slot_idx];
+  if (graceful) {
+    slot.node->leave();
+  } else {
+    slot.node->fail();
+  }
+  slot.live = false;
+  const net::Endpoint ep = slot.transport->local();
+  slot.maan.reset();
+  slot.dat.reset();
+  slot.node.reset();
+  network_->remove_node(ep);
+  slot.transport = nullptr;
+}
+
+void SimCluster::refresh_d0_hints() {
+  const std::size_t n = live_count();
+  for (Slot& slot : slots_) {
+    if (slot.live) slot.node->set_d0_hint(space_.size(), n);
+  }
+}
+
+std::uint64_t SimCluster::total_maintenance_rpcs() const {
+  std::uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.live) total += slot.node->maintenance_rpcs();
+  }
+  return total;
+}
+
+}  // namespace dat::harness

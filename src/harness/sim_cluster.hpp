@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "chord/node.hpp"
+#include "chord/ring_view.hpp"
+#include "dat/dat_node.hpp"
+#include "maan/maan_node.hpp"
+#include "net/sim_transport.hpp"
+#include "sim/engine.hpp"
+
+namespace dat::harness {
+
+struct ClusterOptions {
+  unsigned bits = 32;
+  std::uint64_t seed = 42;
+  chord::NodeOptions node{};
+  core::DatOptions dat{};
+  maan::MaanOptions maan{};
+  bool with_dat = true;
+  bool with_maan = false;
+  /// Virtual time allowed for each sequential join to settle.
+  std::uint64_t join_settle_us = 400'000;
+  /// Give every node the exact d0 = 2^b / n hint (the deployments in the
+  /// paper know n; set false to exercise the successor-list estimator).
+  bool inject_d0_hint = true;
+  std::unique_ptr<sim::LatencyModel> latency;  ///< default LAN if null
+};
+
+/// Test/bench/example harness: a whole simulated DAT deployment in one
+/// object — engine, network fabric, n Chord nodes bootstrapped with probing
+/// joins, and optional DAT/MAAN layers per node. Provides churn operations
+/// and convergence barriers. Mirrors the paper's simulator-based setup
+/// (Sec. 5.1) at up to thousands of nodes.
+class SimCluster {
+ public:
+  SimCluster(std::size_t n, ClusterOptions options);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return *engine_; }
+  [[nodiscard]] net::SimNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] const IdSpace& space() const noexcept { return space_; }
+  [[nodiscard]] maan::Schema& schema() noexcept { return schema_; }
+
+  /// Number of currently live nodes.
+  [[nodiscard]] std::size_t live_count() const;
+  /// Total slots ever created (dead ones keep their index).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] bool is_live(std::size_t slot) const;
+
+  [[nodiscard]] chord::Node& node(std::size_t slot);
+  [[nodiscard]] core::DatNode& dat(std::size_t slot);
+  [[nodiscard]] maan::MaanNode& maan(std::size_t slot);
+
+  /// Converged global view of the live membership.
+  [[nodiscard]] chord::RingView ring_view() const;
+
+  /// Runs virtual time forward.
+  void run_for(std::uint64_t us) { engine_->run_until(engine_->now() + us); }
+
+  /// Runs until every live node's tables match the converged RingView, or
+  /// until `max_us` virtual time passes. Returns true on convergence.
+  bool wait_converged(std::uint64_t max_us);
+
+  /// Joins one new node through slot 0 (or the lowest live slot). Returns
+  /// the new slot index, or nullopt if the join failed.
+  std::optional<std::size_t> add_node();
+
+  /// Departs a node: graceful leave() or abrupt crash.
+  void remove_node(std::size_t slot, bool graceful);
+
+  /// Refreshes the d0 hints after churn (call when inject_d0_hint is set
+  /// and the live population changed).
+  void refresh_d0_hints();
+
+  /// Sum of chord-layer maintenance RPCs across live nodes.
+  [[nodiscard]] std::uint64_t total_maintenance_rpcs() const;
+
+ private:
+  struct Slot {
+    net::SimTransport* transport = nullptr;  // owned by the network
+    std::unique_ptr<chord::Node> node;
+    std::unique_ptr<core::DatNode> dat;
+    std::unique_ptr<maan::MaanNode> maan;
+    bool live = false;
+  };
+
+  void attach_layers(Slot& slot);
+  std::optional<std::size_t> try_add_node();
+  [[nodiscard]] std::size_t lowest_live_slot() const;
+
+  ClusterOptions options_;
+  IdSpace space_;
+  maan::Schema schema_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<net::SimNetwork> network_;
+  std::vector<Slot> slots_;
+  std::uint64_t next_seed_;
+};
+
+/// Registers the default Grid attribute schema used across examples and
+/// tests: cpu-usage [0,100] %, cpu-speed [0, 10e9] Hz, memory-size
+/// [0, 64e9] B, plus string attrs os and arch.
+void install_default_schema(maan::Schema& schema);
+
+}  // namespace dat::harness

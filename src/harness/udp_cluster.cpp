@@ -1,0 +1,82 @@
+#include "harness/udp_cluster.hpp"
+
+#include <stdexcept>
+
+namespace dat::harness {
+
+UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
+    : options_(options), space_(options.bits) {
+  if (n == 0) throw std::invalid_argument("UdpCluster: n == 0");
+
+  auto& first_transport = network_.add_node();
+  nodes_.push_back(std::make_unique<chord::Node>(
+      space_, first_transport, options_.node, options_.seed));
+  nodes_.front()->create();
+
+  for (std::size_t i = 1; i < n; ++i) {
+    auto& transport = network_.add_node();
+    nodes_.push_back(std::make_unique<chord::Node>(
+        space_, transport, options_.node, options_.seed + 100 + i));
+    bool joined = false;
+    bool failed = false;
+    nodes_.back()->join(first_transport.local(), [&](bool ok) {
+      joined = ok;
+      failed = !ok;
+    });
+    network_.run_while([&] { return !joined && !failed; },
+                       options_.join_timeout_us);
+    if (!joined) {
+      throw std::runtime_error("UdpCluster: join failed for node " +
+                               std::to_string(i));
+    }
+  }
+  if (options_.with_dat) {
+    for (auto& node : nodes_) {
+      dats_.push_back(std::make_unique<core::DatNode>(*node, options_.dat));
+    }
+  }
+}
+
+UdpCluster::~UdpCluster() { shutdown(); }
+
+void UdpCluster::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  dats_.clear();
+  for (auto& node : nodes_) {
+    if (node->alive()) node->leave();
+  }
+  network_.run_for(100'000);  // let the leaving notices drain
+}
+
+chord::RingView UdpCluster::ring_view() const {
+  std::vector<Id> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& node : nodes_) ids.push_back(node->id());
+  return {space_, std::move(ids)};
+}
+
+bool UdpCluster::wait_converged() {
+  const chord::RingView ring = ring_view();
+  return network_.run_while(
+      [&] {
+        for (const auto& node : nodes_) {
+          if (!node->converged_against(ring)) return true;
+        }
+        return false;
+      },
+      options_.converge_timeout_us);
+}
+
+bool UdpCluster::run_until(const std::function<bool()>& condition,
+                           std::uint64_t max_us) {
+  return network_.run_while([&] { return !condition(); }, max_us);
+}
+
+void UdpCluster::inject_d0_hints() {
+  for (auto& node : nodes_) {
+    node->set_d0_hint(space_.size(), nodes_.size());
+  }
+}
+
+}  // namespace dat::harness

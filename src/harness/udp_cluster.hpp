@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chord/node.hpp"
+#include "chord/ring_view.hpp"
+#include "dat/dat_node.hpp"
+#include "net/udp_transport.hpp"
+
+namespace dat::harness {
+
+struct UdpClusterOptions {
+  unsigned bits = 32;
+  std::uint64_t seed = 1;
+  chord::NodeOptions node{};
+  core::DatOptions dat{};
+  bool with_dat = true;
+  /// Wall-clock budget for each join to complete.
+  std::uint64_t join_timeout_us = 5'000'000;
+  /// Wall-clock budget for full finger-table convergence.
+  std::uint64_t converge_timeout_us = 60'000'000;
+};
+
+/// Real-socket sibling of SimCluster: hosts n live Chord(+DAT) nodes on
+/// loopback UDP in one process — the paper's testbed mode (64 instances per
+/// machine over UDP RPC). All time is wall-clock; keep n modest in tests.
+class UdpCluster {
+ public:
+  UdpCluster(std::size_t n, UdpClusterOptions options);
+  ~UdpCluster();
+
+  UdpCluster(const UdpCluster&) = delete;
+  UdpCluster& operator=(const UdpCluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] net::UdpNetwork& network() noexcept { return network_; }
+  [[nodiscard]] const IdSpace& space() const noexcept { return space_; }
+  [[nodiscard]] chord::Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] core::DatNode& dat(std::size_t i) { return *dats_.at(i); }
+
+  [[nodiscard]] chord::RingView ring_view() const;
+
+  /// Pumps wall-clock I/O until all nodes' tables match the converged ring
+  /// or the configured timeout passes. Returns true on convergence.
+  bool wait_converged();
+
+  /// Pumps for the given wall-clock duration.
+  void run_for(std::uint64_t us) { network_.run_for(us); }
+
+  /// Pumps until the predicate returns true (or `max_us`); true on success.
+  bool run_until(const std::function<bool()>& condition, std::uint64_t max_us);
+
+  /// Gives every node the exact d0 hint for balanced routing.
+  void inject_d0_hints();
+
+  /// Gracefully departs every node (also run by the destructor).
+  void shutdown();
+
+ private:
+  UdpClusterOptions options_;
+  IdSpace space_;
+  net::UdpNetwork network_;
+  std::vector<std::unique_ptr<chord::Node>> nodes_;
+  std::vector<std::unique_ptr<core::DatNode>> dats_;
+  bool shut_down_ = false;
+};
+
+}  // namespace dat::harness

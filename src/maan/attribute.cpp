@@ -1,0 +1,139 @@
+#include "maan/attribute.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/sha1.hpp"
+
+namespace dat::maan {
+
+void Schema::add(AttributeSchema schema) {
+  if (schema.name.empty()) {
+    throw std::invalid_argument("Schema::add: empty attribute name");
+  }
+  if (schema.numeric && !(schema.hi > schema.lo)) {
+    throw std::invalid_argument("Schema::add: numeric range must be nonempty");
+  }
+  attrs_[schema.name] = std::move(schema);
+}
+
+const AttributeSchema& Schema::get(const std::string& name) const {
+  const auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    throw std::out_of_range("Schema: unknown attribute " + name);
+  }
+  return it->second;
+}
+
+Id Schema::hash(const std::string& attr, const AttrValue& value,
+                const IdSpace& space) const {
+  const AttributeSchema& schema = get(attr);
+  if (schema.numeric) {
+    if (!std::holds_alternative<double>(value)) {
+      throw std::invalid_argument("Schema::hash: numeric attribute " + attr +
+                                  " got a string value");
+    }
+    const double v =
+        std::clamp(std::get<double>(value), schema.lo, schema.hi);
+    const double frac = (v - schema.lo) / (schema.hi - schema.lo);
+    // Monotone map onto [0, mask]: the locality-preserving hash.
+    const auto scaled = static_cast<long double>(frac) *
+                        static_cast<long double>(space.mask());
+    return static_cast<Id>(scaled) & space.mask();
+  }
+  if (!std::holds_alternative<std::string>(value)) {
+    throw std::invalid_argument("Schema::hash: string attribute " + attr +
+                                " got a numeric value");
+  }
+  return Sha1::hash_to_id("attr:" + attr + ":" + std::get<std::string>(value),
+                          space);
+}
+
+double Schema::selectivity(const std::string& attr, double lo,
+                           double hi) const {
+  const AttributeSchema& schema = get(attr);
+  if (!schema.numeric) {
+    throw std::invalid_argument("Schema::selectivity: " + attr +
+                                " is not numeric");
+  }
+  if (hi < lo) return 0.0;
+  const double clamped_lo = std::clamp(lo, schema.lo, schema.hi);
+  const double clamped_hi = std::clamp(hi, schema.lo, schema.hi);
+  return (clamped_hi - clamped_lo) / (schema.hi - schema.lo);
+}
+
+std::optional<AttrValue> Resource::attribute(const std::string& name) const {
+  for (const auto& [attr, value] : attributes) {
+    if (attr == name) return value;
+  }
+  return std::nullopt;
+}
+
+void write_attr_value(net::Writer& w, const AttrValue& v) {
+  if (std::holds_alternative<double>(v)) {
+    w.u8(0);
+    w.f64(std::get<double>(v));
+  } else {
+    w.u8(1);
+    w.str(std::get<std::string>(v));
+  }
+}
+
+AttrValue read_attr_value(net::Reader& r) {
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) return AttrValue{r.f64()};
+  if (tag == 1) return AttrValue{r.str()};
+  throw net::CodecError("read_attr_value: bad tag");
+}
+
+void write_resource(net::Writer& w, const Resource& resource) {
+  w.str(resource.id);
+  w.u32(static_cast<std::uint32_t>(resource.attributes.size()));
+  for (const auto& [attr, value] : resource.attributes) {
+    w.str(attr);
+    write_attr_value(w, value);
+  }
+}
+
+Resource read_resource(net::Reader& r) {
+  Resource out;
+  out.id = r.str();
+  const auto count = r.u32();
+  out.attributes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string attr = r.str();
+    out.attributes.emplace_back(std::move(attr), read_attr_value(r));
+  }
+  return out;
+}
+
+bool RangePredicate::matches(const Resource& resource) const {
+  const auto value = resource.attribute(attr);
+  if (!value) return false;
+  if (exact) {
+    return std::holds_alternative<std::string>(*value) &&
+           std::get<std::string>(*value) == *exact;
+  }
+  if (!std::holds_alternative<double>(*value)) return false;
+  const double v = std::get<double>(*value);
+  return v >= lo && v <= hi;
+}
+
+void write_predicate(net::Writer& w, const RangePredicate& p) {
+  w.str(p.attr);
+  w.f64(p.lo);
+  w.f64(p.hi);
+  w.boolean(p.exact.has_value());
+  if (p.exact) w.str(*p.exact);
+}
+
+RangePredicate read_predicate(net::Reader& r) {
+  RangePredicate p;
+  p.attr = r.str();
+  p.lo = r.f64();
+  p.hi = r.f64();
+  if (r.boolean()) p.exact = r.str();
+  return p;
+}
+
+}  // namespace dat::maan

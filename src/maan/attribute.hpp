@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/id_space.hpp"
+#include "net/codec.hpp"
+
+namespace dat::maan {
+
+/// An attribute value: numeric (CPU speed, memory size, usage %) or string
+/// (OS name, architecture).
+using AttrValue = std::variant<double, std::string>;
+
+/// Per-attribute configuration. Numeric attributes declare their expected
+/// [lo, hi] range so the locality-preserving hash can spread them over the
+/// identifier circle; string attributes are hashed uniformly (SHA-1).
+struct AttributeSchema {
+  std::string name;
+  bool numeric = true;
+  double lo = 0.0;   ///< numeric only
+  double hi = 1.0;   ///< numeric only
+};
+
+/// The registry of attribute schemas shared by every MAAN node (deployment
+/// configuration, agreed out of band as in the paper's MAAN).
+class Schema {
+ public:
+  void add(AttributeSchema schema);
+
+  [[nodiscard]] const AttributeSchema& get(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return attrs_.contains(name);
+  }
+
+  /// MAAN's locality-preserving hash H_a(v): monotone in v for numeric
+  /// attributes, so numerically close values land on nearby identifiers
+  /// (paper Sec. 2.2). Values outside [lo, hi] clamp to the ends. String
+  /// values use SHA-1 (uniform, no locality).
+  [[nodiscard]] Id hash(const std::string& attr, const AttrValue& value,
+                        const IdSpace& space) const;
+
+  /// Fraction of the identifier circle a numeric range query [lo, hi]
+  /// covers — the query's selectivity s (paper Sec. 2.2, s_min).
+  [[nodiscard]] double selectivity(const std::string& attr, double lo,
+                                   double hi) const;
+
+ private:
+  std::map<std::string, AttributeSchema> attrs_;
+};
+
+/// A Grid resource as MAAN sees it: a unique name plus attribute-value
+/// pairs, e.g. ("node42.usc.edu", {<cpu-speed, 2.8e9>, <memory-size, 1e9>,
+/// <cpu-usage, 0.95>}).
+struct Resource {
+  std::string id;
+  std::vector<std::pair<std::string, AttrValue>> attributes;
+
+  [[nodiscard]] std::optional<AttrValue> attribute(
+      const std::string& name) const;
+
+  friend bool operator==(const Resource& a, const Resource& b) {
+    return a.id == b.id && a.attributes == b.attributes;
+  }
+};
+
+void write_attr_value(net::Writer& w, const AttrValue& v);
+[[nodiscard]] AttrValue read_attr_value(net::Reader& r);
+
+void write_resource(net::Writer& w, const Resource& resource);
+[[nodiscard]] Resource read_resource(net::Reader& r);
+
+/// One sub-query of a multi-attribute range query: attr in [lo, hi] for
+/// numerics, attr == exact for strings.
+struct RangePredicate {
+  std::string attr;
+  double lo = 0.0;
+  double hi = 0.0;
+  std::optional<std::string> exact;  ///< set for string equality predicates
+
+  [[nodiscard]] bool matches(const Resource& resource) const;
+};
+
+void write_predicate(net::Writer& w, const RangePredicate& p);
+[[nodiscard]] RangePredicate read_predicate(net::Reader& r);
+
+}  // namespace dat::maan

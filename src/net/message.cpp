@@ -1,0 +1,31 @@
+#include "net/transport.hpp"
+
+namespace dat::net {
+
+std::vector<std::uint8_t> Message::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(request_id);
+  w.str(method);
+  w.bytes(body);
+  return w.take();
+}
+
+Message Message::decode(std::span<const std::uint8_t> wire) {
+  Reader r(wire);
+  Message m;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(MessageKind::kOneWay)) {
+    throw CodecError("Message::decode: bad kind");
+  }
+  m.kind = static_cast<MessageKind>(kind);
+  m.request_id = r.u64();
+  m.method = r.str();
+  m.body = r.bytes();
+  if (!r.exhausted()) {
+    throw CodecError("Message::decode: trailing bytes");
+  }
+  return m;
+}
+
+}  // namespace dat::net

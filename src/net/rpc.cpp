@@ -1,0 +1,174 @@
+#include "net/rpc.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dat::net {
+
+namespace {
+// Reserved method name of error responses; the body is the exception text.
+constexpr const char* kErrorMethod = "$error";
+}  // namespace
+
+const char* to_string(RpcStatus s) noexcept {
+  switch (s) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kTimeout: return "timeout";
+    case RpcStatus::kRemoteError: return "remote-error";
+  }
+  return "?";
+}
+
+RpcManager::RpcManager(Transport& transport) : transport_(transport) {
+  transport_.set_receive_handler(
+      [this](Endpoint from, const Message& msg) { on_message(from, msg); });
+}
+
+RpcManager::~RpcManager() {
+  transport_.set_receive_handler(nullptr);
+  for (auto& [id, call] : pending_) {
+    if (call.timer != 0) transport_.cancel_timer(call.timer);
+  }
+}
+
+void RpcManager::register_method(std::string method, MethodHandler handler) {
+  methods_[std::move(method)] = std::move(handler);
+}
+
+void RpcManager::register_one_way(std::string method, OneWayHandler handler) {
+  one_ways_[std::move(method)] = std::move(handler);
+}
+
+void RpcManager::call(Endpoint to, const std::string& method,
+                      const Writer& body, ResponseHandler handler,
+                      Options options) {
+  const std::uint64_t id = next_request_id_++;
+  Message req;
+  req.kind = MessageKind::kRequest;
+  req.request_id = id;
+  req.method = method;
+  req.body = body.data();
+
+  PendingCall call{to, std::move(req), std::move(handler), options,
+                   options.attempts, 0};
+  auto [it, inserted] = pending_.emplace(id, std::move(call));
+  (void)inserted;
+  --it->second.attempts_left;
+  transport_.send(to, it->second.request);
+  arm_timer(id);
+}
+
+void RpcManager::send_one_way(Endpoint to, const std::string& method,
+                              const Writer& body) {
+  Message msg;
+  msg.kind = MessageKind::kOneWay;
+  msg.method = method;
+  msg.body = body.data();
+  transport_.send(to, msg);
+}
+
+void RpcManager::arm_timer(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  it->second.timer = transport_.set_timer(
+      it->second.options.timeout_us,
+      [this, request_id]() { on_timeout(request_id); });
+}
+
+void RpcManager::on_timeout(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  call.timer = 0;
+  if (call.attempts_left > 0) {
+    --call.attempts_left;
+    transport_.send(call.to, call.request);
+    arm_timer(request_id);
+    return;
+  }
+  // Exhausted: deliver timeout. Move the handler out before erasing so a
+  // re-entrant call() from the handler is safe.
+  ResponseHandler handler = std::move(call.handler);
+  pending_.erase(it);
+  Reader empty(std::span<const std::uint8_t>{});
+  if (handler) handler(RpcStatus::kTimeout, empty);
+}
+
+void RpcManager::on_message(Endpoint from, const Message& msg) {
+  switch (msg.kind) {
+    case MessageKind::kRequest:
+      on_request(from, msg);
+      return;
+    case MessageKind::kResponse:
+      on_response(msg);
+      return;
+    case MessageKind::kOneWay: {
+      const auto it = one_ways_.find(msg.method);
+      if (it == one_ways_.end()) {
+        DAT_LOG_DEBUG("rpc", "unknown one-way method " << msg.method);
+        return;
+      }
+      ++served_[msg.method];
+      Reader r(msg.body);
+      try {
+        it->second(from, r);
+      } catch (const std::exception& e) {
+        DAT_LOG_WARN("rpc", "one-way handler " << msg.method
+                                               << " threw: " << e.what());
+      }
+      return;
+    }
+  }
+}
+
+void RpcManager::on_request(Endpoint from, const Message& msg) {
+  Message reply;
+  reply.kind = MessageKind::kResponse;
+  reply.request_id = msg.request_id;
+
+  const auto it = methods_.find(msg.method);
+  if (it == methods_.end()) {
+    reply.method = kErrorMethod;
+    Writer w;
+    w.str("unknown method: " + msg.method);
+    reply.body = w.take();
+    transport_.send(from, reply);
+    return;
+  }
+  ++served_[msg.method];
+  Reader req(msg.body);
+  Writer out;
+  try {
+    it->second(from, req, out);
+    reply.method = msg.method;
+    reply.body = out.take();
+  } catch (const std::exception& e) {
+    reply.method = kErrorMethod;
+    Writer w;
+    w.str(e.what());
+    reply.body = w.take();
+  }
+  transport_.send(from, reply);
+}
+
+void RpcManager::on_response(const Message& msg) {
+  auto it = pending_.find(msg.request_id);
+  if (it == pending_.end()) {
+    // Duplicate response after a retransmission already completed the call.
+    return;
+  }
+  if (it->second.timer != 0) transport_.cancel_timer(it->second.timer);
+  ResponseHandler handler = std::move(it->second.handler);
+  pending_.erase(it);
+  Reader r(msg.body);
+  if (!handler) return;
+  if (msg.method == kErrorMethod) {
+    handler(RpcStatus::kRemoteError, r);
+  } else {
+    handler(RpcStatus::kOk, r);
+  }
+}
+
+}  // namespace dat::net

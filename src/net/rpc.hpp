@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dat::net {
+
+/// Outcome of an RPC call as seen by the caller.
+enum class RpcStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,      ///< all retransmissions exhausted without a response
+  kRemoteError = 2,  ///< the remote handler threw; body carries the message
+};
+
+[[nodiscard]] const char* to_string(RpcStatus s) noexcept;
+
+/// Retry/timeout policy of a single RPC.
+struct RpcOptions {
+  std::uint64_t timeout_us = 500'000;  ///< per-attempt timeout
+  unsigned attempts = 3;               ///< total send attempts
+};
+
+/// Request/response RPC with timeouts and retransmission over an unreliable
+/// Transport — the paper's "RPC manager" (Sec. 4, Fig. 6). Also dispatches
+/// inbound one-way messages to registered handlers.
+///
+/// Server handlers are synchronous: they parse the request from a Reader and
+/// serialize the reply into a Writer. A handler that throws produces a
+/// kRemoteError response carrying the exception text. All upper-layer
+/// protocols (Chord, DAT, MAAN) are built from iterative RPCs so synchronous
+/// handlers suffice.
+class RpcManager {
+ public:
+  /// cb(status, body): body is valid only when status == kOk; on
+  /// kRemoteError it carries the remote exception text as a string field.
+  using ResponseHandler = std::function<void(RpcStatus, Reader&)>;
+  /// Request handler: decode from `req`, encode reply into `reply`.
+  using MethodHandler =
+      std::function<void(Endpoint from, Reader& req, Writer& reply)>;
+  /// One-way handler: no reply channel.
+  using OneWayHandler = std::function<void(Endpoint from, Reader& msg)>;
+
+  using Options = RpcOptions;
+
+  explicit RpcManager(Transport& transport);
+  ~RpcManager();
+
+  RpcManager(const RpcManager&) = delete;
+  RpcManager& operator=(const RpcManager&) = delete;
+
+  /// Registers the server-side handler for `method`. Replaces any previous
+  /// registration.
+  void register_method(std::string method, MethodHandler handler);
+  void register_one_way(std::string method, OneWayHandler handler);
+
+  /// Issues a request. The handler fires exactly once, possibly re-entrantly
+  /// from within the transport's event loop.
+  void call(Endpoint to, const std::string& method, const Writer& body,
+            ResponseHandler handler, Options options = Options());
+
+  /// Fire-and-forget message.
+  void send_one_way(Endpoint to, const std::string& method, const Writer& body);
+
+  [[nodiscard]] Transport& transport() noexcept { return transport_; }
+  [[nodiscard]] Endpoint local() const { return transport_.local(); }
+
+  /// Number of requests currently awaiting a response.
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+
+  /// Per-method counters of requests served (diagnostics / experiments).
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>&
+  served_counts() const noexcept {
+    return served_;
+  }
+
+ private:
+  struct PendingCall {
+    Endpoint to;
+    Message request;
+    ResponseHandler handler;
+    Options options;
+    unsigned attempts_left;
+    TimerId timer = 0;
+  };
+
+  void on_message(Endpoint from, const Message& msg);
+  void on_request(Endpoint from, const Message& msg);
+  void on_response(const Message& msg);
+  void arm_timer(std::uint64_t request_id);
+  void on_timeout(std::uint64_t request_id);
+
+  Transport& transport_;
+  std::unordered_map<std::string, MethodHandler> methods_;
+  std::unordered_map<std::string, OneWayHandler> one_ways_;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::unordered_map<std::string, std::uint64_t> served_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace dat::net

@@ -1,0 +1,75 @@
+#include "net/sim_transport.hpp"
+
+#include <stdexcept>
+
+namespace dat::net {
+
+SimTransport& SimNetwork::add_node() {
+  const Endpoint ep = next_endpoint_++;
+  auto transport = std::make_unique<SimTransport>(*this, ep);
+  auto* raw = transport.get();
+  nodes_.emplace(ep, std::move(transport));
+  return *raw;
+}
+
+void SimNetwork::remove_node(Endpoint ep) {
+  nodes_.erase(ep);
+  partitioned_.erase(ep);
+}
+
+void SimNetwork::set_loss_rate(double p) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("SimNetwork: loss rate must be in [0, 1)");
+  }
+  loss_rate_ = p;
+}
+
+void SimNetwork::set_partitioned(Endpoint ep, bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(ep);
+  } else {
+    partitioned_.erase(ep);
+  }
+}
+
+void SimNetwork::route(Endpoint from, Endpoint to, Message msg) {
+  // Loss and partitions are evaluated at send time; a message already in
+  // flight when a partition heals is still lost, matching UDP semantics
+  // closely enough for protocol testing.
+  if (partitioned_.contains(from) || partitioned_.contains(to) ||
+      (loss_rate_ > 0.0 && engine_.rng().next_double() < loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+  const sim::SimDuration delay = engine_.latency().sample(from, to, engine_.rng());
+  engine_.schedule_after(delay, [this, from, to, m = std::move(msg)]() {
+    const auto it = nodes_.find(to);
+    if (it == nodes_.end()) {
+      ++dropped_;
+      return;
+    }
+    ++delivered_;
+    it->second->deliver(from, m);
+  });
+}
+
+void SimTransport::send(Endpoint to, const Message& msg) {
+  ++counters_.messages_sent;
+  counters_.bytes_sent += msg.body.size();
+  net_.route(self_, to, msg);
+}
+
+void SimTransport::deliver(Endpoint from, const Message& msg) {
+  ++counters_.messages_received;
+  counters_.bytes_received += msg.body.size();
+  if (handler_) handler_(from, msg);
+}
+
+TimerId SimTransport::set_timer(std::uint64_t delay_us,
+                                std::function<void()> cb) {
+  return net_.engine().schedule_after(delay_us, std::move(cb));
+}
+
+void SimTransport::cancel_timer(TimerId id) { net_.engine().cancel(id); }
+
+}  // namespace dat::net

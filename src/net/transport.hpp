@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/codec.hpp"
+
+namespace dat::net {
+
+/// Opaque network address of a node. The simulator uses dense indices; the
+/// UDP stack packs IPv4:port into the low 48 bits. Value 0 is reserved as
+/// "no endpoint".
+using Endpoint = std::uint64_t;
+
+constexpr Endpoint kNullEndpoint = 0;
+
+/// Kind of a wire message. Requests expect a Response with the same
+/// request_id; OneWay messages are fire-and-forget (used by continuous
+/// aggregation updates, which are idempotent and refreshed every epoch).
+enum class MessageKind : std::uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2 };
+
+/// A single datagram: method name, correlation id, kind, body.
+struct Message {
+  std::string method;
+  std::uint64_t request_id = 0;
+  MessageKind kind = MessageKind::kOneWay;
+  std::vector<std::uint8_t> body;
+
+  /// Flat wire encoding of the whole message.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Parses a datagram; throws CodecError on malformed input.
+  [[nodiscard]] static Message decode(std::span<const std::uint8_t> wire);
+};
+
+/// Per-transport traffic accounting. The load-balancing evaluation
+/// (Figs. 8a/8b) is computed from these counters.
+struct TrafficCounters {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  void reset() noexcept { *this = TrafficCounters{}; }
+};
+
+/// Timer handle; 0 is "no timer".
+using TimerId = std::uint64_t;
+
+/// Asynchronous, unreliable datagram transport with timers — the narrow
+/// waist shared by the discrete-event simulator and the UDP/RPC stack
+/// (paper Fig. 6). One Transport instance belongs to exactly one node.
+class Transport {
+ public:
+  using ReceiveHandler = std::function<void(Endpoint from, const Message&)>;
+
+  virtual ~Transport() = default;
+
+  /// This node's own address.
+  [[nodiscard]] virtual Endpoint local() const = 0;
+
+  /// Sends `msg` to `to`. Unreliable: delivery may fail silently (simulated
+  /// loss or a dead UDP peer); reliability is layered in RpcManager.
+  virtual void send(Endpoint to, const Message& msg) = 0;
+
+  /// Installs the upcall for inbound messages. Pass nullptr to mute.
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+
+  /// One-shot timer after `delay_us` microseconds (virtual or wall time,
+  /// depending on the implementation).
+  virtual TimerId set_timer(std::uint64_t delay_us, std::function<void()> cb) = 0;
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Current time in microseconds on this transport's clock.
+  [[nodiscard]] virtual std::uint64_t now_us() const = 0;
+
+  [[nodiscard]] const TrafficCounters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_.reset(); }
+
+ protected:
+  TrafficCounters counters_;
+};
+
+}  // namespace dat::net

@@ -1,0 +1,232 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/logging.hpp"
+
+namespace dat::net {
+
+namespace {
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+Endpoint make_udp_endpoint(std::uint32_t ipv4_host_order, std::uint16_t port) {
+  return (static_cast<Endpoint>(ipv4_host_order) << 16) | port;
+}
+
+std::uint32_t endpoint_ipv4(Endpoint ep) {
+  return static_cast<std::uint32_t>(ep >> 16);
+}
+
+std::uint16_t endpoint_port(Endpoint ep) {
+  return static_cast<std::uint16_t>(ep & 0xFFFF);
+}
+
+std::string endpoint_to_string(Endpoint ep) {
+  const std::uint32_t ip = endpoint_ipv4(ep);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF,
+                endpoint_port(ep));
+  return buf;
+}
+
+UdpNetwork::UdpNetwork() : t0_us_(steady_now_us()) {
+  recv_buf_.resize(64 * 1024);
+}
+
+UdpNetwork::~UdpNetwork() = default;
+
+std::uint64_t UdpNetwork::now_us() const { return steady_now_us() - t0_us_; }
+
+UdpTransport& UdpNetwork::add_node() {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw_errno("bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  const Endpoint ep =
+      make_udp_endpoint(ntohl(addr.sin_addr.s_addr), ntohs(addr.sin_port));
+  auto transport = std::make_unique<UdpTransport>(*this, fd, ep);
+  auto* raw = transport.get();
+  nodes_.emplace(ep, std::move(transport));
+  return *raw;
+}
+
+void UdpNetwork::remove_node(Endpoint ep) { nodes_.erase(ep); }
+
+TimerId UdpNetwork::set_timer(std::uint64_t delay_us,
+                              std::function<void()> cb) {
+  const TimerId id = next_timer_id_++;
+  timers_.push(Timer{now_us() + delay_us, id, std::move(cb)});
+  return id;
+}
+
+void UdpNetwork::cancel_timer(TimerId id) {
+  if (id == 0 || id >= next_timer_id_) return;
+  cancelled_timers_.insert(id);
+}
+
+void UdpNetwork::fire_due_timers() {
+  const std::uint64_t now = now_us();
+  while (!timers_.empty() && timers_.top().deadline_us <= now) {
+    Timer t = std::move(const_cast<Timer&>(timers_.top()));
+    timers_.pop();
+    const auto it = cancelled_timers_.find(t.id);
+    if (it != cancelled_timers_.end()) {
+      cancelled_timers_.erase(it);
+      continue;
+    }
+    t.cb();
+  }
+}
+
+void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
+  for (;;) {
+    sockaddr_in from{};
+    socklen_t from_len = sizeof from;
+    const ssize_t n =
+        ::recvfrom(fd, recv_buf_.data(), recv_buf_.size(), MSG_DONTWAIT,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      DAT_LOG_WARN("udp", "recvfrom failed: " << std::strerror(errno));
+      return;
+    }
+    const Endpoint src =
+        make_udp_endpoint(ntohl(from.sin_addr.s_addr), ntohs(from.sin_port));
+    transport.counters_.messages_received += 1;
+    transport.counters_.bytes_received += static_cast<std::uint64_t>(n);
+    try {
+      const Message msg = Message::decode(std::span<const std::uint8_t>(
+          recv_buf_.data(), static_cast<std::size_t>(n)));
+      if (transport.handler_) transport.handler_(src, msg);
+    } catch (const CodecError& e) {
+      DAT_LOG_WARN("udp", "dropping malformed datagram from "
+                              << endpoint_to_string(src) << ": " << e.what());
+    }
+  }
+}
+
+void UdpNetwork::pump_once(std::uint64_t max_wait_us) {
+  fire_due_timers();
+
+  std::uint64_t wait_us = max_wait_us;
+  if (!timers_.empty()) {
+    const std::uint64_t now = now_us();
+    const std::uint64_t until_timer =
+        timers_.top().deadline_us > now ? timers_.top().deadline_us - now : 0;
+    wait_us = std::min(wait_us, until_timer);
+  }
+
+  std::vector<pollfd> fds;
+  std::vector<UdpTransport*> owners;
+  fds.reserve(nodes_.size());
+  owners.reserve(nodes_.size());
+  for (auto& [ep, transport] : nodes_) {
+    fds.push_back(pollfd{transport->fd_, POLLIN, 0});
+    owners.push_back(transport.get());
+  }
+
+  const int timeout_ms =
+      static_cast<int>(std::min<std::uint64_t>(wait_us / 1000 + 1, 100));
+  const int ready = ::poll(fds.data(), fds.size(), fds.empty() ? timeout_ms : timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return;
+    throw_errno("poll");
+  }
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & POLLIN) != 0) {
+      // The transport may have been removed by an earlier handler this
+      // iteration; verify it is still registered.
+      if (nodes_.contains(owners[i]->self_)) {
+        drain_socket(fds[i].fd, *owners[i]);
+      }
+    }
+  }
+  fire_due_timers();
+}
+
+void UdpNetwork::run_for(std::uint64_t duration_us) {
+  const std::uint64_t deadline = now_us() + duration_us;
+  while (now_us() < deadline) {
+    pump_once(deadline - now_us());
+  }
+}
+
+bool UdpNetwork::run_while(const std::function<bool()>& keep_going,
+                           std::uint64_t max_us) {
+  const std::uint64_t deadline = now_us() + max_us;
+  while (keep_going()) {
+    if (now_us() >= deadline) return false;
+    pump_once(deadline - now_us());
+  }
+  return true;
+}
+
+UdpTransport::UdpTransport(UdpNetwork& net, int fd, Endpoint self)
+    : net_(net), fd_(fd), self_(self) {}
+
+UdpTransport::~UdpTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTransport::send(Endpoint to, const Message& msg) {
+  const std::vector<std::uint8_t> wire = msg.encode();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(endpoint_ipv4(to));
+  addr.sin_port = htons(endpoint_port(to));
+  ++counters_.messages_sent;
+  counters_.bytes_sent += wire.size();
+  const ssize_t n = ::sendto(fd_, wire.data(), wire.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&addr),
+                             sizeof addr);
+  if (n < 0) {
+    // UDP is fire-and-forget; log and move on (RpcManager retries).
+    DAT_LOG_DEBUG("udp", "sendto " << endpoint_to_string(to)
+                                   << " failed: " << std::strerror(errno));
+  }
+}
+
+TimerId UdpTransport::set_timer(std::uint64_t delay_us,
+                                std::function<void()> cb) {
+  return net_.set_timer(delay_us, std::move(cb));
+}
+
+void UdpTransport::cancel_timer(TimerId id) { net_.cancel_timer(id); }
+
+}  // namespace dat::net

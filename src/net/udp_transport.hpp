@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace dat::net {
+
+/// Packs an IPv4 address and UDP port into a Transport endpoint:
+/// (ipv4 << 16) | port, both host byte order. Never 0 for a bound socket.
+[[nodiscard]] Endpoint make_udp_endpoint(std::uint32_t ipv4_host_order,
+                                         std::uint16_t port);
+[[nodiscard]] std::uint32_t endpoint_ipv4(Endpoint ep);
+[[nodiscard]] std::uint16_t endpoint_port(Endpoint ep);
+[[nodiscard]] std::string endpoint_to_string(Endpoint ep);
+
+class UdpTransport;
+
+/// Single-threaded UDP event loop hosting any number of node sockets in one
+/// process — how the paper ran "up to 64 DAT instances on each machine".
+/// Sockets are polled with poll(2); timers run on a monotonic clock. All
+/// callbacks fire on the thread that calls run_for()/run_while().
+class UdpNetwork {
+ public:
+  UdpNetwork();
+  ~UdpNetwork();
+
+  UdpNetwork(const UdpNetwork&) = delete;
+  UdpNetwork& operator=(const UdpNetwork&) = delete;
+
+  /// Binds a new UDP socket on 127.0.0.1 with an OS-assigned port and
+  /// returns its transport.
+  UdpTransport& add_node();
+
+  /// Closes the node's socket and destroys its transport.
+  void remove_node(Endpoint ep);
+
+  /// Microseconds since the network was constructed (monotonic).
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Pumps I/O and timers for the given wall-clock duration.
+  void run_for(std::uint64_t duration_us);
+
+  /// Pumps while `keep_going()` is true, up to `max_us`. Returns true if the
+  /// predicate turned false (i.e. the awaited condition was met).
+  bool run_while(const std::function<bool()>& keep_going, std::uint64_t max_us);
+
+ private:
+  friend class UdpTransport;
+
+  struct Timer {
+    std::uint64_t deadline_us;
+    TimerId id;
+    std::function<void()> cb;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const noexcept {
+      return a.deadline_us != b.deadline_us ? a.deadline_us > b.deadline_us
+                                            : a.id > b.id;
+    }
+  };
+
+  TimerId set_timer(std::uint64_t delay_us, std::function<void()> cb);
+  void cancel_timer(TimerId id);
+  void pump_once(std::uint64_t max_wait_us);
+  void fire_due_timers();
+  void drain_socket(int fd, UdpTransport& transport);
+
+  std::uint64_t t0_us_;
+  std::unordered_map<Endpoint, std::unique_ptr<UdpTransport>> nodes_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::unordered_set<TimerId> cancelled_timers_;
+  TimerId next_timer_id_ = 1;
+  std::vector<std::uint8_t> recv_buf_;
+};
+
+/// Transport bound to one UDP socket; created via UdpNetwork::add_node().
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(UdpNetwork& net, int fd, Endpoint self);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  [[nodiscard]] Endpoint local() const override { return self_; }
+  void send(Endpoint to, const Message& msg) override;
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  TimerId set_timer(std::uint64_t delay_us, std::function<void()> cb) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] std::uint64_t now_us() const override { return net_.now_us(); }
+
+ private:
+  friend class UdpNetwork;
+
+  UdpNetwork& net_;
+  int fd_;
+  Endpoint self_;
+  ReceiveHandler handler_;
+};
+
+}  // namespace dat::net

@@ -1,0 +1,44 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace dat::sim {
+
+Engine::Engine(std::uint64_t seed, std::unique_ptr<LatencyModel> latency)
+    : rng_(seed),
+      latency_(latency ? std::move(latency) : make_default_latency()) {}
+
+std::uint64_t Engine::run() {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    queue_.run_next();
+    if (++fired > event_limit_) {
+      throw std::runtime_error(
+          "sim::Engine: event limit exceeded — runaway event loop?");
+    }
+  }
+  return fired;
+}
+
+std::uint64_t Engine::run_until(SimTime until) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    queue_.run_next();
+    if (++fired > event_limit_) {
+      throw std::runtime_error(
+          "sim::Engine: event limit exceeded — runaway event loop?");
+    }
+  }
+  return fired;
+}
+
+std::uint64_t Engine::run_steps(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && fired < max_events) {
+    queue_.run_next();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace dat::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/latency.hpp"
+
+namespace dat::sim {
+
+/// Discrete-event simulation engine. Owns the virtual clock, the event
+/// queue, the network latency model and the root random stream. The Chord
+/// and DAT layers run on top of it unmodified through the net::Transport
+/// interface (see net/sim_transport.hpp), mirroring the paper's design where
+/// the simulator "provides the same interface to the Chord and DAT layers".
+class Engine {
+ public:
+  /// `seed` drives every random draw in the simulation (latency samples,
+  /// node identifiers, workload). Same seed => identical run.
+  explicit Engine(std::uint64_t seed,
+                  std::unique_ptr<LatencyModel> latency = nullptr);
+
+  [[nodiscard]] SimTime now() const noexcept { return queue_.now(); }
+
+  /// Schedules `cb` after `delay` microseconds of virtual time.
+  EventId schedule_after(SimDuration delay, EventQueue::Callback cb) {
+    return queue_.schedule_at(queue_.now() + delay, std::move(cb));
+  }
+
+  EventId schedule_at(SimTime when, EventQueue::Callback cb) {
+    return queue_.schedule_at(when, std::move(cb));
+  }
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Runs events with timestamps <= `until` (the clock then rests at
+  /// min(until, last event time)). Returns the number of events fired.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs at most `max_events` events. Returns the number fired.
+  std::uint64_t run_steps(std::uint64_t max_events);
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] LatencyModel& latency() noexcept { return *latency_; }
+
+  /// Hard cap on total events per run() call, guarding against runaway
+  /// feedback loops in protocol code under test. Default: 500M.
+  void set_event_limit(std::uint64_t limit) noexcept { event_limit_ = limit; }
+
+ private:
+  EventQueue queue_;
+  Rng rng_;
+  std::unique_ptr<LatencyModel> latency_;
+  std::uint64_t event_limit_ = 500'000'000;
+};
+
+}  // namespace dat::sim

@@ -1,0 +1,66 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dat::sim {
+
+EventId EventQueue::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue: cannot schedule in the past");
+  }
+  if (!cb) {
+    throw std::invalid_argument("EventQueue: null callback");
+  }
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Only events still pending can be cancelled; cancelling a fired or
+  // unknown id is a harmless no-op.
+  if (pending_.erase(id) == 0) return;
+  cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // const_cast-free variant: scan is not possible on priority_queue, so we
+  // require callers to have observed !empty(); cancelled tops are resolved
+  // lazily in run_next. For next_time we conservatively walk a copy-free
+  // path: the top may be cancelled, in which case its time is still a lower
+  // bound; to keep this exact we purge in the mutable paths and here demand
+  // the queue was purged by the last run_next/schedule cycle.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::next_time on empty queue");
+  }
+  return heap_.top().when;
+}
+
+void EventQueue::run_next() {
+  drop_cancelled_top();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::run_next on empty queue");
+  }
+  // Move the callback out before popping so re-entrant schedules are safe.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(entry.id);
+  now_ = entry.when;
+  ++fired_;
+  entry.cb();
+}
+
+}  // namespace dat::sim

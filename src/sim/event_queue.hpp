@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace dat::sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in microseconds.
+using SimDuration = std::uint64_t;
+
+/// Handle returned by EventQueue::schedule; lets callers cancel pending
+/// events (e.g. RPC retransmission timers that were answered in time).
+using EventId = std::uint64_t;
+
+/// Heap-based chronological event queue — the core of the paper's
+/// discrete-event simulation engine (Sec. 4: "A heap-based event queue is
+/// used to insert and fire those events in a chronological order").
+///
+/// Events firing at the same instant are delivered in insertion order, which
+/// keeps runs bit-for-bit deterministic given the same seed.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at absolute time `when`. `when` may equal the
+  /// current time (fires on the next pop) but must not precede it.
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Cancels a pending event; a no-op if it already fired or was cancelled.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops and runs the earliest live event, advancing `now()` to its
+  /// timestamp. Requires !empty().
+  void run_next();
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Total number of events that have fired (diagnostic).
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;  // also acts as the tiebreaker: lower id fires first
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+  };
+
+  void drop_cancelled_top();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // lazily purged from the heap
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace dat::sim

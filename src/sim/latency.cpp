@@ -1,0 +1,39 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dat::sim {
+
+UniformLatency::UniformLatency(SimDuration lo_us, SimDuration hi_us)
+    : lo_us_(lo_us), hi_us_(hi_us) {
+  if (hi_us < lo_us) {
+    throw std::invalid_argument("UniformLatency: hi < lo");
+  }
+}
+
+SimDuration UniformLatency::sample(std::uint64_t, std::uint64_t, Rng& rng) {
+  return lo_us_ + rng.next_below(hi_us_ - lo_us_ + 1);
+}
+
+LogNormalLatency::LogNormalLatency(double median_us, double sigma,
+                                   SimDuration floor_us)
+    : mu_(std::log(median_us)), sigma_(sigma), floor_us_(floor_us) {
+  if (median_us <= 0.0 || sigma < 0.0) {
+    throw std::invalid_argument("LogNormalLatency: bad parameters");
+  }
+}
+
+SimDuration LogNormalLatency::sample(std::uint64_t, std::uint64_t, Rng& rng) {
+  const double v = rng.next_lognormal(mu_, sigma_);
+  const auto us = static_cast<SimDuration>(v);
+  return us < floor_us_ ? floor_us_ : us;
+}
+
+std::unique_ptr<LatencyModel> make_default_latency() {
+  // ~100us one-way on a 1-GbE LAN with small jitter, matching the paper's
+  // cluster testbed regime.
+  return std::make_unique<UniformLatency>(80, 150);
+}
+
+}  // namespace dat::sim

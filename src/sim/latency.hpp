@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace dat::sim {
+
+/// Models one-way network delay between two endpoints, identified by opaque
+/// endpoint indices. Implementations must be deterministic given the Rng.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay in microseconds for a message from `from` to `to`.
+  [[nodiscard]] virtual SimDuration sample(std::uint64_t from, std::uint64_t to,
+                                           Rng& rng) = 0;
+};
+
+/// Fixed delay for every message — the paper's cluster testbed (1-GbE LAN)
+/// approximated; also the right model for topology-only experiments where
+/// delay must not reorder messages.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(SimDuration delay_us) : delay_us_(delay_us) {}
+  SimDuration sample(std::uint64_t, std::uint64_t, Rng&) override {
+    return delay_us_;
+  }
+
+ private:
+  SimDuration delay_us_;
+};
+
+/// Uniform delay in [lo, hi] microseconds.
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimDuration lo_us, SimDuration hi_us);
+  SimDuration sample(std::uint64_t from, std::uint64_t to, Rng& rng) override;
+
+ private:
+  SimDuration lo_us_;
+  SimDuration hi_us_;
+};
+
+/// Heavy-tailed WAN-style delay: lognormal with a floor, the conventional
+/// model for PlanetLab-like deployments the paper targets as future work.
+class LogNormalLatency final : public LatencyModel {
+ public:
+  /// `median_us` is the median one-way delay; `sigma` the lognormal shape;
+  /// `floor_us` a hard minimum (propagation delay).
+  LogNormalLatency(double median_us, double sigma, SimDuration floor_us);
+  SimDuration sample(std::uint64_t from, std::uint64_t to, Rng& rng) override;
+
+ private:
+  double mu_;
+  double sigma_;
+  SimDuration floor_us_;
+};
+
+/// Convenience factory for the default LAN model used in the experiments.
+std::unique_ptr<LatencyModel> make_default_latency();
+
+}  // namespace dat::sim

@@ -1,0 +1,87 @@
+#include "trace/cpu_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dat::trace {
+
+CpuTrace CpuTrace::synthesize(const TraceConfig& config, std::uint64_t seed) {
+  if (config.sample_interval_s <= 0.0 || config.duration_s <= 0.0) {
+    throw std::invalid_argument("CpuTrace: non-positive duration/interval");
+  }
+  Rng rng(seed);
+  const auto count = static_cast<std::size_t>(
+      config.duration_s / config.sample_interval_s);
+  std::vector<double> samples;
+  samples.reserve(count);
+
+  // Poisson burst schedule.
+  std::vector<std::pair<double, double>> bursts;  // (start_s, end_s)
+  if (config.bursts_per_hour > 0.0) {
+    const double rate_per_s = config.bursts_per_hour / 3600.0;
+    double t = rng.next_exponential(rate_per_s);
+    while (t < config.duration_s) {
+      bursts.emplace_back(t, t + config.burst_duration_s);
+      t += rng.next_exponential(rate_per_s);
+    }
+  }
+
+  double ar = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) * config.sample_interval_s;
+    const double drift =
+        config.drift_amplitude_pct *
+        std::sin(2.0 * std::numbers::pi * t / config.drift_period_s);
+    ar = config.ar_coefficient * ar +
+         rng.next_normal(0.0, config.ar_sigma_pct);
+    double burst = 0.0;
+    for (const auto& [start, end] : bursts) {
+      if (t >= start && t < end) {
+        burst += config.burst_magnitude_pct;
+      }
+    }
+    const double noise = rng.next_normal(0.0, config.noise_sigma_pct);
+    const double value =
+        config.base_load_pct + drift + ar + burst + noise;
+    samples.push_back(std::clamp(value, 0.0, 100.0));
+  }
+  return CpuTrace(std::move(samples), config.sample_interval_s);
+}
+
+CpuTrace::CpuTrace(std::vector<double> samples, double sample_interval_s)
+    : samples_(std::move(samples)), interval_s_(sample_interval_s) {
+  if (samples_.empty()) {
+    throw std::invalid_argument("CpuTrace: empty sample set");
+  }
+  if (interval_s_ <= 0.0) {
+    throw std::invalid_argument("CpuTrace: non-positive sample interval");
+  }
+}
+
+double CpuTrace::at(double t_s) const {
+  if (t_s <= 0.0) return samples_.front();
+  const auto idx = static_cast<std::size_t>(t_s / interval_s_);
+  if (idx >= samples_.size()) return samples_.back();
+  return samples_[idx];
+}
+
+TraceReplayer::TraceReplayer(const CpuTrace& trace, double phase_s,
+                             double gain)
+    : trace_(trace), phase_s_(phase_s), gain_(gain) {
+  if (gain <= 0.0) {
+    throw std::invalid_argument("TraceReplayer: non-positive gain");
+  }
+}
+
+double TraceReplayer::at(double t_s) const {
+  const double duration = trace_.duration_s();
+  double t = t_s + phase_s_;
+  // Wrap the phase into the trace (periodic extension).
+  t = std::fmod(t, duration);
+  if (t < 0.0) t += duration;
+  return std::clamp(trace_.at(t) * gain_, 0.0, 100.0);
+}
+
+}  // namespace dat::trace

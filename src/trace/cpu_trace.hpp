@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dat::trace {
+
+/// Parameters of the synthetic CPU-usage trace. The paper replays a 2-hour
+/// trace of an 8-processor Sun Fire v880 at USC; that trace is not
+/// available, so we synthesize a signal with the same qualitative structure
+/// (see DESIGN.md substitutions): a slowly drifting base load (diurnal-ish
+/// sinusoid), AR(1) short-term correlation, white measurement noise, and
+/// Poisson-arriving load bursts — then clamp to [0, 100] percent.
+struct TraceConfig {
+  double duration_s = 7200.0;        ///< 2 hours
+  double sample_interval_s = 5.0;    ///< sampling period
+  unsigned processors = 8;           ///< Sun Fire v880 had 8 CPUs
+  double base_load_pct = 45.0;       ///< mean utilization
+  double drift_amplitude_pct = 18.0; ///< slow sinusoidal swing
+  double drift_period_s = 3600.0;
+  double ar_coefficient = 0.92;      ///< short-term correlation
+  double ar_sigma_pct = 2.5;         ///< AR innovation stddev
+  double noise_sigma_pct = 1.0;      ///< white measurement noise
+  double bursts_per_hour = 6.0;      ///< Poisson burst arrivals
+  double burst_magnitude_pct = 30.0;
+  double burst_duration_s = 90.0;
+};
+
+/// An immutable, pre-sampled CPU-utilization trace in percent [0, 100].
+/// Piecewise-constant between samples (like /proc sampling).
+class CpuTrace {
+ public:
+  /// Deterministically synthesizes a trace: same config+seed => same trace.
+  static CpuTrace synthesize(const TraceConfig& config, std::uint64_t seed);
+
+  /// Builds a trace from explicit samples (tests, or a real recorded trace).
+  CpuTrace(std::vector<double> samples, double sample_interval_s);
+
+  /// Utilization percent at time `t_s` seconds; clamps outside the trace.
+  [[nodiscard]] double at(double t_s) const;
+
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return samples_.size();
+  }
+  [[nodiscard]] double sample(std::size_t i) const { return samples_.at(i); }
+  [[nodiscard]] double sample_interval_s() const noexcept {
+    return interval_s_;
+  }
+  [[nodiscard]] double duration_s() const noexcept {
+    return interval_s_ * static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<double> samples_;
+  double interval_s_;
+};
+
+/// Per-node view of a trace: optionally phase-shifted and amplitude-jittered
+/// so a simulated Grid's nodes are correlated but not identical (the paper
+/// replays the identical trace on every node; phase 0 and jitter 0
+/// reproduce that exactly).
+class TraceReplayer {
+ public:
+  TraceReplayer(const CpuTrace& trace, double phase_s, double gain);
+
+  [[nodiscard]] double at(double t_s) const;
+
+ private:
+  const CpuTrace& trace_;
+  double phase_s_;
+  double gain_;
+};
+
+}  // namespace dat::trace

@@ -1,0 +1,141 @@
+#include "analysis/message_load.hpp"
+#include "analysis/tree_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chord/id_assignment.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::analysis;
+
+chord::RingView make_ring(std::size_t n, std::uint64_t seed) {
+  const IdSpace space(24);
+  Rng rng(seed);
+  return {space, chord::probed_ids(space, n, rng)};
+}
+
+TEST(MessageLoad, CentralizedDirectShape) {
+  const auto ring = make_ring(64, 1);
+  const auto profile =
+      message_load(ring, 1234, AggregationScheme::kCentralizedDirect);
+  // Root receives n-1; every other node sends exactly 1.
+  EXPECT_EQ(profile.max(), 63u);
+  EXPECT_EQ(profile.total(), 2u * 63u);
+  const auto ranked = profile.by_rank();
+  EXPECT_EQ(ranked.front(), 63u);
+  EXPECT_EQ(ranked[1], 1u);
+  EXPECT_EQ(ranked.back(), 1u);
+}
+
+TEST(MessageLoad, DatSchemesHaveSendReceiveTotals) {
+  const auto ring = make_ring(64, 2);
+  for (const auto scheme :
+       {AggregationScheme::kBasicDat, AggregationScheme::kBalancedDat}) {
+    const auto profile = message_load(ring, 999, scheme);
+    // n-1 tree edges, each counted at the sender and at the receiver.
+    EXPECT_EQ(profile.total(), 2u * 63u) << to_string(scheme);
+    EXPECT_DOUBLE_EQ(profile.average(), 2.0 * 63 / 64) << to_string(scheme);
+  }
+}
+
+TEST(MessageLoad, RoutedCentralizedCostsAtLeastDirect) {
+  const auto ring = make_ring(128, 3);
+  const auto routed =
+      message_load(ring, 5, AggregationScheme::kCentralizedRouted);
+  const auto direct =
+      message_load(ring, 5, AggregationScheme::kCentralizedDirect);
+  EXPECT_GE(routed.total(), direct.total());
+  // Multi-hop forwarding: total = 2 * sum of route lengths > 2(n-1).
+  EXPECT_GT(routed.total(), 2u * 127u);
+}
+
+TEST(MessageLoad, BalancedBeatsBasicBeatsCentralized) {
+  const auto ring = make_ring(256, 4);
+  const Id key = 4242;
+  const double centralized =
+      message_load(ring, key, AggregationScheme::kCentralizedDirect)
+          .imbalance();
+  const double basic =
+      message_load(ring, key, AggregationScheme::kBasicDat).imbalance();
+  const double balanced =
+      message_load(ring, key, AggregationScheme::kBalancedDat).imbalance();
+  EXPECT_GT(centralized, basic);
+  EXPECT_GT(basic, balanced);
+  EXPECT_GE(balanced, 1.0);
+}
+
+TEST(MessageLoad, ByRankIsSortedDescending) {
+  const auto ring = make_ring(100, 5);
+  const auto profile =
+      message_load(ring, 77, AggregationScheme::kCentralizedRouted);
+  const auto ranked = profile.by_rank();
+  EXPECT_TRUE(std::is_sorted(ranked.begin(), ranked.end(),
+                             std::greater<std::uint64_t>()));
+  EXPECT_EQ(ranked.size(), 100u);
+}
+
+TEST(MessageLoad, SingletonRing) {
+  const IdSpace space(8);
+  const chord::RingView ring(space, {42});
+  for (const auto scheme :
+       {AggregationScheme::kCentralizedDirect,
+        AggregationScheme::kCentralizedRouted, AggregationScheme::kBasicDat,
+        AggregationScheme::kBalancedDat}) {
+    const auto profile = message_load(ring, 0, scheme);
+    EXPECT_EQ(profile.total(), 0u) << to_string(scheme);
+    EXPECT_EQ(profile.imbalance(), 0.0) << to_string(scheme);
+  }
+}
+
+TEST(MessageLoad, SchemeNames) {
+  EXPECT_STREQ(to_string(AggregationScheme::kCentralizedRouted),
+               "centralized");
+  EXPECT_STREQ(to_string(AggregationScheme::kCentralizedDirect),
+               "centralized-direct");
+  EXPECT_STREQ(to_string(AggregationScheme::kBasicDat), "basic-dat");
+  EXPECT_STREQ(to_string(AggregationScheme::kBalancedDat), "balanced-dat");
+}
+
+TEST(TreeMetrics, MeasuresReasonableCells) {
+  Rng rng(6);
+  const auto props = measure_tree_properties(
+      24, 128, chord::RoutingScheme::kBalanced, chord::IdAssignment::kProbed,
+      2, 2, rng);
+  EXPECT_EQ(props.n, 128u);
+  EXPECT_GE(props.max_branching, 1u);
+  EXPECT_LE(props.max_branching, 8u);
+  EXPECT_GT(props.avg_branching_internal, 1.0);
+  EXPECT_LT(props.avg_branching_internal, 4.0);
+  EXPECT_GE(props.height, 5u);
+  EXPECT_GT(props.gap_ratio, 0.9);
+  EXPECT_EQ(props.label(), "balanced/probed");
+}
+
+TEST(TreeMetrics, BasicTreesBranchWiderThanBalanced) {
+  Rng rng(7);
+  const auto basic = measure_tree_properties(
+      24, 512, chord::RoutingScheme::kGreedy, chord::IdAssignment::kProbed, 2,
+      3, rng);
+  const auto balanced = measure_tree_properties(
+      24, 512, chord::RoutingScheme::kBalanced, chord::IdAssignment::kProbed,
+      2, 3, rng);
+  EXPECT_GT(basic.max_branching, balanced.max_branching);
+}
+
+TEST(TreeMetrics, ProbingTightensRandomAssignment) {
+  Rng rng(8);
+  const auto random = measure_tree_properties(
+      24, 512, chord::RoutingScheme::kBalanced, chord::IdAssignment::kRandom,
+      2, 3, rng);
+  const auto probed = measure_tree_properties(
+      24, 512, chord::RoutingScheme::kBalanced, chord::IdAssignment::kProbed,
+      2, 3, rng);
+  EXPECT_LT(probed.max_branching, random.max_branching);
+  EXPECT_LT(probed.gap_ratio, random.gap_ratio);
+}
+
+}  // namespace

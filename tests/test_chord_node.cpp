@@ -1,0 +1,265 @@
+// Protocol-level Chord tests over the discrete-event simulator. Each test
+// builds its own small overlay; assertions are grouped so the (relatively
+// expensive) bootstrap is amortized.
+
+#include "chord/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "chord/id_assignment.hpp"
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chord;
+
+TEST(ChordNode, CreateMakesSingletonRing) {
+  sim::Engine engine(1);
+  net::SimNetwork network(engine);
+  auto& transport = network.add_node();
+  Node node(IdSpace(16), transport, NodeOptions{}, 1);
+  EXPECT_FALSE(node.alive());
+  node.create(100);
+  EXPECT_TRUE(node.alive());
+  EXPECT_TRUE(node.joined());
+  EXPECT_EQ(node.id(), 100u);
+  EXPECT_EQ(node.successor().id, 100u);
+  EXPECT_TRUE(node.owns(0));    // singleton owns everything
+  EXPECT_TRUE(node.owns(255));
+  EXPECT_THROW(node.create(), std::logic_error);
+}
+
+TEST(ChordNode, SingletonLookupReturnsSelf) {
+  sim::Engine engine(1);
+  net::SimNetwork network(engine);
+  auto& transport = network.add_node();
+  Node node(IdSpace(16), transport, NodeOptions{}, 1);
+  node.create(100);
+  NodeRef result;
+  node.find_successor(7, [&](net::RpcStatus s, NodeRef n) {
+    EXPECT_EQ(s, net::RpcStatus::kOk);
+    result = n;
+  });
+  engine.run_until(1'000'000);
+  EXPECT_EQ(result.id, 100u);
+}
+
+TEST(ChordNode, TwoNodeRingForms) {
+  sim::Engine engine(2);
+  net::SimNetwork network(engine);
+  auto& ta = network.add_node();
+  auto& tb = network.add_node();
+  NodeOptions options;
+  options.probing_join = false;
+  Node a(IdSpace(16), ta, options, 1);
+  Node b(IdSpace(16), tb, options, 2);
+  a.create(100);
+  bool joined = false;
+  b.join(ta.local(), [&](bool ok) { joined = ok; }, Id{200});
+  engine.run_until(5'000'000);
+  ASSERT_TRUE(joined);
+  EXPECT_EQ(b.id(), 200u);
+  engine.run_until(15'000'000);
+  EXPECT_EQ(a.successor().id, 200u);
+  EXPECT_EQ(b.successor().id, 100u);
+  ASSERT_TRUE(a.predecessor().has_value());
+  EXPECT_EQ(a.predecessor()->id, 200u);
+  ASSERT_TRUE(b.predecessor().has_value());
+  EXPECT_EQ(b.predecessor()->id, 100u);
+  EXPECT_TRUE(a.owns(50));
+  EXPECT_TRUE(a.owns(100));
+  EXPECT_FALSE(a.owns(150));
+  EXPECT_TRUE(b.owns(150));
+}
+
+TEST(ChordNode, JoinToDeadBootstrapFails) {
+  sim::Engine engine(3);
+  net::SimNetwork network(engine);
+  auto& transport = network.add_node();
+  Node node(IdSpace(16), transport, NodeOptions{}, 1);
+  bool called = false;
+  bool ok = true;
+  node.join(/*bootstrap=*/9999, [&](bool result) {
+    called = true;
+    ok = result;
+  });
+  engine.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(node.alive());
+}
+
+TEST(ChordNode, IdCollisionResolvedByPerturbation) {
+  sim::Engine engine(4);
+  net::SimNetwork network(engine);
+  auto& ta = network.add_node();
+  auto& tb = network.add_node();
+  NodeOptions options;
+  options.probing_join = false;
+  Node a(IdSpace(16), ta, options, 1);
+  Node b(IdSpace(16), tb, options, 2);
+  a.create(500);
+  bool joined = false;
+  b.join(ta.local(), [&](bool ok) { joined = ok; }, Id{500});  // collides
+  engine.run_until(10'000'000);
+  ASSERT_TRUE(joined);
+  EXPECT_NE(b.id(), 500u);
+  EXPECT_TRUE(b.joined());
+}
+
+class ConvergedClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 24;
+
+  ConvergedClusterTest() {
+    harness::ClusterOptions options;
+    options.seed = 99;
+    options.with_dat = false;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  bool converged_ = false;
+};
+
+TEST_F(ConvergedClusterTest, AllNodesConvergeToGroundTruth) {
+  ASSERT_TRUE(converged_);
+  const RingView ring = cluster_->ring_view();
+  EXPECT_EQ(ring.size(), kNodes);  // all ids distinct
+  for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+    EXPECT_TRUE(cluster_->node(i).converged_against(ring)) << "slot " << i;
+  }
+}
+
+TEST_F(ConvergedClusterTest, LookupsAgreeWithGroundTruth) {
+  ASSERT_TRUE(converged_);
+  const RingView ring = cluster_->ring_view();
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Id key = rng.next_id(cluster_->space());
+    const std::size_t origin = rng.next_below(kNodes);
+    NodeRef found;
+    unsigned hops = 999;
+    cluster_->node(origin).find_successor_traced(
+        key, [&](net::RpcStatus s, NodeRef n, unsigned h) {
+          ASSERT_EQ(s, net::RpcStatus::kOk);
+          found = n;
+          hops = h;
+        });
+    cluster_->run_for(5'000'000);
+    EXPECT_EQ(found.id, ring.successor(key)) << "key " << key;
+    // O(log n) hop bound with slack.
+    EXPECT_LE(hops, 2 * IdSpace::ceil_log2(kNodes) + 2);
+  }
+}
+
+TEST_F(ConvergedClusterTest, ProbingKeepsGapRatioBounded) {
+  ASSERT_TRUE(converged_);
+  // Probing joins (the default) should keep the ring far more even than
+  // the O(n log n) scale of random ids. The live protocol splits against
+  // slightly stale FOF metadata, so the bound is looser than the offline
+  // probed_ids() assignment but still a small constant multiple.
+  EXPECT_LT(cluster_->ring_view().gap_ratio(), 64.0);
+}
+
+TEST_F(ConvergedClusterTest, DatParentsMatchRingViewWithExactD0) {
+  ASSERT_TRUE(converged_);
+  const RingView ring = cluster_->ring_view();
+  const Id key = 0x1234;
+  int mismatches = 0;
+  for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+    for (const auto scheme :
+         {RoutingScheme::kGreedy, RoutingScheme::kBalanced}) {
+      const auto live = cluster_->node(i).dat_parent(key, scheme);
+      const auto truth = ring.parent(cluster_->node(i).id(), key, scheme);
+      if (live.has_value() != truth.has_value() ||
+          (live && live->id != *truth)) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST_F(ConvergedClusterTest, GracefulLeaveRepairsRing) {
+  ASSERT_TRUE(converged_);
+  const std::size_t victim = 5;
+  const Id victim_id = cluster_->node(victim).id();
+  cluster_->remove_node(victim, /*graceful=*/true);
+  cluster_->refresh_d0_hints();
+  EXPECT_TRUE(cluster_->wait_converged(120'000'000));
+  const RingView ring = cluster_->ring_view();
+  EXPECT_EQ(ring.size(), kNodes - 1);
+  EXPECT_FALSE(ring.contains(victim_id));
+}
+
+TEST_F(ConvergedClusterTest, CrashIsHealedByStabilization) {
+  ASSERT_TRUE(converged_);
+  cluster_->remove_node(7, /*graceful=*/false);
+  cluster_->remove_node(13, /*graceful=*/false);
+  cluster_->refresh_d0_hints();
+  EXPECT_TRUE(cluster_->wait_converged(200'000'000));
+  EXPECT_EQ(cluster_->ring_view().size(), kNodes - 2);
+}
+
+TEST_F(ConvergedClusterTest, LateJoinIntegrates) {
+  ASSERT_TRUE(converged_);
+  const auto slot = cluster_->add_node();
+  ASSERT_TRUE(slot.has_value());
+  cluster_->refresh_d0_hints();
+  EXPECT_TRUE(cluster_->wait_converged(200'000'000));
+  EXPECT_EQ(cluster_->ring_view().size(), kNodes + 1);
+}
+
+TEST(ChordNodeChurn, SurvivesLossyNetwork) {
+  harness::ClusterOptions options;
+  options.seed = 314;
+  options.with_dat = false;
+  harness::SimCluster cluster(12, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(300'000'000));
+  // 10% datagram loss: lookups still complete thanks to RPC retries.
+  cluster.network().set_loss_rate(0.10);
+  Rng rng(1);
+  int ok = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Id key = rng.next_id(cluster.space());
+    bool done = false;
+    cluster.node(trial % 12).find_successor(
+        key, [&](net::RpcStatus s, NodeRef) {
+          done = true;
+          if (s == net::RpcStatus::kOk) ++ok;
+        });
+    const auto deadline = cluster.engine().now() + 30'000'000;
+    while (!done && cluster.engine().now() < deadline) {
+      cluster.engine().run_steps(128);
+    }
+  }
+  EXPECT_GE(ok, 18);
+}
+
+TEST(ChordNodeD0, EstimateTracksRingDensity) {
+  harness::ClusterOptions options;
+  options.seed = 2718;
+  options.with_dat = false;
+  options.inject_d0_hint = false;  // exercise the estimator
+  harness::SimCluster cluster(16, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(300'000'000));
+  const double truth =
+      static_cast<double>(cluster.space().size()) / 16.0;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    const auto [num, den] = cluster.node(i).estimate_d0();
+    const double estimate =
+        static_cast<double>(num) / static_cast<double>(den);
+    // Successor-list spacing is a local estimate; demand the right order
+    // of magnitude (within 4x), which is all balanced routing needs.
+    EXPECT_GT(estimate, truth / 4.0) << "slot " << i;
+    EXPECT_LT(estimate, truth * 4.0) << "slot " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dat::CliFlags;
+
+CliFlags make_flags() {
+  CliFlags flags;
+  flags.flag("name", std::string("default"), "a string");
+  flags.flag("count", std::int64_t{7}, "an int");
+  flags.flag("rate", 0.5, "a double");
+  flags.flag("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(CliFlags, DefaultsWhenUnset) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.5);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, SpaceSeparatedValues) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({"--name", "alpha", "--count", "42", "--rate",
+                           "2.25"}));
+  EXPECT_EQ(flags.get_string("name"), "alpha");
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.25);
+}
+
+TEST(CliFlags, EqualsSeparatedValues) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({"--name=beta", "--count=-3", "--verbose=true"}));
+  EXPECT_EQ(flags.get_string("name"), "beta");
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BareBooleanFlag) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BooleanSpellings) {
+  for (const char* text : {"true", "1", "yes", "on"}) {
+    CliFlags flags = make_flags();
+    ASSERT_TRUE(flags.parse({std::string("--verbose=") + text})) << text;
+    EXPECT_TRUE(flags.get_bool("verbose")) << text;
+  }
+  for (const char* text : {"false", "0", "no", "off"}) {
+    CliFlags flags = make_flags();
+    ASSERT_TRUE(flags.parse({std::string("--verbose=") + text})) << text;
+    EXPECT_FALSE(flags.get_bool("verbose")) << text;
+  }
+}
+
+TEST(CliFlags, PositionalArguments) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({"first", "--count", "1", "second"}));
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(CliFlags, UnknownFlagFails) {
+  CliFlags flags = make_flags();
+  EXPECT_FALSE(flags.parse({"--bogus", "1"}));
+  EXPECT_NE(flags.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(CliFlags, TypeErrors) {
+  {
+    CliFlags flags = make_flags();
+    EXPECT_FALSE(flags.parse({"--count", "abc"}));
+    EXPECT_NE(flags.error().find("integer"), std::string::npos);
+  }
+  {
+    CliFlags flags = make_flags();
+    EXPECT_FALSE(flags.parse({"--rate", "fast"}));
+    EXPECT_NE(flags.error().find("number"), std::string::npos);
+  }
+  {
+    // Bool flags never consume the next token, so the bad value must come
+    // through the = form; the bare form leaves "maybe" positional.
+    CliFlags flags = make_flags();
+    EXPECT_FALSE(flags.parse({"--verbose=maybe"}));
+    EXPECT_NE(flags.error().find("boolean"), std::string::npos);
+    CliFlags bare = make_flags();
+    EXPECT_TRUE(bare.parse({"--verbose", "maybe"}));
+    EXPECT_TRUE(bare.get_bool("verbose"));
+    EXPECT_EQ(bare.positional(), (std::vector<std::string>{"maybe"}));
+  }
+}
+
+TEST(CliFlags, MissingValueFails) {
+  CliFlags flags = make_flags();
+  EXPECT_FALSE(flags.parse({"--count"}));
+  EXPECT_NE(flags.error().find("needs a value"), std::string::npos);
+}
+
+TEST(CliFlags, TrailingGarbageInNumbersRejected) {
+  CliFlags flags = make_flags();
+  EXPECT_FALSE(flags.parse({"--count", "12x"}));
+  CliFlags flags2 = make_flags();
+  EXPECT_FALSE(flags2.parse({"--rate", "1.5zz"}));
+}
+
+TEST(CliFlags, UndeclaredAccessThrows) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({}));
+  EXPECT_THROW((void)flags.get_string("nope"), std::out_of_range);
+  EXPECT_THROW((void)flags.get_int("name"), std::invalid_argument);
+}
+
+TEST(CliFlags, UsageListsFlagsInOrder) {
+  CliFlags flags = make_flags();
+  const std::string usage = flags.usage();
+  const auto name_pos = usage.find("--name");
+  const auto count_pos = usage.find("--count");
+  const auto rate_pos = usage.find("--rate");
+  EXPECT_NE(name_pos, std::string::npos);
+  EXPECT_LT(name_pos, count_pos);
+  EXPECT_LT(count_pos, rate_pos);
+  EXPECT_NE(usage.find("a string"), std::string::npos);
+  EXPECT_NE(usage.find("default: 7"), std::string::npos);
+}
+
+TEST(CliFlags, ReparseResetsState) {
+  CliFlags flags = make_flags();
+  ASSERT_TRUE(flags.parse({"pos1", "--count", "9"}));
+  ASSERT_TRUE(flags.parse({"pos2"}));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"pos2"}));
+  // Note: values persist across parses (last writer wins), positional reset.
+  EXPECT_EQ(flags.get_int("count"), 9);
+}
+
+}  // namespace

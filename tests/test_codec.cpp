@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace dat::net;
+
+TEST(Codec, IntegerRoundTrips) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, ExtremeIntegers) {
+  Writer w;
+  w.u64(0);
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.i64(std::numeric_limits<std::int64_t>::max());
+  Reader r(w.data());
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Codec, DoubleRoundTrips) {
+  Writer w;
+  const double values[] = {0.0, -0.0, 3.141592653589793, -1e308, 1e-308,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (const double v : values) w.f64(v);
+  Reader r(w.data());
+  for (const double v : values) EXPECT_EQ(r.f64(), v);
+}
+
+TEST(Codec, NanRoundTripsAsNan) {
+  Writer w;
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  Reader r(w.data());
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(Codec, BoolRoundTrips) {
+  Writer w;
+  w.boolean(true);
+  w.boolean(false);
+  Reader r(w.data());
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+}
+
+TEST(Codec, StringRoundTrips) {
+  Writer w;
+  w.str("");
+  w.str("hello");
+  w.str(std::string(10000, 'x'));
+  w.str(std::string("\0binary\xff", 8));
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), std::string(10000, 'x'));
+  EXPECT_EQ(r.str(), std::string("\0binary\xff", 8));
+}
+
+TEST(Codec, BytesRoundTrips) {
+  Writer w;
+  const std::vector<std::uint8_t> payload{0, 255, 17, 0, 42};
+  w.bytes(payload);
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), payload);
+}
+
+TEST(Codec, TruncatedReadsThrow) {
+  Writer w;
+  w.u32(7);
+  {
+    Reader r(w.data());
+    (void)r.u32();
+    EXPECT_THROW((void)r.u8(), CodecError);
+  }
+  {
+    Reader r(std::span<const std::uint8_t>(w.data().data(), 2));
+    EXPECT_THROW((void)r.u32(), CodecError);
+  }
+}
+
+TEST(Codec, TruncatedStringThrows) {
+  Writer w;
+  w.u32(100);  // claims a 100-byte string with no payload
+  Reader r(w.data());
+  EXPECT_THROW((void)r.str(), CodecError);
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  Writer w;
+  w.u64(1);
+  w.u64(2);
+  Reader r(w.data());
+  EXPECT_EQ(r.remaining(), 16u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.u64();
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, TakeMovesBuffer) {
+  Writer w;
+  w.u8(1);
+  const auto data = w.take();
+  EXPECT_EQ(data.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);  // writer reusable after take
+  w.u8(2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(MessageCodec, RoundTrip) {
+  Message m;
+  m.method = "chord.lookup_step";
+  m.kind = MessageKind::kRequest;
+  m.request_id = 0xFEEDFACE;
+  Writer body;
+  body.u64(12345);
+  m.body = body.take();
+
+  const auto wire = m.encode();
+  const Message d = Message::decode(wire);
+  EXPECT_EQ(d.method, m.method);
+  EXPECT_EQ(d.kind, m.kind);
+  EXPECT_EQ(d.request_id, m.request_id);
+  EXPECT_EQ(d.body, m.body);
+}
+
+TEST(MessageCodec, AllKindsRoundTrip) {
+  for (const auto kind : {MessageKind::kRequest, MessageKind::kResponse,
+                          MessageKind::kOneWay}) {
+    Message m;
+    m.method = "m";
+    m.kind = kind;
+    EXPECT_EQ(Message::decode(m.encode()).kind, kind);
+  }
+}
+
+TEST(MessageCodec, BadKindRejected) {
+  Message m;
+  m.method = "x";
+  auto wire = m.encode();
+  wire[0] = 9;  // invalid kind tag
+  EXPECT_THROW(Message::decode(wire), CodecError);
+}
+
+TEST(MessageCodec, TrailingBytesRejected) {
+  Message m;
+  m.method = "x";
+  auto wire = m.encode();
+  wire.push_back(0);
+  EXPECT_THROW(Message::decode(wire), CodecError);
+}
+
+TEST(MessageCodec, EmptyDatagramRejected) {
+  EXPECT_THROW(Message::decode({}), CodecError);
+}
+
+}  // namespace

@@ -1,0 +1,342 @@
+// Protocol-level DAT tests: continuous aggregation, on-demand snapshots,
+// queries, soft-state children under churn — all over the simulator.
+
+#include "dat/dat_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::core;
+
+TEST(AggStateTest, IdentityAndOf) {
+  const AggState id = AggState::identity();
+  EXPECT_TRUE(id.empty());
+  const AggState one = AggState::of(5.0);
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_EQ(one.sum, 5.0);
+  EXPECT_EQ(one.min, 5.0);
+  EXPECT_EQ(one.max, 5.0);
+}
+
+TEST(AggStateTest, MergeIsCommutativeAndAssociative) {
+  const AggState a = AggState::of(1.0);
+  const AggState b = AggState::of(2.0);
+  const AggState c = AggState::of(-4.0);
+  AggState ab = a;
+  ab.merge(b);
+  AggState ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  AggState ab_c = ab;
+  ab_c.merge(c);
+  AggState bc = b;
+  bc.merge(c);
+  AggState a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(AggStateTest, IdentityIsNeutral) {
+  AggState a = AggState::of(7.0);
+  a.merge(AggState::identity());
+  EXPECT_EQ(a, AggState::of(7.0));
+}
+
+TEST(AggStateTest, ResultsPerKind) {
+  AggState s = AggState::of(2.0);
+  s.merge(AggState::of(4.0));
+  s.merge(AggState::of(9.0));
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kSum), 15.0);
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kAvg), 5.0);
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kMax), 9.0);
+  // Population variance of {2, 4, 9}: mean 5, var (9+1+16)/3.
+  EXPECT_NEAR(s.result(AggregateKind::kVariance), 26.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.result(AggregateKind::kStddev), std::sqrt(26.0 / 3.0), 1e-9);
+}
+
+TEST(AggStateTest, VarianceIsZeroForIdenticalValues) {
+  AggState s = AggState::of(4.0);
+  s.merge(AggState::of(4.0));
+  s.merge(AggState::of(4.0));
+  EXPECT_DOUBLE_EQ(s.result(AggregateKind::kVariance), 0.0);
+  const AggState empty = AggState::identity();
+  EXPECT_THROW((void)empty.result(AggregateKind::kVariance),
+               std::domain_error);
+}
+
+TEST(AggStateTest, EmptyResultThrowsForUndefinedKinds) {
+  const AggState empty = AggState::identity();
+  EXPECT_DOUBLE_EQ(empty.result(AggregateKind::kSum), 0.0);
+  EXPECT_DOUBLE_EQ(empty.result(AggregateKind::kCount), 0.0);
+  EXPECT_THROW((void)empty.result(AggregateKind::kAvg), std::domain_error);
+  EXPECT_THROW((void)empty.result(AggregateKind::kMin), std::domain_error);
+  EXPECT_THROW((void)empty.result(AggregateKind::kMax), std::domain_error);
+}
+
+TEST(AggStateTest, WireRoundTrip) {
+  AggState s = AggState::of(3.25);
+  s.merge(AggState::of(-1.5));
+  net::Writer w;
+  write_agg_state(w, s);
+  net::Reader r(w.data());
+  EXPECT_EQ(read_agg_state(r), s);
+}
+
+TEST(AggregateKindTest, NamesAndParsing) {
+  EXPECT_STREQ(to_string(AggregateKind::kSum), "sum");
+  EXPECT_STREQ(to_string(AggregateKind::kAvg), "avg");
+  EXPECT_EQ(aggregate_kind_from(0), AggregateKind::kSum);
+  EXPECT_EQ(aggregate_kind_from(4), AggregateKind::kMax);
+  EXPECT_EQ(aggregate_kind_from(6), AggregateKind::kStddev);
+  EXPECT_THROW((void)(aggregate_kind_from(7)), std::invalid_argument);
+}
+
+TEST(RendezvousKey, DeterministicAndInSpace) {
+  const IdSpace space(24);
+  EXPECT_EQ(rendezvous_key("cpu-usage", space),
+            rendezvous_key("cpu-usage", space));
+  EXPECT_NE(rendezvous_key("cpu-usage", space),
+            rendezvous_key("mem-usage", space));
+  EXPECT_TRUE(space.contains(rendezvous_key("anything", space)));
+}
+
+class DatClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 20;
+
+  DatClusterTest() {
+    harness::ClusterOptions options;
+    options.seed = 555;
+    options.dat.epoch_us = 200'000;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+  }
+
+  /// Starts the same aggregate on every live node with value x_i = f(i).
+  Id start_all(AggregateKind kind, double (*value)(std::size_t)) {
+    Id key = 0;
+    for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+      if (!cluster_->is_live(i)) continue;
+      const double v = value(i);
+      key = cluster_->dat(i).start_aggregate(
+          "test-attr", kind, chord::RoutingScheme::kBalanced,
+          [v]() { return v; });
+    }
+    return key;
+  }
+
+  std::optional<GlobalValue> root_value(Id key) {
+    // Read the global from the *actual* root (successor of the key): other
+    // nodes may briefly hold stale globals from epochs when they believed
+    // they were the root.
+    const Id root_id = cluster_->ring_view().successor(key);
+    for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+      if (!cluster_->is_live(i)) continue;
+      if (cluster_->node(i).id() != root_id) continue;
+      return cluster_->dat(i).latest(key);
+    }
+    return std::nullopt;
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  bool converged_ = false;
+};
+
+TEST_F(DatClusterTest, ContinuousSumConvergesToExactTotal) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kSum,
+                           [](std::size_t i) { return double(i) + 1.0; });
+  cluster_->run_for(20 * 200'000);  // >> tree height epochs
+  const auto g = root_value(key);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->state.count, kNodes);
+  // sum of 1..20 = 210
+  EXPECT_DOUBLE_EQ(g->state.sum, 210.0);
+  EXPECT_DOUBLE_EQ(g->state.min, 1.0);
+  EXPECT_DOUBLE_EQ(g->state.max, 20.0);
+}
+
+TEST_F(DatClusterTest, OnlyTheRootHoldsTheGlobal) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kSum,
+                           [](std::size_t) { return 1.0; });
+  cluster_->run_for(4'000'000);
+  const Id root_id = cluster_->ring_view().successor(key);
+  int holders = 0;
+  for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+    if (cluster_->dat(i).latest(key).has_value()) {
+      ++holders;
+      EXPECT_EQ(cluster_->node(i).id(), root_id);
+    }
+  }
+  EXPECT_EQ(holders, 1);
+}
+
+TEST_F(DatClusterTest, QueryGlobalFromAnyNode) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kAvg,
+                           [](std::size_t i) { return i % 2 ? 10.0 : 20.0; });
+  cluster_->run_for(5'000'000);
+  for (const std::size_t origin : {0ul, 7ul, 19ul}) {
+    bool done = false;
+    cluster_->dat(origin).query_global(
+        key, [&](net::RpcStatus s, std::optional<GlobalValue> g) {
+          done = true;
+          ASSERT_EQ(s, net::RpcStatus::kOk);
+          ASSERT_TRUE(g.has_value());
+          EXPECT_EQ(g->state.count, kNodes);
+          EXPECT_DOUBLE_EQ(g->state.result(AggregateKind::kAvg), 15.0);
+        });
+    cluster_->run_for(3'000'000);
+    EXPECT_TRUE(done) << "origin " << origin;
+  }
+}
+
+TEST_F(DatClusterTest, SnapshotCoversAllNodesOnDemand) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kSum,
+                           [](std::size_t) { return 2.0; });
+  // No epochs needed: snapshots read local values directly.
+  bool done = false;
+  cluster_->dat(3).snapshot(key, [&](const AggState& state) {
+    done = true;
+    EXPECT_EQ(state.count, kNodes);
+    EXPECT_DOUBLE_EQ(state.sum, 2.0 * kNodes);
+  });
+  cluster_->run_for(5'000'000);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(DatClusterTest, MultipleSimultaneousTrees) {
+  ASSERT_TRUE(converged_);
+  // Three different aggregates with different rendezvous keys coexist.
+  std::vector<Id> keys;
+  for (const char* name : {"cpu", "mem", "disk"}) {
+    Id key = 0;
+    for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+      key = cluster_->dat(i).start_aggregate(
+          name, AggregateKind::kCount, chord::RoutingScheme::kBalanced,
+          []() { return 1.0; });
+    }
+    keys.push_back(key);
+  }
+  EXPECT_NE(keys[0], keys[1]);
+  EXPECT_NE(keys[1], keys[2]);
+  cluster_->run_for(6'000'000);
+  for (const Id key : keys) {
+    const auto g = root_value(key);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->state.count, kNodes) << "key " << key;
+  }
+}
+
+TEST_F(DatClusterTest, GreedySchemeAggregatesToo) {
+  ASSERT_TRUE(converged_);
+  Id key = 0;
+  for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+    key = cluster_->dat(i).start_aggregate(
+        "basic-tree", AggregateKind::kCount, chord::RoutingScheme::kGreedy,
+        []() { return 1.0; });
+  }
+  cluster_->run_for(6'000'000);
+  const auto g = root_value(key);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->state.count, kNodes);
+}
+
+TEST_F(DatClusterTest, DepartedChildExpiresFromAggregate) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kCount,
+                           [](std::size_t) { return 1.0; });
+  cluster_->run_for(5'000'000);
+  ASSERT_EQ(root_value(key)->state.count, kNodes);
+
+  // Crash three nodes; soft-state child TTL plus stabilization should bring
+  // the count down to the surviving population.
+  cluster_->remove_node(4, false);
+  cluster_->remove_node(9, false);
+  cluster_->remove_node(14, false);
+  cluster_->refresh_d0_hints();
+  cluster_->run_for(30'000'000);
+  const auto g = root_value(key);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->state.count, kNodes - 3);
+}
+
+TEST_F(DatClusterTest, LateJoinerShowsUpInAggregate) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kCount,
+                           [](std::size_t) { return 1.0; });
+  cluster_->run_for(5'000'000);
+  const auto slot = cluster_->add_node();
+  ASSERT_TRUE(slot.has_value());
+  cluster_->dat(*slot).start_aggregate(key, AggregateKind::kCount,
+                                       chord::RoutingScheme::kBalanced,
+                                       []() { return 1.0; });
+  cluster_->refresh_d0_hints();
+  cluster_->run_for(20'000'000);
+  const auto g = root_value(key);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->state.count, kNodes + 1);
+}
+
+TEST_F(DatClusterTest, StopAggregateRemovesEntry) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kSum,
+                           [](std::size_t) { return 1.0; });
+  EXPECT_TRUE(cluster_->dat(0).has_aggregate(key));
+  cluster_->dat(0).stop_aggregate(key);
+  EXPECT_FALSE(cluster_->dat(0).has_aggregate(key));
+  // Other nodes keep aggregating; node 0's contribution eventually expires.
+  cluster_->run_for(20'000'000);
+  const auto g = root_value(key);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_LE(g->state.count, kNodes);
+  EXPECT_GE(g->state.count, kNodes - 2);
+}
+
+TEST_F(DatClusterTest, UpdateCountersTrackLoad) {
+  ASSERT_TRUE(converged_);
+  const Id key = start_all(AggregateKind::kSum,
+                           [](std::size_t) { return 1.0; });
+  cluster_->run_for(5'000'000);
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < cluster_->slot_count(); ++i) {
+    sent += cluster_->dat(i).updates_sent(key);
+    received += cluster_->dat(i).updates_received(key);
+    if (cluster_->dat(i).latest(key)) ++roots;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_GT(sent, 0u);
+  // One-way updates over a loss-free simulated LAN: everything sent is
+  // received, except the <= 1 update per node still in flight at scan time.
+  EXPECT_GE(sent, received);
+  EXPECT_LE(sent - received, kNodes);
+}
+
+TEST_F(DatClusterTest, QueryUnknownKeyReturnsEmpty) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  cluster_->dat(2).query_global(
+      0xDEAD, [&](net::RpcStatus s, std::optional<GlobalValue> g) {
+        done = true;
+        EXPECT_EQ(s, net::RpcStatus::kOk);
+        EXPECT_FALSE(g.has_value());
+      });
+  cluster_->run_for(3'000'000);
+  EXPECT_TRUE(done);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using dat::sim::Engine;
+using dat::sim::EventQueue;
+
+TEST(EventQueue, FiresInChronologicalOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+  EXPECT_EQ(q.fired(), 3u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RejectsPastAndNullEvents) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_next();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_at(20, nullptr), std::invalid_argument);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run_next();
+  bool fired = false;
+  q.schedule_at(10, [&] { fired = true; });
+  q.run_next();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule_at(10, [&] { fired = true; });
+  q.schedule_at(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(q.now(), 20u);
+}
+
+TEST(EventQueue, CancelUnknownOrFiredIsNoop) {
+  EventQueue q;
+  const auto id = q.schedule_at(1, [] {});
+  q.run_next();
+  q.cancel(id);      // already fired
+  q.cancel(0);       // reserved
+  q.cancel(999999);  // never issued
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ReentrantScheduling) {
+  EventQueue q;
+  std::vector<dat::sim::SimTime> times;
+  q.schedule_at(1, [&] {
+    times.push_back(q.now());
+    q.schedule_at(q.now() + 1, [&] { times.push_back(q.now()); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(times, (std::vector<dat::sim::SimTime>{1, 2}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto a = q.schedule_at(5, [] {});
+  q.schedule_at(9, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 9u);
+}
+
+TEST(EventQueue, EmptyQueueOperationsThrow) {
+  EventQueue q;
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine engine(1);
+  std::vector<int> fired;
+  engine.schedule_at(100, [&] { fired.push_back(1); });
+  engine.schedule_at(200, [&] { fired.push_back(2); });
+  engine.schedule_at(300, [&] { fired.push_back(3); });
+  EXPECT_EQ(engine.run_until(200), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_FALSE(engine.idle());
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
+  Engine engine(1);
+  dat::sim::SimTime observed = 0;
+  engine.schedule_after(50, [&] {
+    engine.schedule_after(25, [&] { observed = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(observed, 75u);
+}
+
+TEST(EngineTest, RunStepsBounded) {
+  Engine engine(1);
+  for (int i = 0; i < 10; ++i) engine.schedule_at(i + 1, [] {});
+  EXPECT_EQ(engine.run_steps(4), 4u);
+  EXPECT_EQ(engine.now(), 4u);
+}
+
+TEST(EngineTest, EventLimitGuardsRunaway) {
+  Engine engine(1);
+  engine.set_event_limit(100);
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { engine.schedule_after(1, loop); };
+  engine.schedule_after(1, loop);
+  EXPECT_THROW(engine.run(), std::runtime_error);
+}
+
+TEST(EngineTest, CancelViaEngine) {
+  Engine engine(1);
+  bool fired = false;
+  const auto id = engine.schedule_after(10, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, DeterministicRngAcrossRuns) {
+  Engine a(7);
+  Engine b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  }
+}
+
+}  // namespace

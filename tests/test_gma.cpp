@@ -1,0 +1,155 @@
+// P-GMA end-to-end: sensors -> producers -> DAT aggregation + MAAN indexing
+// -> consumers (paper Fig. 1).
+
+#include "gma/producer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::gma;
+
+class GmaStackTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 16;
+
+  GmaStackTest() {
+    harness::ClusterOptions options;
+    options.seed = 777;
+    options.with_dat = true;
+    options.with_maan = true;
+    options.dat.epoch_us = 200'000;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+    if (!converged_) return;
+
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      auto producer = std::make_unique<Producer>(
+          cluster_->dat(i), cluster_->maan(i), "host-" + std::to_string(i));
+      const double usage = 10.0 + static_cast<double>(i) * 5.0;
+      producer->add_sensor({.attribute = "cpu-usage",
+                            .kind = core::AggregateKind::kAvg,
+                            .sample = [usage]() { return usage; }});
+      producer->add_sensor({.attribute = "memory-size",
+                            .kind = core::AggregateKind::kSum,
+                            .sample = [i]() { return (i + 1) * 1e9; }});
+      producer->add_static_attribute(
+          "os", maan::AttrValue{std::string(i % 4 ? "linux" : "freebsd")});
+      producer->start(chord::RoutingScheme::kBalanced,
+                      /*refresh_us=*/2'000'000);
+      producers_.push_back(std::move(producer));
+    }
+    cluster_->run_for(8'000'000);  // several epochs + registrations
+  }
+
+  ~GmaStackTest() override {
+    producers_.clear();  // producers before cluster teardown
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+  bool converged_ = false;
+};
+
+TEST_F(GmaStackTest, MonitorGlobalAverageCpu) {
+  ASSERT_TRUE(converged_);
+  Consumer consumer(cluster_->dat(3), cluster_->maan(3));
+  bool done = false;
+  consumer.monitor_global(
+      "cpu-usage", [&](net::RpcStatus s, std::optional<core::GlobalValue> g) {
+        done = true;
+        ASSERT_EQ(s, net::RpcStatus::kOk);
+        ASSERT_TRUE(g.has_value());
+        EXPECT_EQ(g->state.count, kNodes);
+        // mean of 10 + 5i for i in [0,16) = 10 + 5*7.5 = 47.5
+        EXPECT_DOUBLE_EQ(g->state.result(core::AggregateKind::kAvg), 47.5);
+      });
+  cluster_->run_for(3'000'000);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(GmaStackTest, SnapshotGlobal) {
+  ASSERT_TRUE(converged_);
+  Consumer consumer(cluster_->dat(9), cluster_->maan(9));
+  bool done = false;
+  consumer.snapshot_global("memory-size", [&](const core::AggState& state) {
+    done = true;
+    EXPECT_EQ(state.count, kNodes);
+    // sum of (i+1)e9 for i in [0,16) = 136e9
+    EXPECT_DOUBLE_EQ(state.sum, 136e9);
+  });
+  cluster_->run_for(5'000'000);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(GmaStackTest, DiscoverByMultiAttributePredicates) {
+  ASSERT_TRUE(converged_);
+  Consumer consumer(cluster_->dat(0), cluster_->maan(0));
+  std::vector<maan::RangePredicate> predicates;
+  predicates.push_back({.attr = "cpu-usage", .lo = 0.0, .hi = 50.0, .exact = {}});
+  maan::RangePredicate os;
+  os.attr = "os";
+  os.exact = "linux";
+  predicates.push_back(os);
+
+  bool done = false;
+  maan::QueryResult result;
+  consumer.discover(predicates, [&](maan::QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  cluster_->run_for(10'000'000);
+  ASSERT_TRUE(done);
+  // Hosts with usage 10+5i <= 50 (i <= 8) and i % 4 != 0 (linux):
+  // i in {1,2,3,5,6,7} -> 6 hosts (i=8 usage 50 is freebsd? 8%4==0 yes).
+  std::set<std::string> got;
+  for (const auto& r : result.resources) got.insert(r.id);
+  const std::set<std::string> expected{"host-1", "host-2", "host-3",
+                                       "host-5", "host-6", "host-7"};
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(GmaStackTest, ProducerStopsCleanly) {
+  ASSERT_TRUE(converged_);
+  const Id key = producers_[4]->aggregate_keys()[0];
+  EXPECT_TRUE(cluster_->dat(4).has_aggregate(key));
+  producers_[4]->stop();
+  EXPECT_FALSE(cluster_->dat(4).has_aggregate(key));
+  // Stopping twice is a no-op.
+  producers_[4]->stop();
+}
+
+TEST_F(GmaStackTest, CurrentResourceReflectsSensors) {
+  ASSERT_TRUE(converged_);
+  const maan::Resource r = producers_[2]->current_resource();
+  EXPECT_EQ(r.id, "host-2");
+  ASSERT_TRUE(r.attribute("cpu-usage").has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(*r.attribute("cpu-usage")), 20.0);
+  ASSERT_TRUE(r.attribute("os").has_value());
+  EXPECT_EQ(std::get<std::string>(*r.attribute("os")), "linux");
+}
+
+TEST(ProducerValidation, RejectsBadConfiguration) {
+  harness::ClusterOptions options;
+  options.with_maan = true;
+  harness::SimCluster cluster(2, std::move(options));
+  EXPECT_THROW(Producer(cluster.dat(0), cluster.maan(0), ""),
+               std::invalid_argument);
+  Producer producer(cluster.dat(0), cluster.maan(0), "host");
+  EXPECT_THROW(producer.add_sensor({.attribute = "", .sample = [] { return 0.0; }}),
+               std::invalid_argument);
+  EXPECT_THROW(producer.add_sensor({.attribute = "x", .sample = nullptr}),
+               std::invalid_argument);
+  producer.add_sensor({.attribute = "cpu-usage", .sample = [] { return 1.0; }});
+  producer.start(chord::RoutingScheme::kBalanced, 0);
+  EXPECT_THROW(
+      producer.add_sensor({.attribute = "y", .sample = [] { return 0.0; }}),
+      std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "harness/sim_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/live_tree.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::harness;
+
+TEST(SimClusterTest, BootstrapsAndConverges) {
+  ClusterOptions options;
+  options.seed = 1;
+  SimCluster cluster(8, std::move(options));
+  EXPECT_EQ(cluster.live_count(), 8u);
+  EXPECT_EQ(cluster.slot_count(), 8u);
+  EXPECT_TRUE(cluster.wait_converged(300'000'000));
+  EXPECT_EQ(cluster.ring_view().size(), 8u);
+}
+
+TEST(SimClusterTest, RejectsZeroNodes) {
+  EXPECT_THROW(SimCluster(0, ClusterOptions{}), std::invalid_argument);
+}
+
+TEST(SimClusterTest, DeadSlotAccessThrows) {
+  ClusterOptions options;
+  options.seed = 2;
+  SimCluster cluster(4, std::move(options));
+  cluster.remove_node(2, true);
+  EXPECT_FALSE(cluster.is_live(2));
+  EXPECT_EQ(cluster.live_count(), 3u);
+  EXPECT_THROW((void)(cluster.node(2)), std::out_of_range);
+  EXPECT_THROW((void)(cluster.dat(2)), std::out_of_range);
+  EXPECT_THROW((void)(cluster.node(99)), std::out_of_range);
+}
+
+TEST(SimClusterTest, MaanDisabledByDefault) {
+  ClusterOptions options;
+  options.seed = 3;
+  SimCluster cluster(2, std::move(options));
+  EXPECT_THROW((void)(cluster.maan(0)), std::out_of_range);
+  EXPECT_NO_THROW((void)(cluster.dat(0)));
+}
+
+TEST(SimClusterTest, ChurnOperationsMaintainCounts) {
+  ClusterOptions options;
+  options.seed = 4;
+  SimCluster cluster(6, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(300'000'000));
+  const auto slot = cluster.add_node();
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, 6u);
+  EXPECT_EQ(cluster.live_count(), 7u);
+  cluster.remove_node(1, false);
+  EXPECT_EQ(cluster.live_count(), 6u);
+  cluster.refresh_d0_hints();
+  EXPECT_TRUE(cluster.wait_converged(300'000'000));
+}
+
+TEST(SimClusterTest, MaintenanceCounterIncreases) {
+  ClusterOptions options;
+  options.seed = 5;
+  SimCluster cluster(4, std::move(options));
+  const auto before = cluster.total_maintenance_rpcs();
+  cluster.run_for(5'000'000);
+  EXPECT_GT(cluster.total_maintenance_rpcs(), before);
+}
+
+TEST(LiveTreeStatsTest, ExplicitEdges) {
+  // A tiny explicit tree: 1 <- {2, 3}, 3 <- {4}.
+  std::vector<std::pair<Id, std::optional<Id>>> edges{
+      {1, std::nullopt},
+      {2, Id{1}},
+      {3, Id{1}},
+      {4, Id{3}},
+  };
+  const LiveTreeStats stats = live_tree_stats(edges);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.reaching_root, 4u);
+  EXPECT_EQ(stats.max_branching, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_branching_internal, 1.5);
+  EXPECT_EQ(stats.height, 2u);
+}
+
+TEST(LiveTreeStatsTest, DetectsOrphanCycles) {
+  // 2 and 3 point at each other: they never terminate.
+  std::vector<std::pair<Id, std::optional<Id>>> edges{
+      {1, std::nullopt},
+      {2, Id{3}},
+      {3, Id{2}},
+  };
+  const LiveTreeStats stats = live_tree_stats(edges);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.reaching_root, 1u);  // only the root itself
+}
+
+TEST(LiveTreeStatsTest, FromCluster) {
+  ClusterOptions options;
+  options.seed = 6;
+  SimCluster cluster(12, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(300'000'000));
+  const LiveTreeStats stats = live_tree_stats(
+      cluster, 0xBEEF, chord::RoutingScheme::kBalanced);
+  EXPECT_EQ(stats.nodes, 12u);
+  EXPECT_EQ(stats.roots, 1u);
+  EXPECT_EQ(stats.reaching_root, 12u);
+  EXPECT_LE(stats.max_branching, 5u);
+}
+
+TEST(DefaultSchemaTest, InstallsGridAttributes) {
+  maan::Schema schema;
+  install_default_schema(schema);
+  EXPECT_TRUE(schema.contains("cpu-usage"));
+  EXPECT_TRUE(schema.contains("cpu-speed"));
+  EXPECT_TRUE(schema.contains("memory-size"));
+  EXPECT_TRUE(schema.contains("os"));
+  EXPECT_FALSE(schema.get("os").numeric);
+  EXPECT_TRUE(schema.get("cpu-usage").numeric);
+}
+
+}  // namespace

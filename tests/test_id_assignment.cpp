@@ -1,0 +1,111 @@
+#include "chord/id_assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chord/ring_view.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chord;
+
+TEST(EvenIds, ExactSpacingWhenDivisible) {
+  const IdSpace space(4);
+  const auto ids = even_ids(space, 4);
+  EXPECT_EQ(ids, (std::vector<Id>{0, 4, 8, 12}));
+}
+
+TEST(EvenIds, FullOccupancy) {
+  const IdSpace space(3);
+  const auto ids = even_ids(space, 8);
+  EXPECT_EQ(ids.size(), 8u);
+  for (Id i = 0; i < 8; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(EvenIds, NonDivisibleStillDistinctAndNearEven) {
+  const IdSpace space(16);
+  const auto ids = even_ids(space, 3);
+  EXPECT_EQ(ids.size(), 3u);
+  const RingView ring(space, ids);
+  EXPECT_LT(ring.gap_ratio(), 1.01);
+}
+
+TEST(EvenIds, Errors) {
+  const IdSpace space(3);
+  EXPECT_THROW(even_ids(space, 0), std::invalid_argument);
+  EXPECT_THROW(even_ids(space, 9), std::invalid_argument);
+}
+
+TEST(RandomIds, DistinctAndInSpace) {
+  const IdSpace space(16);
+  Rng rng(5);
+  const auto ids = random_ids(space, 500, rng);
+  EXPECT_EQ(ids.size(), 500u);
+  const std::set<Id> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 500u);
+  for (const Id id : ids) EXPECT_TRUE(space.contains(id));
+}
+
+TEST(RandomIds, Deterministic) {
+  const IdSpace space(20);
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(random_ids(space, 64, a), random_ids(space, 64, b));
+}
+
+TEST(RandomIds, FullSpaceExhaustive) {
+  const IdSpace space(3);
+  Rng rng(1);
+  const auto ids = random_ids(space, 8, rng);
+  EXPECT_EQ(ids.size(), 8u);  // every identifier of the space
+}
+
+TEST(ProbedIds, DistinctAndDeterministic) {
+  const IdSpace space(24);
+  Rng a(3);
+  Rng b(3);
+  const auto ids1 = probed_ids(space, 200, a);
+  const auto ids2 = probed_ids(space, 200, b);
+  EXPECT_EQ(ids1, ids2);
+  const std::set<Id> unique(ids1.begin(), ids1.end());
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST(ProbedIds, GapRatioBoundedByConstant) {
+  // Adler et al.: probing bounds the max/min adjacent gap ratio by a
+  // constant. Our probe set (successor + its fingers) keeps it small; the
+  // random baseline is Θ(n log n) in the same metric.
+  const IdSpace space(32);
+  Rng rng(77);
+  for (const std::size_t n : {256, 1024, 4096}) {
+    const RingView probed(space, probed_ids(space, n, rng));
+    EXPECT_LT(probed.gap_ratio(), 16.0) << "n=" << n;
+    const RingView random(space, random_ids(space, n, rng));
+    EXPECT_GT(random.gap_ratio(), probed.gap_ratio()) << "n=" << n;
+  }
+}
+
+TEST(ProbedIds, TinySpaceFallsBackGracefully) {
+  const IdSpace space(4);
+  Rng rng(2);
+  const auto ids = probed_ids(space, 16, rng);
+  EXPECT_EQ(ids.size(), 16u);  // complete occupancy without livelock
+}
+
+TEST(MakeIds, DispatchesAllKinds) {
+  const IdSpace space(16);
+  Rng rng(1);
+  EXPECT_EQ(make_ids(IdAssignment::kEven, space, 8, rng).size(), 8u);
+  EXPECT_EQ(make_ids(IdAssignment::kRandom, space, 8, rng).size(), 8u);
+  EXPECT_EQ(make_ids(IdAssignment::kProbed, space, 8, rng).size(), 8u);
+}
+
+TEST(IdAssignmentNames, ToString) {
+  EXPECT_STREQ(to_string(IdAssignment::kRandom), "random");
+  EXPECT_STREQ(to_string(IdAssignment::kProbed), "probed");
+  EXPECT_STREQ(to_string(IdAssignment::kEven), "even");
+}
+
+}  // namespace

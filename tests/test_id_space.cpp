@@ -1,0 +1,168 @@
+#include "common/id_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using dat::Id;
+using dat::IdSpace;
+
+TEST(IdSpace, RejectsBadBitWidths) {
+  EXPECT_THROW(IdSpace(0), std::invalid_argument);
+  EXPECT_THROW(IdSpace(65), std::invalid_argument);
+  EXPECT_NO_THROW(IdSpace(1));
+  EXPECT_NO_THROW(IdSpace(64));
+}
+
+TEST(IdSpace, SizeAndMask) {
+  const IdSpace s4(4);
+  EXPECT_EQ(s4.size(), 16u);
+  EXPECT_EQ(s4.mask(), 15u);
+  const IdSpace s32(32);
+  EXPECT_EQ(s32.size(), 1ull << 32);
+  EXPECT_EQ(s32.mask(), 0xFFFFFFFFull);
+}
+
+TEST(IdSpace, SizeSaturatesAt64Bits) {
+  const IdSpace s(64);
+  EXPECT_EQ(s.mask(), ~0ull);
+  EXPECT_EQ(s.size(), ~0ull);  // saturated, documented behaviour
+}
+
+TEST(IdSpace, ContainsChecksCanonicalIds) {
+  const IdSpace s(4);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(15));
+  EXPECT_FALSE(s.contains(16));
+  EXPECT_FALSE(s.contains(~0ull));
+}
+
+TEST(IdSpace, ModularAddSub) {
+  const IdSpace s(4);
+  EXPECT_EQ(s.add(15, 1), 0u);
+  EXPECT_EQ(s.add(8, 9), 1u);
+  EXPECT_EQ(s.sub(0, 1), 15u);
+  EXPECT_EQ(s.sub(3, 5), 14u);
+}
+
+TEST(IdSpace, ClockwiseDistance) {
+  const IdSpace s(4);
+  EXPECT_EQ(s.clockwise(0, 0), 0u);
+  EXPECT_EQ(s.clockwise(0, 1), 1u);
+  EXPECT_EQ(s.clockwise(1, 0), 15u);
+  EXPECT_EQ(s.clockwise(8, 0), 8u);   // the paper's N8 -> N0 example
+  EXPECT_EQ(s.clockwise(15, 3), 4u);
+}
+
+TEST(IdSpace, ClockwiseIsAntisymmetricOnTheCircle) {
+  const IdSpace s(8);
+  for (Id a = 0; a < 256; a += 17) {
+    for (Id b = 0; b < 256; b += 13) {
+      if (a == b) continue;
+      EXPECT_EQ(s.clockwise(a, b) + s.clockwise(b, a), 256u);
+    }
+  }
+}
+
+TEST(IdSpace, OpenOpenInterval) {
+  const IdSpace s(4);
+  EXPECT_TRUE(s.in_open_open(2, 5, 9));
+  EXPECT_FALSE(s.in_open_open(2, 2, 9));
+  EXPECT_FALSE(s.in_open_open(2, 9, 9));
+  // wrapping interval (14, 3)
+  EXPECT_TRUE(s.in_open_open(14, 15, 3));
+  EXPECT_TRUE(s.in_open_open(14, 0, 3));
+  EXPECT_TRUE(s.in_open_open(14, 2, 3));
+  EXPECT_FALSE(s.in_open_open(14, 3, 3));
+  EXPECT_FALSE(s.in_open_open(14, 14, 3));
+  EXPECT_FALSE(s.in_open_open(14, 7, 3));
+  // empty interval
+  EXPECT_FALSE(s.in_open_open(5, 6, 5));
+}
+
+TEST(IdSpace, OpenClosedInterval) {
+  const IdSpace s(4);
+  EXPECT_TRUE(s.in_open_closed(2, 9, 9));
+  EXPECT_FALSE(s.in_open_closed(2, 2, 9));
+  EXPECT_TRUE(s.in_open_closed(14, 3, 3));
+  // Chord convention: (a, a] is the full circle.
+  EXPECT_TRUE(s.in_open_closed(5, 0, 5));
+  EXPECT_TRUE(s.in_open_closed(5, 5, 5));
+  // Paper example: N0 in (N8, k=0].
+  EXPECT_TRUE(s.in_open_closed(8, 0, 0));
+}
+
+TEST(IdSpace, ClosedOpenInterval) {
+  const IdSpace s(4);
+  EXPECT_TRUE(s.in_closed_open(2, 2, 9));
+  EXPECT_FALSE(s.in_closed_open(2, 9, 9));
+  EXPECT_TRUE(s.in_closed_open(14, 14, 3));
+  EXPECT_TRUE(s.in_closed_open(7, 1, 7));  // [a, a) is the full circle
+}
+
+TEST(IdSpace, FingerTargets) {
+  const IdSpace s(4);
+  EXPECT_EQ(s.finger_target(8, 0), 9u);
+  EXPECT_EQ(s.finger_target(8, 1), 10u);
+  EXPECT_EQ(s.finger_target(8, 2), 12u);
+  EXPECT_EQ(s.finger_target(8, 3), 0u);  // wraps
+  EXPECT_THROW((void)(s.finger_target(8, 4)), std::out_of_range);
+}
+
+TEST(IdSpace, CeilLog2) {
+  EXPECT_EQ(IdSpace::ceil_log2(1), 0u);
+  EXPECT_EQ(IdSpace::ceil_log2(2), 1u);
+  EXPECT_EQ(IdSpace::ceil_log2(3), 2u);
+  EXPECT_EQ(IdSpace::ceil_log2(4), 2u);
+  EXPECT_EQ(IdSpace::ceil_log2(5), 3u);
+  EXPECT_EQ(IdSpace::ceil_log2(1ull << 40), 40u);
+  EXPECT_EQ(IdSpace::ceil_log2((1ull << 40) + 1), 41u);
+  EXPECT_THROW((void)(IdSpace::ceil_log2(0)), std::invalid_argument);
+}
+
+TEST(IdSpace, FloorLog2) {
+  EXPECT_EQ(IdSpace::floor_log2(1), 0u);
+  EXPECT_EQ(IdSpace::floor_log2(2), 1u);
+  EXPECT_EQ(IdSpace::floor_log2(3), 1u);
+  EXPECT_EQ(IdSpace::floor_log2(4), 2u);
+  EXPECT_EQ(IdSpace::floor_log2(~0ull), 63u);
+  EXPECT_THROW((void)(IdSpace::floor_log2(0)), std::invalid_argument);
+}
+
+TEST(IdSpace, ToStringIncludesBits) {
+  EXPECT_EQ(IdSpace(8).to_string(42), "42/8");
+}
+
+TEST(IdSpace, EqualityComparesBitWidth) {
+  EXPECT_EQ(IdSpace(16), IdSpace(16));
+  EXPECT_FALSE(IdSpace(16) == IdSpace(17));
+}
+
+class IdSpaceBitsTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IdSpaceBitsTest, AddSubRoundTrip) {
+  const IdSpace s(GetParam());
+  const Id samples[] = {0, 1, s.mask() / 3, s.mask() / 2, s.mask()};
+  for (const Id a : samples) {
+    for (const Id b : samples) {
+      EXPECT_EQ(s.sub(s.add(a, b), b), a);
+      EXPECT_EQ(s.add(s.sub(a, b), b), a);
+    }
+  }
+}
+
+TEST_P(IdSpaceBitsTest, ClockwiseTriangleOnPath) {
+  const IdSpace s(GetParam());
+  // Walking a -> m -> b where m is on the clockwise path from a to b
+  // decomposes the distance exactly.
+  const Id a = 1;
+  const Id b = s.mask();
+  const Id m = s.add(a, s.clockwise(a, b) / 2);
+  EXPECT_EQ(s.clockwise(a, m) + s.clockwise(m, b), s.clockwise(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IdSpaceBitsTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u, 48u,
+                                           63u, 64u));
+
+}  // namespace

@@ -1,0 +1,328 @@
+// MAAN indexing layer: schema hashing, predicates, wire formats, and
+// protocol-level registration / range / multi-attribute queries.
+
+#include "maan/maan_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::maan;
+
+TEST(SchemaTest, AddAndValidate) {
+  Schema schema;
+  schema.add({.name = "cpu", .numeric = true, .lo = 0.0, .hi = 100.0});
+  EXPECT_TRUE(schema.contains("cpu"));
+  EXPECT_FALSE(schema.contains("mem"));
+  EXPECT_THROW((void)(schema.get("mem")), std::out_of_range);
+  EXPECT_THROW(schema.add({.name = "", .numeric = true, .lo = 0, .hi = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(schema.add({.name = "bad", .numeric = true, .lo = 5, .hi = 5}),
+               std::invalid_argument);
+}
+
+TEST(SchemaTest, LocalityPreservingHashIsMonotone) {
+  Schema schema;
+  schema.add({.name = "cpu", .numeric = true, .lo = 0.0, .hi = 100.0});
+  const IdSpace space(32);
+  Id prev = 0;
+  for (double v = 0.0; v <= 100.0; v += 0.5) {
+    const Id h = schema.hash("cpu", AttrValue{v}, space);
+    EXPECT_GE(h, prev) << "v=" << v;
+    prev = h;
+  }
+  // Endpoints span the whole circle.
+  EXPECT_EQ(schema.hash("cpu", AttrValue{0.0}, space), 0u);
+  EXPECT_EQ(schema.hash("cpu", AttrValue{100.0}, space), space.mask());
+}
+
+TEST(SchemaTest, HashClampsOutOfRangeValues) {
+  Schema schema;
+  schema.add({.name = "cpu", .numeric = true, .lo = 0.0, .hi = 100.0});
+  const IdSpace space(16);
+  EXPECT_EQ(schema.hash("cpu", AttrValue{-5.0}, space),
+            schema.hash("cpu", AttrValue{0.0}, space));
+  EXPECT_EQ(schema.hash("cpu", AttrValue{500.0}, space),
+            schema.hash("cpu", AttrValue{100.0}, space));
+}
+
+TEST(SchemaTest, StringAttributesHashUniformly) {
+  Schema schema;
+  schema.add({.name = "os", .numeric = false});
+  const IdSpace space(32);
+  const Id linux_id = schema.hash("os", AttrValue{std::string("linux")}, space);
+  const Id bsd_id = schema.hash("os", AttrValue{std::string("freebsd")}, space);
+  EXPECT_NE(linux_id, bsd_id);
+  EXPECT_EQ(linux_id, schema.hash("os", AttrValue{std::string("linux")}, space));
+}
+
+TEST(SchemaTest, TypeMismatchesThrow) {
+  Schema schema;
+  schema.add({.name = "cpu", .numeric = true, .lo = 0.0, .hi = 1.0});
+  schema.add({.name = "os", .numeric = false});
+  const IdSpace space(16);
+  EXPECT_THROW((void)(schema.hash("cpu", AttrValue{std::string("x")}, space)),
+               std::invalid_argument);
+  EXPECT_THROW((void)(schema.hash("os", AttrValue{1.0}, space)),
+               std::invalid_argument);
+}
+
+TEST(SchemaTest, Selectivity) {
+  Schema schema;
+  schema.add({.name = "cpu", .numeric = true, .lo = 0.0, .hi = 100.0});
+  EXPECT_DOUBLE_EQ(schema.selectivity("cpu", 0.0, 100.0), 1.0);
+  EXPECT_DOUBLE_EQ(schema.selectivity("cpu", 10.0, 20.0), 0.1);
+  EXPECT_DOUBLE_EQ(schema.selectivity("cpu", 90.0, 200.0), 0.1);  // clamped
+  EXPECT_DOUBLE_EQ(schema.selectivity("cpu", 20.0, 10.0), 0.0);   // empty
+  schema.add({.name = "os", .numeric = false});
+  EXPECT_THROW((void)(schema.selectivity("os", 0, 1)), std::invalid_argument);
+}
+
+TEST(ResourceTest, AttributeLookupAndWire) {
+  Resource r;
+  r.id = "node-1";
+  r.attributes = {{"cpu", AttrValue{50.0}}, {"os", AttrValue{std::string("linux")}}};
+  ASSERT_TRUE(r.attribute("cpu").has_value());
+  EXPECT_EQ(std::get<double>(*r.attribute("cpu")), 50.0);
+  EXPECT_FALSE(r.attribute("mem").has_value());
+
+  net::Writer w;
+  write_resource(w, r);
+  net::Reader reader(w.data());
+  EXPECT_EQ(read_resource(reader), r);
+}
+
+TEST(PredicateTest, NumericMatching) {
+  Resource r;
+  r.id = "n";
+  r.attributes = {{"cpu", AttrValue{50.0}}};
+  RangePredicate p{.attr = "cpu", .lo = 40.0, .hi = 60.0, .exact = {}};
+  EXPECT_TRUE(p.matches(r));
+  p.lo = 51.0;
+  EXPECT_FALSE(p.matches(r));
+  p = RangePredicate{.attr = "cpu", .lo = 50.0, .hi = 50.0, .exact = {}};
+  EXPECT_TRUE(p.matches(r));  // inclusive bounds
+  p.attr = "mem";
+  EXPECT_FALSE(p.matches(r));  // missing attribute
+}
+
+TEST(PredicateTest, StringMatchingAndWire) {
+  Resource r;
+  r.id = "n";
+  r.attributes = {{"os", AttrValue{std::string("linux")}}};
+  RangePredicate p;
+  p.attr = "os";
+  p.exact = "linux";
+  EXPECT_TRUE(p.matches(r));
+  p.exact = "freebsd";
+  EXPECT_FALSE(p.matches(r));
+
+  net::Writer w;
+  write_predicate(w, p);
+  net::Reader reader(w.data());
+  const RangePredicate q = read_predicate(reader);
+  EXPECT_EQ(q.attr, "os");
+  ASSERT_TRUE(q.exact.has_value());
+  EXPECT_EQ(*q.exact, "freebsd");
+}
+
+class MaanClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 16;
+
+  MaanClusterTest() {
+    harness::ClusterOptions options;
+    options.seed = 888;
+    options.with_dat = false;
+    options.with_maan = true;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+    if (converged_) populate();
+  }
+
+  void populate() {
+    // 32 resources with cpu-usage = 3*r mod 100 and alternating os.
+    for (std::size_t r = 0; r < 32; ++r) {
+      Resource resource;
+      resource.id = "res-" + std::to_string(r);
+      resource.attributes = {
+          {"cpu-usage", AttrValue{static_cast<double>((3 * r) % 100)}},
+          {"memory-size", AttrValue{static_cast<double>(r) * 1e9}},
+          {"os", AttrValue{std::string(r % 2 ? "linux" : "freebsd")}},
+      };
+      bool done = false;
+      bool ok = false;
+      cluster_->maan(r % kNodes).register_resource(
+          resource, [&](bool success, unsigned) {
+            done = true;
+            ok = success;
+          });
+      pump([&] { return done; });
+      ASSERT_TRUE(ok) << "registration " << r;
+    }
+  }
+
+  void pump(const std::function<bool()>& until, std::uint64_t max_us = 30'000'000) {
+    const auto deadline = cluster_->engine().now() + max_us;
+    while (!until() && cluster_->engine().now() < deadline) {
+      cluster_->engine().run_steps(256);
+    }
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  bool converged_ = false;
+};
+
+TEST_F(MaanClusterTest, RangeQueryReturnsExactlyTheMatches) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  QueryResult result;
+  cluster_->maan(3).range_query("cpu-usage", 10.0, 40.0, [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.complete);
+  // Ground truth: r with (3r mod 100) in [10, 40].
+  std::set<std::string> expected;
+  for (std::size_t r = 0; r < 32; ++r) {
+    const double v = static_cast<double>((3 * r) % 100);
+    if (v >= 10.0 && v <= 40.0) expected.insert("res-" + std::to_string(r));
+  }
+  std::set<std::string> got;
+  for (const Resource& r : result.resources) got.insert(r.id);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(MaanClusterTest, FullRangeReturnsEverything) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  QueryResult result;
+  cluster_->maan(0).range_query("cpu-usage", 0.0, 100.0, [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_EQ(result.resources.size(), 32u);
+  // Full-circle sweep touches every node: k = n.
+  EXPECT_GE(result.sweep_hops + 1, kNodes);
+}
+
+TEST_F(MaanClusterTest, EmptyRangeReturnsNothing) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  QueryResult result;
+  // cpu-usage values are multiples of 3 mod 100; (97.1, 98.9) is empty.
+  cluster_->maan(5).range_query("cpu-usage", 97.1, 98.9, [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.resources.empty());
+}
+
+TEST_F(MaanClusterTest, MultiAttributeQueryFiltersConjunction) {
+  ASSERT_TRUE(converged_);
+  std::vector<RangePredicate> predicates;
+  predicates.push_back({.attr = "cpu-usage", .lo = 0.0, .hi = 50.0, .exact = {}});
+  RangePredicate os;
+  os.attr = "os";
+  os.exact = "linux";
+  predicates.push_back(os);
+
+  bool done = false;
+  QueryResult result;
+  cluster_->maan(7).multi_query(predicates, [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  std::set<std::string> expected;
+  for (std::size_t r = 1; r < 32; r += 2) {  // odd r = linux
+    if (static_cast<double>((3 * r) % 100) <= 50.0) {
+      expected.insert("res-" + std::to_string(r));
+    }
+  }
+  std::set<std::string> got;
+  for (const Resource& r : result.resources) got.insert(r.id);
+  EXPECT_EQ(got, expected);
+}
+
+TEST_F(MaanClusterTest, ExactStringQuery) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  QueryResult result;
+  cluster_->maan(1).exact_query("os", "freebsd", [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.resources.size(), 16u);  // even r values
+  for (const Resource& r : result.resources) {
+    EXPECT_EQ(std::get<std::string>(*r.attribute("os")), "freebsd");
+  }
+}
+
+TEST_F(MaanClusterTest, RoutingHopsAreLogarithmic) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  QueryResult result;
+  cluster_->maan(2).range_query("cpu-usage", 20.0, 25.0, [&](QueryResult r) {
+    done = true;
+    result = std::move(r);
+  });
+  pump([&] { return done; });
+  ASSERT_TRUE(done);
+  EXPECT_LE(result.routing_hops, 2 * IdSpace::ceil_log2(kNodes) + 2);
+  // 5% selectivity over 16 nodes: short sweep.
+  EXPECT_LE(result.sweep_hops, 4u);
+}
+
+TEST_F(MaanClusterTest, ReRegistrationReplacesNotDuplicates) {
+  ASSERT_TRUE(converged_);
+  Resource resource;
+  resource.id = "res-0";  // already registered with cpu-usage 0
+  resource.attributes = {{"cpu-usage", AttrValue{99.0}}};
+  bool done = false;
+  cluster_->maan(0).register_resource(resource,
+                                      [&](bool, unsigned) { done = true; });
+  pump([&] { return done; });
+
+  bool qdone = false;
+  QueryResult result;
+  cluster_->maan(4).range_query("cpu-usage", 98.5, 99.5, [&](QueryResult r) {
+    qdone = true;
+    result = std::move(r);
+  });
+  pump([&] { return qdone; });
+  std::size_t count = 0;
+  for (const Resource& r : result.resources) {
+    if (r.id == "res-0") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(MaanClusterTest, LocalEntriesAccounting) {
+  ASSERT_TRUE(converged_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    total += cluster_->maan(i).local_entries();
+  }
+  // 32 resources x 3 attributes, each stored once.
+  EXPECT_EQ(total, 96u);
+}
+
+}  // namespace

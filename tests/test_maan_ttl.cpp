@@ -1,0 +1,116 @@
+// MAAN soft-state registrations: entries expire unless refreshed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+
+class MaanTtlTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 10;
+  static constexpr std::uint64_t kTtlUs = 5'000'000;
+
+  MaanTtlTest() {
+    harness::ClusterOptions options;
+    options.seed = 1212;
+    options.with_dat = false;
+    options.with_maan = true;
+    options.maan.registration_ttl_us = kTtlUs;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+  }
+
+  void register_one(const std::string& id, double usage) {
+    maan::Resource resource;
+    resource.id = id;
+    resource.attributes = {{"cpu-usage", maan::AttrValue{usage}}};
+    bool done = false;
+    cluster_->maan(0).register_resource(resource,
+                                        [&](bool, unsigned) { done = true; });
+    const auto deadline = cluster_->engine().now() + 10'000'000;
+    while (!done && cluster_->engine().now() < deadline) {
+      cluster_->engine().run_steps(128);
+    }
+  }
+
+  std::size_t query_count(double lo, double hi) {
+    std::size_t count = 999;
+    bool done = false;
+    cluster_->maan(1).range_query("cpu-usage", lo, hi,
+                                  [&](maan::QueryResult result) {
+                                    done = true;
+                                    count = result.resources.size();
+                                  });
+    const auto deadline = cluster_->engine().now() + 15'000'000;
+    while (!done && cluster_->engine().now() < deadline) {
+      cluster_->engine().run_steps(128);
+    }
+    return count;
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  bool converged_ = false;
+};
+
+TEST_F(MaanTtlTest, EntriesExpireWithoutRefresh) {
+  ASSERT_TRUE(converged_);
+  register_one("res-a", 42.0);
+  EXPECT_EQ(query_count(40.0, 45.0), 1u);
+  cluster_->run_for(kTtlUs + 1'000'000);
+  EXPECT_EQ(query_count(40.0, 45.0), 0u);  // expired
+}
+
+TEST_F(MaanTtlTest, RefreshRestartsTheTtl) {
+  ASSERT_TRUE(converged_);
+  register_one("res-b", 60.0);
+  cluster_->run_for(kTtlUs / 2);
+  register_one("res-b", 60.0);  // refresh
+  cluster_->run_for(kTtlUs / 2 + 1'000'000);
+  // Original registration would be past TTL; the refresh keeps it alive.
+  EXPECT_EQ(query_count(55.0, 65.0), 1u);
+}
+
+TEST_F(MaanTtlTest, PruneExpiredReclaimsEntries) {
+  ASSERT_TRUE(converged_);
+  register_one("res-c", 10.0);
+  register_one("res-d", 90.0);
+  cluster_->run_for(kTtlUs + 1'000'000);
+  std::size_t live_total = 0;
+  std::size_t pruned_total = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    live_total += cluster_->maan(i).local_entries();
+    pruned_total += cluster_->maan(i).prune_expired();
+  }
+  EXPECT_EQ(live_total, 0u);    // live count excludes expired entries
+  EXPECT_EQ(pruned_total, 2u);  // both physically reclaimed
+}
+
+TEST_F(MaanTtlTest, ZeroTtlDisablesExpiry) {
+  harness::ClusterOptions options;
+  options.seed = 1313;
+  options.with_dat = false;
+  options.with_maan = true;  // default registration_ttl_us = 0
+  harness::SimCluster cluster(4, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(300'000'000));
+  maan::Resource resource;
+  resource.id = "res-e";
+  resource.attributes = {{"cpu-usage", maan::AttrValue{33.0}}};
+  bool done = false;
+  cluster.maan(0).register_resource(resource,
+                                    [&](bool, unsigned) { done = true; });
+  cluster.run_for(10'000'000);
+  ASSERT_TRUE(done);
+  cluster.run_for(60'000'000);  // far beyond any plausible TTL
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    total += cluster.maan(i).local_entries();
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Parameterized live-protocol sweeps: for several cluster sizes and both
+// routing schemes, bring up a real (simulated-transport) overlay and verify
+// the paper's structural claims on the trees the nodes themselves compute.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/live_tree.hpp"
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+
+class LiveTreeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, chord::RoutingScheme>> {};
+
+TEST_P(LiveTreeSweep, StructureMatchesTheory) {
+  const auto [n, scheme] = GetParam();
+  harness::ClusterOptions options;
+  options.seed = 13000 + n * 2 + static_cast<int>(scheme);
+  options.with_dat = false;
+  harness::SimCluster cluster(n, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(600'000'000));
+
+  Rng rng(99);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Id key = rng.next_id(cluster.space());
+    const auto stats = harness::live_tree_stats(cluster, key, scheme);
+    EXPECT_EQ(stats.nodes, n);
+    EXPECT_EQ(stats.roots, 1u) << "key " << key;
+    EXPECT_EQ(stats.reaching_root, n) << "key " << key;
+    if (scheme == chord::RoutingScheme::kBalanced) {
+      // Probed identifiers: the paper's constant (Fig. 7a) is 4; allow the
+      // protocol-level estimate a little slack.
+      EXPECT_LE(stats.max_branching, 8u) << "key " << key;
+    } else {
+      // Greedy: max branching tracks log2 n.
+      EXPECT_LE(stats.max_branching, 2 * IdSpace::ceil_log2(n) + 2)
+          << "key " << key;
+    }
+    EXPECT_LE(stats.height, 2 * IdSpace::ceil_log2(n) + 2) << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LiveTreeSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 24, 64),
+                       ::testing::Values(chord::RoutingScheme::kGreedy,
+                                         chord::RoutingScheme::kBalanced)));
+
+class LiveAggregationSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LiveAggregationSweep, ContinuousCoverageIsExact) {
+  const std::size_t n = GetParam();
+  harness::ClusterOptions options;
+  options.seed = 14000 + n;
+  options.dat.epoch_us = 200'000;
+  harness::SimCluster cluster(n, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(600'000'000));
+
+  Id key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    key = cluster.dat(i).start_aggregate("sweep", core::AggregateKind::kCount,
+                                         chord::RoutingScheme::kBalanced,
+                                         []() { return 1.0; });
+  }
+  // Height <= log2 n epochs to fill, with margin.
+  cluster.run_for((2 * IdSpace::ceil_log2(n) + 6) * 200'000);
+  const Id root_id = cluster.ring_view().successor(key);
+  bool found = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster.node(i).id() != root_id) continue;
+    const auto g = cluster.dat(i).latest(key);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(g->state.count, n);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LiveAggregationSweep,
+                         ::testing::Values<std::size_t>(4, 12, 36, 80));
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Replicated (multi-tree) aggregates: k rendezvous keys, k independent DAT
+// trees, crash-masking reads.
+
+#include "dat/replicated.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::core;
+
+TEST(ReplicatedAggregateCtor, Validation) {
+  harness::ClusterOptions options;
+  options.seed = 11;
+  harness::SimCluster cluster(2, std::move(options));
+  EXPECT_THROW(ReplicatedAggregate(cluster.dat(0), "x", 0,
+                                   AggregateKind::kSum,
+                                   chord::RoutingScheme::kBalanced),
+               std::invalid_argument);
+  EXPECT_THROW(ReplicatedAggregate(cluster.dat(0), "", 3,
+                                   AggregateKind::kSum,
+                                   chord::RoutingScheme::kBalanced),
+               std::invalid_argument);
+  ReplicatedAggregate agg(cluster.dat(0), "x", 3, AggregateKind::kSum,
+                          chord::RoutingScheme::kBalanced);
+  EXPECT_EQ(agg.replicas(), 3u);
+  const std::set<Id> unique(agg.keys().begin(), agg.keys().end());
+  EXPECT_EQ(unique.size(), 3u);  // distinct rendezvous keys
+}
+
+class ReplicatedClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 20;
+  static constexpr unsigned kReplicas = 3;
+
+  ReplicatedClusterTest() {
+    harness::ClusterOptions options;
+    options.seed = 321;
+    options.dat.epoch_us = 200'000;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+    if (!converged_) return;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      aggs_.push_back(std::make_unique<ReplicatedAggregate>(
+          cluster_->dat(i), "replicated-load", kReplicas,
+          AggregateKind::kSum, chord::RoutingScheme::kBalanced));
+      aggs_.back()->start([]() { return 2.5; });
+    }
+    cluster_->run_for(8'000'000);
+  }
+
+  ~ReplicatedClusterTest() override { aggs_.clear(); }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  std::vector<std::unique_ptr<ReplicatedAggregate>> aggs_;
+  bool converged_ = false;
+};
+
+TEST_F(ReplicatedClusterTest, AllReplicasConvergeToTheSameValue) {
+  ASSERT_TRUE(converged_);
+  const chord::RingView ring = cluster_->ring_view();
+  // Each replica tree has its own root holding the same global.
+  std::set<Id> roots;
+  for (const Id key : aggs_[0]->keys()) {
+    roots.insert(ring.successor(key));
+    bool done = false;
+    cluster_->dat(3).query_global(
+        key, [&](net::RpcStatus st, std::optional<GlobalValue> g) {
+          done = true;
+          ASSERT_EQ(st, net::RpcStatus::kOk);
+          ASSERT_TRUE(g.has_value());
+          EXPECT_EQ(g->state.count, kNodes);
+          EXPECT_DOUBLE_EQ(g->state.sum, 2.5 * kNodes);
+        });
+    cluster_->run_for(3'000'000);
+    EXPECT_TRUE(done);
+  }
+  // With 3 keys over 20 nodes the roots are almost surely distinct.
+  EXPECT_GE(roots.size(), 2u);
+}
+
+TEST_F(ReplicatedClusterTest, QueryReturnsBestAnswer) {
+  ASSERT_TRUE(converged_);
+  bool done = false;
+  aggs_[5]->query([&](ReplicatedAggregate::Result result) {
+    done = true;
+    EXPECT_EQ(result.roots_answered, kReplicas);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_EQ(result.best->state.count, kNodes);
+    EXPECT_DOUBLE_EQ(result.best->state.sum, 2.5 * kNodes);
+  });
+  cluster_->run_for(5'000'000);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(ReplicatedClusterTest, MasksARootCrash) {
+  ASSERT_TRUE(converged_);
+  // Crash the root of replica tree 0.
+  const chord::RingView ring = cluster_->ring_view();
+  const Id victim_root = ring.successor(aggs_[0]->keys()[0]);
+  std::size_t victim_slot = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (cluster_->node(i).id() == victim_root) victim_slot = i;
+  }
+  const std::size_t reader = victim_slot == 2 ? 3 : 2;
+  aggs_[victim_slot].reset();  // drop its aggregates with the node
+  cluster_->remove_node(victim_slot, /*graceful=*/false);
+  cluster_->refresh_d0_hints();
+
+  // Query IMMEDIATELY: tree 0's root is gone (its query may fail or return
+  // a stale/empty answer), but the other replicas answer with the previous
+  // full coverage.
+  bool done = false;
+  aggs_[reader]->query([&](ReplicatedAggregate::Result result) {
+    done = true;
+    EXPECT_GE(result.roots_answered, 1u);
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_GE(result.best->state.count, kNodes - 1);
+  });
+  const auto deadline = cluster_->engine().now() + 30'000'000;
+  while (!done && cluster_->engine().now() < deadline) {
+    cluster_->engine().run_steps(256);
+  }
+  EXPECT_TRUE(done);
+
+  // And after healing, every replica re-covers the survivors.
+  cluster_->run_for(30'000'000);
+  bool done2 = false;
+  aggs_[reader]->query([&](ReplicatedAggregate::Result result) {
+    done2 = true;
+    ASSERT_TRUE(result.best.has_value());
+    EXPECT_EQ(result.best->state.count, kNodes - 1);
+  });
+  cluster_->run_for(5'000'000);
+  EXPECT_TRUE(done2);
+}
+
+TEST_F(ReplicatedClusterTest, StopRemovesAllReplicaEntries) {
+  ASSERT_TRUE(converged_);
+  for (const Id key : aggs_[7]->keys()) {
+    EXPECT_TRUE(cluster_->dat(7).has_aggregate(key));
+  }
+  aggs_[7]->stop();
+  for (const Id key : aggs_[7]->keys()) {
+    EXPECT_FALSE(cluster_->dat(7).has_aggregate(key));
+  }
+  aggs_[7]->stop();  // idempotent
+}
+
+}  // namespace

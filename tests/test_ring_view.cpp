@@ -1,0 +1,140 @@
+#include "chord/ring_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chord/id_assignment.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chord;
+
+TEST(RingViewTest, SortsAndDeduplicates) {
+  const IdSpace space(8);
+  const RingView ring(space, {30, 10, 20, 10, 30});
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.ids(), (std::vector<Id>{10, 20, 30}));
+}
+
+TEST(RingViewTest, RejectsEmptyAndOutOfSpace) {
+  const IdSpace space(8);
+  EXPECT_THROW(RingView(space, {}), std::invalid_argument);
+  EXPECT_THROW(RingView(space, {256}), std::invalid_argument);
+}
+
+TEST(RingViewTest, SuccessorWrapsAround) {
+  const IdSpace space(8);
+  const RingView ring(space, {10, 100, 200});
+  EXPECT_EQ(ring.successor(0), 10u);
+  EXPECT_EQ(ring.successor(10), 10u);   // successor includes the key itself
+  EXPECT_EQ(ring.successor(11), 100u);
+  EXPECT_EQ(ring.successor(150), 200u);
+  EXPECT_EQ(ring.successor(201), 10u);  // wrap
+  EXPECT_EQ(ring.successor(255), 10u);
+}
+
+TEST(RingViewTest, PredecessorWraps) {
+  const IdSpace space(8);
+  const RingView ring(space, {10, 100, 200});
+  EXPECT_EQ(ring.predecessor(10), 200u);
+  EXPECT_EQ(ring.predecessor(100), 10u);
+  EXPECT_EQ(ring.predecessor(200), 100u);
+}
+
+TEST(RingViewTest, IndexOfThrowsForUnknown) {
+  const IdSpace space(8);
+  const RingView ring(space, {10});
+  EXPECT_EQ(ring.index_of(10), 0u);
+  EXPECT_THROW((void)(ring.index_of(11)), std::out_of_range);
+  EXPECT_TRUE(ring.contains(10));
+  EXPECT_FALSE(ring.contains(11));
+}
+
+TEST(RingViewTest, FingersAreSuccessorsOfTargets) {
+  const IdSpace space(4);
+  const RingView ring(space, {0, 3, 7, 12});
+  // FINGER(3, j) = successor(3 + 2^j).
+  EXPECT_EQ(ring.finger(3, 0), 7u);   // successor(4)
+  EXPECT_EQ(ring.finger(3, 1), 7u);   // successor(5)
+  EXPECT_EQ(ring.finger(3, 2), 7u);   // successor(7)
+  EXPECT_EQ(ring.finger(3, 3), 12u);  // successor(11)
+  const auto fingers = ring.finger_ids(3);
+  EXPECT_EQ(fingers.size(), 4u);
+  EXPECT_EQ(fingers[3], 12u);
+}
+
+TEST(RingViewTest, SingletonRing) {
+  const IdSpace space(8);
+  const RingView ring(space, {42});
+  EXPECT_EQ(ring.successor(0), 42u);
+  EXPECT_EQ(ring.predecessor(42), 42u);
+  EXPECT_EQ(ring.finger(42, 3), 42u);
+  EXPECT_EQ(ring.parent(42, 7, RoutingScheme::kGreedy), std::nullopt);
+  EXPECT_EQ(ring.route(42, 7, RoutingScheme::kGreedy),
+            (std::vector<Id>{42}));
+  EXPECT_EQ(ring.gap_ratio(), 1.0);
+}
+
+TEST(RingViewTest, D0Rational) {
+  const IdSpace space(10);
+  const RingView ring(space, {1, 2, 3});
+  const auto [num, den] = ring.d0_rational();
+  EXPECT_EQ(num, 1024u);
+  EXPECT_EQ(den, 3u);
+}
+
+TEST(RingViewTest, GapRatioEvenVsSkewed) {
+  const IdSpace space(8);
+  const RingView even(space, {0, 64, 128, 192});
+  EXPECT_DOUBLE_EQ(even.gap_ratio(), 1.0);
+  // Gaps of {0, 1, 128} are 1 (0->1), 127 (1->128) and 128 (128->0 wrap).
+  const RingView skewed(space, {0, 1, 128});
+  EXPECT_DOUBLE_EQ(skewed.gap_ratio(), 128.0);
+}
+
+class RingRouteProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, RoutingScheme,
+                                                 IdAssignment>> {};
+
+TEST_P(RingRouteProperty, RoutesAreLoopFreeAndLogBounded) {
+  const auto [n, scheme, assignment] = GetParam();
+  const IdSpace space(24);
+  Rng rng(n * 7 + static_cast<int>(scheme));
+  const RingView ring(space, make_ids(assignment, space, n, rng));
+
+  for (int trial = 0; trial < 8; ++trial) {
+    const Id key = rng.next_id(space);
+    const Id root = ring.successor(key);
+    const Id start = ring.id(rng.next_below(ring.size()));
+    const auto path = ring.route(start, key, scheme);
+    EXPECT_EQ(path.back(), root);
+    // Loop-free: all hops distinct.
+    std::set<Id> seen(path.begin(), path.end());
+    EXPECT_EQ(seen.size(), path.size());
+    // Progress: every hop strictly decreases the clockwise distance to the
+    // key, except a final successor hop that lands on the root.
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      if (path[h + 1] == root) continue;
+      EXPECT_LT(space.clockwise(path[h + 1], key),
+                space.clockwise(path[h], key))
+          << "hop " << h;
+    }
+    // Bounded: greedy halves the distance every hop, balanced is at most
+    // log2 n on even rings; allow slack for uneven gaps.
+    EXPECT_LE(path.size(), 3 * space.bits());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RingRouteProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 16, 64, 257),
+                       ::testing::Values(RoutingScheme::kGreedy,
+                                         RoutingScheme::kBalanced),
+                       ::testing::Values(IdAssignment::kRandom,
+                                         IdAssignment::kEven,
+                                         IdAssignment::kProbed)));
+
+}  // namespace

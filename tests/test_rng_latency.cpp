@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+
+namespace {
+
+using dat::IdSpace;
+using dat::Rng;
+using namespace dat::sim;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(RngTest, NextIdInSpace) {
+  Rng rng(4);
+  const IdSpace space(10);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(space.contains(rng.next_id(space)));
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentOfLaterUse) {
+  // Drawing extra values from a child must not perturb the parent's stream
+  // relative to a run that never forked.
+  Rng parent1(42);
+  Rng child1 = parent1.fork(1);
+  (void)child1.next_u64();
+  const auto after_fork = parent1.next_u64();
+
+  Rng parent2(42);
+  Rng child2 = parent2.fork(1);
+  for (int i = 0; i < 100; ++i) (void)child2.next_u64();
+  EXPECT_EQ(parent2.next_u64(), after_fork);
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(6);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.next_normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.next_bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(LatencyTest, ConstantModel) {
+  Rng rng(1);
+  ConstantLatency model(123);
+  EXPECT_EQ(model.sample(1, 2, rng), 123u);
+  EXPECT_EQ(model.sample(9, 9, rng), 123u);
+}
+
+TEST(LatencyTest, UniformModelBounds) {
+  Rng rng(2);
+  UniformLatency model(50, 150);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = model.sample(1, 2, rng);
+    EXPECT_GE(d, 50u);
+    EXPECT_LE(d, 150u);
+  }
+  EXPECT_THROW(UniformLatency(10, 5), std::invalid_argument);
+}
+
+TEST(LatencyTest, UniformDegenerateRange) {
+  Rng rng(3);
+  UniformLatency model(80, 80);
+  EXPECT_EQ(model.sample(0, 1, rng), 80u);
+}
+
+TEST(LatencyTest, LogNormalRespectsFloor) {
+  Rng rng(4);
+  LogNormalLatency model(200.0, 0.8, 100);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(model.sample(1, 2, rng), 100u);
+  }
+  EXPECT_THROW(LogNormalLatency(0.0, 0.5, 10), std::invalid_argument);
+  EXPECT_THROW(LogNormalLatency(100.0, -0.1, 10), std::invalid_argument);
+}
+
+TEST(LatencyTest, LogNormalMedianRoughlyCorrect) {
+  Rng rng(5);
+  LogNormalLatency model(500.0, 0.5, 0);
+  int below = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    if (model.sample(1, 2, rng) < 500) ++below;
+  }
+  EXPECT_NEAR(below / static_cast<double>(kN), 0.5, 0.05);
+}
+
+TEST(LatencyTest, DefaultModelIsLanScale) {
+  Rng rng(6);
+  const auto model = make_default_latency();
+  for (int i = 0; i < 100; ++i) {
+    const auto d = model->sample(1, 2, rng);
+    EXPECT_GE(d, 50u);
+    EXPECT_LE(d, 500u);
+  }
+}
+
+}  // namespace

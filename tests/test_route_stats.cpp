@@ -1,0 +1,75 @@
+#include "analysis/route_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chord/id_assignment.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::analysis;
+
+TEST(RouteStats, CountsEveryNodeTimesKeys) {
+  const IdSpace space(24);
+  Rng rng(1);
+  const chord::RingView ring(space, chord::probed_ids(space, 64, rng));
+  const auto stats =
+      route_lengths(ring, chord::RoutingScheme::kGreedy, 3, rng);
+  EXPECT_EQ(stats.hops.count(), 64u * 3u);
+  const auto total = std::accumulate(stats.histogram.begin(),
+                                     stats.histogram.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 64u * 3u);
+}
+
+TEST(RouteStats, GreedyMeanIsHalfLog) {
+  const IdSpace space(24);
+  Rng rng(2);
+  const chord::RingView ring(space, chord::probed_ids(space, 1024, rng));
+  const auto stats =
+      route_lengths(ring, chord::RoutingScheme::kGreedy, 4, rng);
+  // Classic Chord result: mean greedy route length ~ log2(n)/2 = 5.
+  EXPECT_GT(stats.hops.mean(), 3.5);
+  EXPECT_LT(stats.hops.mean(), 7.5);
+  EXPECT_LE(stats.max_hops(), 2 * IdSpace::ceil_log2(1024));
+}
+
+TEST(RouteStats, BalancedRoutesAreLongerButLogBounded) {
+  const IdSpace space(24);
+  Rng rng(3);
+  const chord::RingView ring(space, chord::probed_ids(space, 1024, rng));
+  const auto greedy =
+      route_lengths(ring, chord::RoutingScheme::kGreedy, 4, rng);
+  const auto balanced =
+      route_lengths(ring, chord::RoutingScheme::kBalanced, 4, rng);
+  // Balanced routing forbids the biggest jumps near the root, so routes
+  // lengthen — that is the price of the constant branching factor — but
+  // stay within ~log2 n.
+  EXPECT_GE(balanced.hops.mean(), greedy.hops.mean());
+  EXPECT_LE(balanced.max_hops(), IdSpace::ceil_log2(1024) + 3);
+}
+
+TEST(RouteStats, SingletonRingIsAllZeroHops) {
+  const IdSpace space(16);
+  Rng rng(4);
+  const chord::RingView ring(space, {42});
+  const auto stats =
+      route_lengths(ring, chord::RoutingScheme::kBalanced, 5, rng);
+  EXPECT_EQ(stats.max_hops(), 0u);
+  EXPECT_EQ(stats.hops.mean(), 0.0);
+}
+
+TEST(RouteStats, RootsContributeZeroHopRoutes) {
+  const IdSpace space(20);
+  Rng rng(5);
+  const chord::RingView ring(space, chord::even_ids(space, 32));
+  const auto stats =
+      route_lengths(ring, chord::RoutingScheme::kGreedy, 2, rng);
+  // The key's owner routes to itself in zero hops — histogram bucket 0 is
+  // populated (once per key).
+  ASSERT_FALSE(stats.histogram.empty());
+  EXPECT_GE(stats.histogram[0], 2u);
+}
+
+}  // namespace

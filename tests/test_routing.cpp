@@ -1,0 +1,207 @@
+#include "chord/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chord/ring_view.hpp"
+#include "chord/id_assignment.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chord;
+
+TEST(CeilLog2Rational, IntegerCases) {
+  EXPECT_EQ(ceil_log2_rational(1, 1), 0u);
+  EXPECT_EQ(ceil_log2_rational(2, 1), 1u);
+  EXPECT_EQ(ceil_log2_rational(3, 1), 2u);
+  EXPECT_EQ(ceil_log2_rational(8, 1), 3u);
+  EXPECT_EQ(ceil_log2_rational(9, 1), 4u);
+}
+
+TEST(CeilLog2Rational, FractionalCases) {
+  EXPECT_EQ(ceil_log2_rational(1, 2), 0u);   // 0.5 -> 0
+  EXPECT_EQ(ceil_log2_rational(10, 3), 2u);  // 3.33 -> 2
+  EXPECT_EQ(ceil_log2_rational(11, 3), 2u);  // 3.67 -> 2
+  EXPECT_EQ(ceil_log2_rational(13, 3), 3u);  // 4.33 -> 3
+  EXPECT_EQ(ceil_log2_rational(4, 3), 1u);   // 1.33 -> 1
+}
+
+TEST(CeilLog2Rational, Errors) {
+  EXPECT_THROW((void)(ceil_log2_rational(0, 1)), std::invalid_argument);
+  EXPECT_THROW((void)(ceil_log2_rational(1, 0)), std::invalid_argument);
+}
+
+TEST(FingerLimit, PaperWorkedExamples) {
+  // Sec. 3.4, Fig. 5: node N8 toward root N0 in a 16-node/4-bit ring
+  // (d0 = 1): x = 8, g(x) = ceil(log2(10/3)) = 2.
+  EXPECT_EQ(finger_limit(8, 1, 1), 2u);
+  // N12: x = 4, g = ceil(log2(2)) = 1.
+  EXPECT_EQ(finger_limit(4, 1, 1), 1u);
+  // N14: x = 2, g = ceil(log2(4/3)) = 1.
+  EXPECT_EQ(finger_limit(2, 1, 1), 1u);
+  // N15: x = 1, g = ceil(log2(1)) = 0.
+  EXPECT_EQ(finger_limit(1, 1, 1), 0u);
+}
+
+TEST(FingerLimit, FractionalD0ScalesTheSpace) {
+  // d0 = 2^b / n as a rational: g(x) = ceil(log2((x + 2 d0) / 3)).
+  // With d0 = 16 (n = 2^28 in a 2^32 space), x = 128:
+  // (128 + 32) / 3 = 53.3 -> ceil log2 = 6.
+  EXPECT_EQ(finger_limit(128, 1ull << 32, 1ull << 28), 6u);
+  // Non-divisible d0 = 2^32 / 3: x = 0 -> 2*d0/3 ≈ 0.95e9 -> ceil log2 = 30.
+  EXPECT_EQ(finger_limit(0, 1ull << 32, 3), 30u);
+}
+
+TEST(FingerLimit, Sec35ChildIdentities) {
+  // The two-children proof of Sec. 3.5 rests on:
+  //   g(d + 2^{j-1}) = j - 1   and   g(d + 2^j) = j,
+  // where j = ceil(log2(d + 2)), for unit d0. Verified over a wide range.
+  for (std::uint64_t d = 1; d <= 5000; ++d) {
+    const unsigned j = IdSpace::ceil_log2(d + 2);
+    ASSERT_GE(j, 1u);
+    EXPECT_EQ(finger_limit(d + (1ull << (j - 1)), 1, 1), j - 1)
+        << "d=" << d;
+    EXPECT_EQ(finger_limit(d + (1ull << j), 1, 1), j) << "d=" << d;
+  }
+}
+
+TEST(FingerLimit, Errors) {
+  EXPECT_THROW((void)(finger_limit(1, 0, 1)), std::invalid_argument);
+  EXPECT_THROW((void)(finger_limit(1, 1, 0)), std::invalid_argument);
+}
+
+class PaperExampleRing : public ::testing::Test {
+ protected:
+  PaperExampleRing() : space_(4), ring_(space_, all_ids()) {}
+
+  static std::vector<Id> all_ids() {
+    std::vector<Id> ids(16);
+    for (Id i = 0; i < 16; ++i) ids[i] = i;
+    return ids;
+  }
+
+  IdSpace space_;
+  RingView ring_;
+};
+
+TEST_F(PaperExampleRing, GreedyRouteFromN1MatchesFig2) {
+  // Fig. 2(b): the finger route from N1 to N0 is <N1, N9, N13, N15, N0>.
+  const auto path = ring_.route(1, 0, RoutingScheme::kGreedy);
+  EXPECT_EQ(path, (std::vector<Id>{1, 9, 13, 15, 0}));
+}
+
+TEST_F(PaperExampleRing, GreedyN8GoesDirectlyToRoot) {
+  // Sec. 3.4: "the node N8 ... forwards its update to the node N0 directly,
+  // using the finger 2^3 away".
+  EXPECT_EQ(ring_.parent(8, 0, RoutingScheme::kGreedy), std::optional<Id>(0));
+}
+
+TEST_F(PaperExampleRing, GreedyRootHasFourChildrenPerFig2) {
+  // "Since N0 is the next hop of N8, N12, N14, and N15, it has four child
+  // nodes correspondingly."
+  for (const Id child : {8, 12, 14, 15}) {
+    EXPECT_EQ(ring_.parent(child, 0, RoutingScheme::kGreedy),
+              std::optional<Id>(0))
+        << "child " << child;
+  }
+  EXPECT_EQ(ring_.parent(0, 0, RoutingScheme::kGreedy), std::nullopt);
+}
+
+TEST_F(PaperExampleRing, BalancedN8SelectsLimitedFinger) {
+  // Fig. 5(a): with the balanced scheme N8's parent becomes its 2^2 finger
+  // N12 instead of N0 (the paper's running example; its text misprints the
+  // node name but Fig. 5(b)'s tree shows the 8 -> 12 -> 14 -> 0 path).
+  EXPECT_EQ(ring_.parent(8, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(12));
+  EXPECT_EQ(ring_.parent(12, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(14));
+  EXPECT_EQ(ring_.parent(14, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(0));
+}
+
+TEST_F(PaperExampleRing, BalancedRootChildrenAreTwoInboundFingers) {
+  // Sec. 3.5: node i's children are its j-th and j+1-th inbound fingers;
+  // for the root (d = 0, j = 1) these are N15 and N14.
+  EXPECT_EQ(ring_.parent(15, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(0));
+  EXPECT_EQ(ring_.parent(14, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(0));
+  // And nobody else picks the root directly.
+  for (Id i = 1; i <= 13; ++i) {
+    EXPECT_NE(ring_.parent(i, 0, RoutingScheme::kBalanced),
+              std::optional<Id>(0))
+        << "node " << i;
+  }
+}
+
+TEST_F(PaperExampleRing, BalancedN13ParentIsN15) {
+  EXPECT_EQ(ring_.parent(13, 0, RoutingScheme::kBalanced),
+            std::optional<Id>(15));
+}
+
+TEST_F(PaperExampleRing, EveryRouteTerminatesAtRoot) {
+  for (Id key = 0; key < 16; ++key) {
+    const Id root = ring_.successor(key);
+    for (Id v = 0; v < 16; ++v) {
+      for (const auto scheme :
+           {RoutingScheme::kGreedy, RoutingScheme::kBalanced}) {
+        const auto path = ring_.route(v, key, scheme);
+        EXPECT_EQ(path.front(), v);
+        EXPECT_EQ(path.back(), root);
+      }
+    }
+  }
+}
+
+TEST(NextHop, RootHasNone) {
+  const IdSpace space(8);
+  const std::vector<Id> fingers{10, 20, 40};
+  EXPECT_EQ(next_hop_greedy(space, 5, 5, fingers, /*self_is_root=*/true),
+            std::nullopt);
+}
+
+TEST(NextHop, SingletonRingHasNoNextHop) {
+  const IdSpace space(8);
+  const std::vector<Id> fingers{5, 5, 5};  // all fingers collapse to self
+  EXPECT_EQ(next_hop_greedy(space, 5, 77, fingers, false), std::nullopt);
+}
+
+TEST(NextHop, KeyBetweenSelfAndSuccessorFallsToSuccessor) {
+  // Key 7 lies between node 5 and its successor 10: the successor is the
+  // root and the final hop.
+  const IdSpace space(8);
+  const std::vector<Id> fingers{10, 10, 40, 100};
+  EXPECT_EQ(next_hop_greedy(space, 5, 7, fingers, false),
+            std::optional<Id>(10));
+}
+
+TEST(NextHop, PicksClosestPrecedingOrEqualFinger) {
+  const IdSpace space(8);
+  // Node 0, key 100: fingers 1, 2, 64, 128. 64 is the largest in (0, 100].
+  const std::vector<Id> fingers{1, 2, 64, 128};
+  EXPECT_EQ(next_hop_greedy(space, 0, 100, fingers, false),
+            std::optional<Id>(64));
+  // A finger equal to the key is taken directly (the paper's (w, k] rule).
+  const std::vector<Id> exact{1, 2, 100, 128};
+  EXPECT_EQ(next_hop_greedy(space, 0, 100, exact, false),
+            std::optional<Id>(100));
+}
+
+TEST(NextHop, LimitRestrictsFingerChoice) {
+  const IdSpace space(8);
+  const std::vector<Id> fingers{1, 2, 4, 8, 16, 32, 64, 128};
+  // Unlimited: takes 64 toward key 100.
+  EXPECT_EQ(next_hop(space, 0, 100, fingers, false, 7),
+            std::optional<Id>(64));
+  // Limit j <= 3: the largest admissible finger is 8.
+  EXPECT_EQ(next_hop(space, 0, 100, fingers, false, 3), std::optional<Id>(8));
+  // Limit 0: only the successor.
+  EXPECT_EQ(next_hop(space, 0, 100, fingers, false, 0), std::optional<Id>(1));
+}
+
+TEST(RoutingScheme, Names) {
+  EXPECT_STREQ(to_string(RoutingScheme::kGreedy), "greedy");
+  EXPECT_STREQ(to_string(RoutingScheme::kBalanced), "balanced");
+}
+
+}  // namespace

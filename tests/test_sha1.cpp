@@ -1,0 +1,112 @@
+#include "common/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using dat::IdSpace;
+using dat::Sha1;
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::hex(Sha1::digest("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::hex(Sha1::digest("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(Sha1::hex(Sha1::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, PaddingBoundary55Bytes) {
+  // 55 bytes: padding fits exactly with the length in one block.
+  EXPECT_EQ(Sha1::hex(Sha1::digest(std::string(55, 'a'))),
+            "c1c8bbdc22796e28c0e15163d20899b65621d65a");
+}
+
+TEST(Sha1, PaddingBoundary56Bytes) {
+  // 56 bytes forces a second padding block.
+  EXPECT_EQ(Sha1::hex(Sha1::digest(std::string(56, 'a'))),
+            "c2db330f6083854c99d4b5bfb6e8f29f201be699");
+}
+
+TEST(Sha1, PaddingBoundary64Bytes) {
+  EXPECT_EQ(Sha1::hex(Sha1::digest(std::string(64, 'a'))),
+            "0098ba824b5c16427bd7a1122a5a442a25ec644d");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(Sha1::hex(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), Sha1::digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, UpdateAfterFinishThrows) {
+  Sha1 h;
+  h.update("x");
+  (void)h.finish();
+  EXPECT_THROW(h.update("y"), std::logic_error);
+  EXPECT_THROW((void)h.finish(), std::logic_error);
+}
+
+TEST(Sha1, HashToIdStaysInSpace) {
+  const IdSpace tiny(4);
+  const IdSpace big(48);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    EXPECT_TRUE(tiny.contains(Sha1::hash_to_id(key, tiny)));
+    EXPECT_TRUE(big.contains(Sha1::hash_to_id(key, big)));
+  }
+}
+
+TEST(Sha1, HashToIdDeterministic) {
+  const IdSpace space(32);
+  EXPECT_EQ(Sha1::hash_to_id("cpu-usage", space),
+            Sha1::hash_to_id("cpu-usage", space));
+  EXPECT_NE(Sha1::hash_to_id("cpu-usage", space),
+            Sha1::hash_to_id("cpu-speed", space));
+}
+
+TEST(Sha1, HashToIdIsTruncationOfWiderSpace) {
+  // The b-bit id is the wider id masked down: consistent hashing across
+  // deployments that only differ in b.
+  const IdSpace narrow(16);
+  const IdSpace wide(32);
+  const auto wide_id = Sha1::hash_to_id("resource-7", wide);
+  EXPECT_EQ(Sha1::hash_to_id("resource-7", narrow), wide_id & narrow.mask());
+}
+
+TEST(Sha1, HashToIdSpreadsUniformly) {
+  // Crude uniformity check: quartile occupancy of 4000 hashed keys.
+  const IdSpace space(32);
+  std::size_t buckets[4] = {};
+  for (int i = 0; i < 4000; ++i) {
+    const auto id = Sha1::hash_to_id("node:" + std::to_string(i), space);
+    ++buckets[id >> 30];
+  }
+  for (const std::size_t count : buckets) {
+    EXPECT_GT(count, 800u);
+    EXPECT_LT(count, 1200u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using dat::Histogram;
+using dat::RunningStats;
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(-3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), -3.5);
+  EXPECT_EQ(s.max(), -3.5);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats c = a;
+  c.merge(empty);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+  RunningStats d = empty;
+  d.merge(a);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentile, NearestRank) {
+  const std::vector<double> v{9, 1, 5, 3, 7};
+  EXPECT_EQ(dat::percentile(v, 0.0), 1.0);
+  EXPECT_EQ(dat::percentile(v, 0.2), 1.0);
+  EXPECT_EQ(dat::percentile(v, 0.5), 5.0);
+  EXPECT_EQ(dat::percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, Errors) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)(dat::percentile(empty, 0.5)), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)(dat::percentile(v, -0.1)), std::invalid_argument);
+  EXPECT_THROW((void)(dat::percentile(v, 1.1)), std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{10, 20, 30, 40, 50};
+  EXPECT_NEAR(dat::pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{4, 3, 2, 1};
+  EXPECT_NEAR(dat::pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  const std::vector<double> xs{1, 2, 3};
+  const std::vector<double> ys{7, 7, 7};
+  EXPECT_EQ(dat::pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, LengthMismatchThrows) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW((void)(dat::pearson(xs, ys)), std::invalid_argument);
+}
+
+TEST(MeanRelativeError, Basics) {
+  const std::vector<double> measured{110, 90};
+  const std::vector<double> truth{100, 100};
+  EXPECT_NEAR(dat::mean_relative_error(measured, truth), 0.1, 1e-12);
+}
+
+TEST(MeanRelativeError, ZeroTruthUsesEpsilon) {
+  const std::vector<double> measured{1.0};
+  const std::vector<double> truth{0.0};
+  EXPECT_GT(dat::mean_relative_error(measured, truth, 0.5), 0.0);
+}
+
+TEST(MeanRelativeError, EmptyIsZero) {
+  EXPECT_EQ(dat::mean_relative_error({}, {}), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamps to 0
+  h.add(42.0);  // clamps to 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_low(4), 8.0);
+}
+
+TEST(HistogramTest, Errors) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.bucket_low(2), std::out_of_range);
+}
+
+}  // namespace

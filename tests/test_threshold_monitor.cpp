@@ -1,0 +1,133 @@
+#include "gma/threshold_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::gma;
+
+class ThresholdMonitorTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 12;
+
+  ThresholdMonitorTest() {
+    harness::ClusterOptions options;
+    options.seed = 7007;
+    options.dat.epoch_us = 200'000;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+    if (!converged_) return;
+    // Every node reports the shared controllable load value.
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      cluster_->dat(i).start_aggregate("load", core::AggregateKind::kAvg,
+                                       chord::RoutingScheme::kBalanced,
+                                       [this]() { return load_; });
+    }
+    cluster_->run_for(4'000'000);
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  double load_ = 50.0;
+  bool converged_ = false;
+};
+
+TEST_F(ThresholdMonitorTest, FiresOncePerExcursionWithHysteresis) {
+  ASSERT_TRUE(converged_);
+  ThresholdMonitor::Options options;
+  options.trigger = 90.0;
+  options.clear = 80.0;
+  options.poll_interval_us = 300'000;
+  int alerts = 0;
+  double alerted_value = 0.0;
+  ThresholdMonitor monitor(cluster_->dat(2), "load", options,
+                           [&](double value, const core::GlobalValue&) {
+                             ++alerts;
+                             alerted_value = value;
+                           });
+  monitor.start();
+  cluster_->run_for(3'000'000);
+  EXPECT_EQ(alerts, 0);  // load 50 < 90
+  EXPECT_TRUE(monitor.armed());
+  ASSERT_TRUE(monitor.last_value().has_value());
+  EXPECT_DOUBLE_EQ(*monitor.last_value(), 50.0);
+
+  load_ = 95.0;  // spike
+  cluster_->run_for(6'000'000);
+  EXPECT_EQ(alerts, 1);
+  EXPECT_DOUBLE_EQ(alerted_value, 95.0);
+  EXPECT_FALSE(monitor.armed());
+
+  // Hovering between clear and trigger must NOT re-fire.
+  load_ = 85.0;
+  cluster_->run_for(6'000'000);
+  EXPECT_EQ(alerts, 1);
+  EXPECT_FALSE(monitor.armed());
+
+  // Full recovery re-arms; the next spike fires again.
+  load_ = 60.0;
+  cluster_->run_for(6'000'000);
+  EXPECT_TRUE(monitor.armed());
+  load_ = 99.0;
+  cluster_->run_for(6'000'000);
+  EXPECT_EQ(alerts, 2);
+  EXPECT_EQ(monitor.alerts_fired(), 2u);
+}
+
+TEST_F(ThresholdMonitorTest, BelowDirection) {
+  ASSERT_TRUE(converged_);
+  ThresholdMonitor::Options options;
+  options.trigger = 20.0;
+  options.clear = 30.0;
+  options.direction = ThresholdMonitor::Direction::kBelow;
+  options.poll_interval_us = 300'000;
+  int alerts = 0;
+  ThresholdMonitor monitor(cluster_->dat(5), "load", options,
+                           [&](double, const core::GlobalValue&) { ++alerts; });
+  monitor.start();
+  cluster_->run_for(3'000'000);
+  EXPECT_EQ(alerts, 0);
+  load_ = 10.0;  // dip below
+  cluster_->run_for(6'000'000);
+  EXPECT_EQ(alerts, 1);
+}
+
+TEST_F(ThresholdMonitorTest, StopHaltsPolling) {
+  ASSERT_TRUE(converged_);
+  ThresholdMonitor::Options options;
+  options.trigger = 90.0;
+  options.clear = 80.0;
+  options.poll_interval_us = 300'000;
+  int alerts = 0;
+  ThresholdMonitor monitor(cluster_->dat(1), "load", options,
+                           [&](double, const core::GlobalValue&) { ++alerts; });
+  monitor.start();
+  cluster_->run_for(2'000'000);
+  monitor.stop();
+  load_ = 100.0;
+  cluster_->run_for(6'000'000);
+  EXPECT_EQ(alerts, 0);  // stopped before the spike
+  // Restart picks it up.
+  monitor.start();
+  cluster_->run_for(4'000'000);
+  EXPECT_EQ(alerts, 1);
+}
+
+TEST_F(ThresholdMonitorTest, Validation) {
+  ASSERT_TRUE(converged_);
+  ThresholdMonitor::Options bad;
+  bad.trigger = 90.0;
+  bad.clear = 95.0;  // clear above trigger for kAbove: invalid
+  EXPECT_THROW(ThresholdMonitor(cluster_->dat(0), "load", bad,
+                                [](double, const core::GlobalValue&) {}),
+               std::invalid_argument);
+  ThresholdMonitor::Options ok;
+  EXPECT_THROW(ThresholdMonitor(cluster_->dat(0), "load", ok, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include "trace/cpu_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::trace;
+
+TEST(CpuTraceTest, SynthesisIsDeterministic) {
+  const TraceConfig config{};
+  const CpuTrace a = CpuTrace::synthesize(config, 7);
+  const CpuTrace b = CpuTrace::synthesize(config, 7);
+  ASSERT_EQ(a.sample_count(), b.sample_count());
+  for (std::size_t i = 0; i < a.sample_count(); ++i) {
+    EXPECT_EQ(a.sample(i), b.sample(i));
+  }
+}
+
+TEST(CpuTraceTest, DifferentSeedsDiffer) {
+  const TraceConfig config{};
+  const CpuTrace a = CpuTrace::synthesize(config, 1);
+  const CpuTrace b = CpuTrace::synthesize(config, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.sample_count(); ++i) {
+    if (a.sample(i) != b.sample(i)) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(a.sample_count() / 2));
+}
+
+TEST(CpuTraceTest, SamplesStayInPercentRange) {
+  const CpuTrace t = CpuTrace::synthesize(TraceConfig{}, 3);
+  for (std::size_t i = 0; i < t.sample_count(); ++i) {
+    EXPECT_GE(t.sample(i), 0.0);
+    EXPECT_LE(t.sample(i), 100.0);
+  }
+}
+
+TEST(CpuTraceTest, TwoHourDefaultShape) {
+  const TraceConfig config{};
+  const CpuTrace t = CpuTrace::synthesize(config, 4);
+  EXPECT_EQ(t.sample_count(), 1440u);  // 7200 s / 5 s
+  EXPECT_DOUBLE_EQ(t.duration_s(), 7200.0);
+  EXPECT_DOUBLE_EQ(t.sample_interval_s(), 5.0);
+}
+
+TEST(CpuTraceTest, MeanNearConfiguredBase) {
+  TraceConfig config;
+  config.bursts_per_hour = 0.0;  // remove the skewing bursts
+  const CpuTrace t = CpuTrace::synthesize(config, 5);
+  RunningStats stats;
+  for (std::size_t i = 0; i < t.sample_count(); ++i) stats.add(t.sample(i));
+  EXPECT_NEAR(stats.mean(), config.base_load_pct, 10.0);
+  EXPECT_GT(stats.stddev(), 1.0);  // it is not a constant
+}
+
+TEST(CpuTraceTest, TemporalCorrelation) {
+  // AR(1) + drift means adjacent samples correlate strongly; shuffled
+  // samples would not.
+  const CpuTrace t = CpuTrace::synthesize(TraceConfig{}, 6);
+  std::vector<double> now;
+  std::vector<double> next;
+  for (std::size_t i = 0; i + 1 < t.sample_count(); ++i) {
+    now.push_back(t.sample(i));
+    next.push_back(t.sample(i + 1));
+  }
+  EXPECT_GT(pearson(now, next), 0.7);
+}
+
+TEST(CpuTraceTest, AtIsPiecewiseConstantAndClamped) {
+  const CpuTrace t({10.0, 20.0, 30.0}, 5.0);
+  EXPECT_EQ(t.at(-1.0), 10.0);
+  EXPECT_EQ(t.at(0.0), 10.0);
+  EXPECT_EQ(t.at(4.9), 10.0);
+  EXPECT_EQ(t.at(5.0), 20.0);
+  EXPECT_EQ(t.at(12.0), 30.0);
+  EXPECT_EQ(t.at(1000.0), 30.0);  // clamps past the end
+}
+
+TEST(CpuTraceTest, ConstructionErrors) {
+  EXPECT_THROW(CpuTrace({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(CpuTrace({1.0}, 0.0), std::invalid_argument);
+  TraceConfig bad;
+  bad.duration_s = 0;
+  EXPECT_THROW(CpuTrace::synthesize(bad, 1), std::invalid_argument);
+}
+
+TEST(TraceReplayerTest, IdentityReplay) {
+  const CpuTrace t({10.0, 20.0, 30.0}, 5.0);
+  const TraceReplayer replay(t, 0.0, 1.0);
+  EXPECT_EQ(replay.at(0.0), 10.0);
+  EXPECT_EQ(replay.at(6.0), 20.0);
+}
+
+TEST(TraceReplayerTest, PhaseShiftWraps) {
+  const CpuTrace t({10.0, 20.0, 30.0}, 5.0);
+  const TraceReplayer replay(t, 5.0, 1.0);
+  EXPECT_EQ(replay.at(0.0), 20.0);
+  EXPECT_EQ(replay.at(5.0), 30.0);
+  EXPECT_EQ(replay.at(10.0), 10.0);  // wrapped around the 15 s trace
+}
+
+TEST(TraceReplayerTest, GainScalesAndClamps) {
+  const CpuTrace t({40.0, 80.0}, 1.0);
+  const TraceReplayer replay(t, 0.0, 1.5);
+  EXPECT_EQ(replay.at(0.0), 60.0);
+  EXPECT_EQ(replay.at(1.0), 100.0);  // 120 clamps to 100
+  EXPECT_THROW(TraceReplayer(t, 0.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace

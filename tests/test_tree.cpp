@@ -1,0 +1,248 @@
+#include "dat/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "chord/id_assignment.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chord;
+using dat::core::Tree;
+using dat::core::basic_branching_closed_form;
+
+RingView full_16_ring() {
+  std::vector<Id> ids(16);
+  for (Id i = 0; i < 16; ++i) ids[i] = i;
+  return {IdSpace(4), std::move(ids)};
+}
+
+TEST(TreeBasics, RootIsSuccessorOfKey) {
+  const IdSpace space(8);
+  const RingView ring(space, {10, 100, 200});
+  EXPECT_EQ(Tree(ring, 50, RoutingScheme::kGreedy).root(), 100u);
+  EXPECT_EQ(Tree(ring, 100, RoutingScheme::kGreedy).root(), 100u);
+  EXPECT_EQ(Tree(ring, 201, RoutingScheme::kGreedy).root(), 10u);
+}
+
+TEST(TreeBasics, SingletonTree) {
+  const IdSpace space(8);
+  const RingView ring(space, {42});
+  const Tree tree(ring, 0, RoutingScheme::kBalanced);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_EQ(tree.max_branching(), 0u);
+  EXPECT_TRUE(tree.is_root(42));
+  EXPECT_THROW((void)(tree.parent(42)), std::out_of_range);
+  EXPECT_TRUE(tree.children(42).empty());
+}
+
+TEST(TreeBasics, TwoNodeTree) {
+  const IdSpace space(8);
+  const RingView ring(space, {10, 200});
+  const Tree tree(ring, 5, RoutingScheme::kBalanced);
+  EXPECT_EQ(tree.root(), 10u);
+  EXPECT_EQ(tree.parent(200), 10u);
+  EXPECT_EQ(tree.children(10), (std::vector<Id>{200}));
+  EXPECT_EQ(tree.height(), 1u);
+  EXPECT_EQ(tree.depth(200), 1u);
+  EXPECT_EQ(tree.depth(10), 0u);
+}
+
+TEST(TreeBasics, UnknownNodeThrows) {
+  const IdSpace space(8);
+  const RingView ring(space, {10, 200});
+  const Tree tree(ring, 5, RoutingScheme::kGreedy);
+  EXPECT_THROW((void)(tree.parent(11)), std::out_of_range);
+  EXPECT_THROW((void)tree.depth(11), std::out_of_range);
+}
+
+TEST(TreePaperExample, BasicDatTreeOfFig2) {
+  const RingView ring = full_16_ring();
+  const Tree tree(ring, 0, RoutingScheme::kGreedy);
+  EXPECT_EQ(tree.root(), 0u);
+  // Root children per Fig. 2(b): N8, N12, N14, N15.
+  EXPECT_EQ(tree.children(0), (std::vector<Id>{8, 12, 14, 15}));
+  EXPECT_EQ(tree.max_branching(), 4u);  // = log2(16)
+  EXPECT_EQ(tree.height(), 4u);         // longest route, e.g. from N1
+  EXPECT_EQ(tree.depth(1), 4u);
+  EXPECT_TRUE(tree.all_reach_root());
+}
+
+TEST(TreePaperExample, BalancedDatTreeOfFig5) {
+  const RingView ring = full_16_ring();
+  const Tree tree(ring, 0, RoutingScheme::kBalanced);
+  EXPECT_EQ(tree.root(), 0u);
+  EXPECT_EQ(tree.children(0), (std::vector<Id>{14, 15}));
+  EXPECT_LE(tree.max_branching(), 2u);
+  EXPECT_LE(tree.height(), 4u);  // log2(16)
+  EXPECT_EQ(tree.parent(8), 12u);
+  EXPECT_TRUE(tree.all_reach_root());
+}
+
+TEST(TreeClosedForm, BasicBranchingFormulaOnEvenRing) {
+  // Sec. 3.3: B(i,n) = log2(n) - ceil(log2(d/d0 + 1)) with d the clockwise
+  // distance from i to the root — verified for EVERY node on even rings of
+  // several sizes.
+  for (const unsigned bits : {4u, 6u, 8u}) {
+    const IdSpace space(bits);
+    const std::size_t n = space.size();
+    std::vector<Id> ids(n);
+    for (std::size_t i = 0; i < n; ++i) ids[i] = static_cast<Id>(i);
+    const RingView ring(space, ids);
+    const Id root = 0;
+    const Tree tree(ring, root, RoutingScheme::kGreedy);
+    for (const Id i : ring.ids()) {
+      const Id d = space.clockwise(i, root);
+      EXPECT_EQ(tree.branching(i), basic_branching_closed_form(n, d, 1))
+          << "node " << i << " in 2^" << bits;
+    }
+  }
+}
+
+TEST(TreeClosedForm, RootGetsLog2N) {
+  EXPECT_EQ(basic_branching_closed_form(16, 0, 1), 4u);
+  EXPECT_EQ(basic_branching_closed_form(1024, 0, 1), 10u);
+}
+
+TEST(TreeClosedForm, FarHalfGetsZero) {
+  // Case (2) of the paper's proof sketch: nodes at distance >= n/2 from the
+  // root are leaves.
+  for (Id d = 8; d < 16; ++d) {
+    EXPECT_EQ(basic_branching_closed_form(16, d, 1), 0u) << "d=" << d;
+  }
+}
+
+TEST(TreeClosedForm, ScalesWithD0) {
+  // Shrunk key space (n < 2^b): d/d0 replaces d.
+  EXPECT_EQ(basic_branching_closed_form(16, 0, 4), 4u);
+  EXPECT_EQ(basic_branching_closed_form(16, 4, 4), 3u);   // d/d0 = 1
+  EXPECT_EQ(basic_branching_closed_form(16, 32, 4), 0u);  // far half
+}
+
+TEST(TreeClosedForm, Errors) {
+  EXPECT_THROW((void)(basic_branching_closed_form(0, 1, 1)), std::invalid_argument);
+  EXPECT_THROW((void)(basic_branching_closed_form(8, 1, 0)), std::invalid_argument);
+}
+
+TEST(TreeBalanced, MaxTwoChildrenOnEvenRingsWithAlignedKeys) {
+  // Sec. 3.5's two-children theorem assumes the root sits at the rendezvous
+  // key (distances to the root are multiples of d0). With the key aligned
+  // to a node identifier the bound holds exactly at every power-of-two n.
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const IdSpace space(16);
+    const RingView ring(space, even_ids(space, n));
+    Rng rng(n);
+    for (int trial = 0; trial < 4; ++trial) {
+      const Id key = ring.id(rng.next_below(ring.size()));  // aligned
+      const Tree tree(ring, key, RoutingScheme::kBalanced);
+      EXPECT_LE(tree.max_branching(), 2u) << "n=" << n << " key=" << key;
+      EXPECT_LE(tree.height(), IdSpace::ceil_log2(n) + 1) << "n=" << n;
+      EXPECT_TRUE(tree.all_reach_root());
+    }
+  }
+}
+
+TEST(TreeBalanced, UnalignedKeysCostAtMostOneExtraChild) {
+  // A key strictly between nodes shifts every node's distance by the same
+  // sub-gap offset, which can merge two child slots: max branching 3.
+  for (const std::size_t n : {8u, 32u, 128u, 512u}) {
+    const IdSpace space(16);
+    const RingView ring(space, even_ids(space, n));
+    Rng rng(n * 3 + 1);
+    for (int trial = 0; trial < 6; ++trial) {
+      const Id key = rng.next_id(space);  // almost surely unaligned
+      const Tree tree(ring, key, RoutingScheme::kBalanced);
+      EXPECT_LE(tree.max_branching(), 3u) << "n=" << n << " key=" << key;
+      EXPECT_TRUE(tree.all_reach_root());
+    }
+  }
+}
+
+TEST(TreeBalanced, NonPowerOfTwoEvenRingsStaySmall) {
+  // floor(i*2^b/n) spacing jitters gaps by one unit when n does not divide
+  // 2^b, which can add one more child slot. The constant bound (4) matches
+  // the paper's own measured constant in Fig. 7(a).
+  const IdSpace space(16);
+  for (const std::size_t n : {5u, 12u, 100u, 321u}) {
+    const RingView ring(space, even_ids(space, n));
+    const Tree tree(ring, ring.id(0), RoutingScheme::kBalanced);
+    EXPECT_LE(tree.max_branching(), 4u) << "n=" << n;
+    EXPECT_TRUE(tree.all_reach_root());
+  }
+}
+
+class TreeProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, RoutingScheme, IdAssignment>> {};
+
+TEST_P(TreeProperty, StructuralInvariants) {
+  const auto [n, scheme, assignment] = GetParam();
+  const IdSpace space(24);
+  Rng rng(1000 + n);
+  const RingView ring(space, make_ids(assignment, space, n, rng));
+  const Id key = rng.next_id(space);
+  const Tree tree(ring, key, scheme);
+
+  EXPECT_EQ(tree.size(), ring.size());
+  EXPECT_EQ(tree.root(), ring.successor(key));
+  EXPECT_TRUE(tree.all_reach_root());
+
+  // Every non-root node has exactly one parent; edge count is n-1.
+  std::size_t edges = 0;
+  std::size_t leaves = 0;
+  for (const Id v : tree.nodes()) {
+    if (!tree.is_root(v)) {
+      ++edges;
+      // Child lists are consistent with parents.
+      const auto& siblings = tree.children(tree.parent(v));
+      EXPECT_TRUE(std::find(siblings.begin(), siblings.end(), v) !=
+                  siblings.end());
+    }
+    if (tree.children(v).empty()) ++leaves;
+    EXPECT_LE(tree.depth(v), tree.height());
+  }
+  EXPECT_EQ(edges, ring.size() - 1);
+  if (ring.size() > 1) {
+    EXPECT_GE(leaves, 1u);
+  }
+
+  // Average branching over internal nodes is (n-1)/internal.
+  if (ring.size() > 1) {
+    EXPECT_GT(tree.avg_branching_internal(), 0.99);
+  }
+  // Depth is parent depth + 1.
+  for (const Id v : tree.nodes()) {
+    if (!tree.is_root(v)) {
+      EXPECT_EQ(tree.depth(v), tree.depth(tree.parent(v)) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 7, 32, 129,
+                                                      512),
+                       ::testing::Values(RoutingScheme::kGreedy,
+                                         RoutingScheme::kBalanced),
+                       ::testing::Values(IdAssignment::kRandom,
+                                         IdAssignment::kEven,
+                                         IdAssignment::kProbed)));
+
+TEST(TreeHeights, GreedyHeightIsLogarithmic) {
+  const IdSpace space(24);
+  Rng rng(5);
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const RingView ring(space, random_ids(space, n, rng));
+    const Tree tree(ring, rng.next_id(space), RoutingScheme::kGreedy);
+    // Greedy finger routing halves the remaining distance every hop, so
+    // height <= b; with n nodes it concentrates near log2 n.
+    EXPECT_LE(tree.height(), 2 * IdSpace::ceil_log2(n)) << "n=" << n;
+  }
+}
+
+}  // namespace

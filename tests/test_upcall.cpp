@@ -1,0 +1,225 @@
+// The Chord application surface of paper Fig. 6 — route, broadcast, upcall —
+// plus the DAT root-history API built on it.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+
+class UpcallClusterTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNodes = 16;
+
+  UpcallClusterTest() {
+    harness::ClusterOptions options;
+    options.seed = 606;
+    options.dat.epoch_us = 200'000;
+    cluster_ = std::make_unique<harness::SimCluster>(kNodes, std::move(options));
+    converged_ = cluster_->wait_converged(300'000'000);
+  }
+
+  std::unique_ptr<harness::SimCluster> cluster_;
+  bool converged_ = false;
+};
+
+TEST_F(UpcallClusterTest, RouteDeliversAtTheKeyOwner) {
+  ASSERT_TRUE(converged_);
+  const chord::RingView ring = cluster_->ring_view();
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Id key = rng.next_id(cluster_->space());
+    const Id owner = ring.successor(key);
+
+    std::map<Id, int> delivered;  // receiving node id -> count
+    std::map<Id, std::uint64_t> payloads;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      chord::Node& node = cluster_->node(i);
+      node.set_upcall("test.route", [&delivered, &payloads, id = node.id()](
+                                        Id k, net::Reader& r) {
+        ++delivered[id];
+        payloads[id] = r.u64();
+        (void)k;
+      });
+    }
+    net::Writer payload;
+    payload.u64(0xABCD0000 + static_cast<std::uint64_t>(trial));
+    cluster_->node(trial % kNodes).route(key, "test.route", payload);
+    cluster_->run_for(3'000'000);
+
+    ASSERT_EQ(delivered.size(), 1u) << "key " << key;
+    EXPECT_EQ(delivered.begin()->first, owner);
+    EXPECT_EQ(delivered.begin()->second, 1);
+    EXPECT_EQ(payloads[owner], 0xABCD0000 + static_cast<std::uint64_t>(trial));
+  }
+}
+
+TEST_F(UpcallClusterTest, RouteToOwnKeyDeliversLocallyAndSynchronously) {
+  ASSERT_TRUE(converged_);
+  chord::Node& node = cluster_->node(4);
+  bool delivered = false;
+  node.set_upcall("test.self", [&](Id, net::Reader& r) {
+    delivered = true;
+    EXPECT_EQ(r.str(), "hello-self");
+  });
+  net::Writer payload;
+  payload.str("hello-self");
+  node.route(node.id(), "test.self", payload);  // node owns its own id
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(UpcallClusterTest, BroadcastReachesEveryNodeExactlyOnce) {
+  ASSERT_TRUE(converged_);
+  std::map<Id, int> deliveries;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    chord::Node& node = cluster_->node(i);
+    node.set_upcall("test.bcast", [&deliveries, id = node.id()](
+                                      Id, net::Reader& r) {
+      ++deliveries[id];
+      EXPECT_EQ(r.u64(), 42u);
+    });
+  }
+  net::Writer payload;
+  payload.u64(42);
+  cluster_->node(9).broadcast("test.bcast", payload);
+  cluster_->run_for(5'000'000);
+
+  EXPECT_EQ(deliveries.size(), kNodes);
+  for (const auto& [id, count] : deliveries) {
+    EXPECT_EQ(count, 1) << "node " << id;
+  }
+}
+
+TEST_F(UpcallClusterTest, BroadcastFromEveryOrigin) {
+  ASSERT_TRUE(converged_);
+  for (std::size_t origin = 0; origin < kNodes; origin += 5) {
+    std::set<Id> reached;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      chord::Node& node = cluster_->node(i);
+      node.set_upcall("test.origin", [&reached, id = node.id()](
+                                         Id, net::Reader&) {
+        reached.insert(id);
+      });
+    }
+    cluster_->node(origin).broadcast("test.origin", net::Writer{});
+    cluster_->run_for(5'000'000);
+    EXPECT_EQ(reached.size(), kNodes) << "origin " << origin;
+  }
+}
+
+TEST_F(UpcallClusterTest, UnregisteredTopicIsDroppedQuietly) {
+  ASSERT_TRUE(converged_);
+  net::Writer payload;
+  payload.u64(1);
+  EXPECT_NO_THROW(cluster_->node(0).broadcast("test.ghost", payload));
+  EXPECT_NO_THROW(cluster_->run_for(2'000'000));
+}
+
+TEST_F(UpcallClusterTest, ThrowingUpcallIsContained) {
+  ASSERT_TRUE(converged_);
+  cluster_->node(3).set_upcall("test.throw", [](Id, net::Reader&) {
+    throw std::runtime_error("upcall boom");
+  });
+  net::Writer payload;
+  cluster_->node(3).route(cluster_->node(3).id(), "test.throw", payload);
+  EXPECT_NO_THROW(cluster_->run_for(1'000'000));
+}
+
+TEST_F(UpcallClusterTest, UpcallCanBeUnregistered) {
+  ASSERT_TRUE(converged_);
+  int count = 0;
+  chord::Node& node = cluster_->node(7);
+  node.set_upcall("test.once", [&](Id, net::Reader&) { ++count; });
+  node.route(node.id(), "test.once", net::Writer{});
+  node.set_upcall("test.once", nullptr);
+  node.route(node.id(), "test.once", net::Writer{});
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(UpcallClusterTest, RootHistoryAccumulates) {
+  ASSERT_TRUE(converged_);
+  Id key = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    key = cluster_->dat(i).start_aggregate(
+        "hist-attr", core::AggregateKind::kSum,
+        chord::RoutingScheme::kBalanced, []() { return 1.0; });
+  }
+  cluster_->run_for(10 * 200'000);
+
+  const Id root_id = cluster_->ring_view().successor(key);
+  std::vector<core::GlobalValue> history;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    if (cluster_->node(i).id() == root_id) {
+      history = cluster_->dat(i).history(key);
+    } else {
+      EXPECT_TRUE(cluster_->dat(i).history(key).empty()) << "slot " << i;
+    }
+  }
+  ASSERT_GE(history.size(), 5u);
+  // Epochs strictly increase; timestamps are monotone.
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GT(history[i].epoch, history[i - 1].epoch);
+    EXPECT_GE(history[i].updated_at_us, history[i - 1].updated_at_us);
+  }
+  // The tail of the series sees the full population.
+  EXPECT_EQ(history.back().state.count, kNodes);
+}
+
+TEST_F(UpcallClusterTest, QueryHistoryFromAnyNode) {
+  ASSERT_TRUE(converged_);
+  Id key = 0;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    key = cluster_->dat(i).start_aggregate(
+        "hist-q", core::AggregateKind::kCount,
+        chord::RoutingScheme::kBalanced, []() { return 1.0; });
+  }
+  cluster_->run_for(12 * 200'000);
+
+  bool done = false;
+  cluster_->dat(5).query_history(
+      key, 4, [&](net::RpcStatus st, std::vector<core::GlobalValue> points) {
+        done = true;
+        ASSERT_EQ(st, net::RpcStatus::kOk);
+        ASSERT_EQ(points.size(), 4u);  // capped at max_points
+        for (std::size_t i = 1; i < points.size(); ++i) {
+          EXPECT_EQ(points[i].epoch, points[i - 1].epoch + 1);
+        }
+      });
+  cluster_->run_for(3'000'000);
+  EXPECT_TRUE(done);
+}
+
+TEST_F(UpcallClusterTest, HistoryBoundedByConfiguredSize) {
+  ASSERT_TRUE(converged_);
+  // The fixture's DatOptions keeps defaults (256); run enough epochs on a
+  // dedicated small-history node-set is expensive — instead check the cap
+  // logic via a dedicated small cluster.
+  harness::ClusterOptions options;
+  options.seed = 607;
+  options.dat.epoch_us = 50'000;
+  options.dat.history_size = 8;
+  harness::SimCluster small(4, std::move(options));
+  ASSERT_TRUE(small.wait_converged(300'000'000));
+  Id key = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    key = small.dat(i).start_aggregate("h", core::AggregateKind::kSum,
+                                       chord::RoutingScheme::kBalanced,
+                                       []() { return 1.0; });
+  }
+  small.run_for(40 * 50'000);
+  const Id root_id = small.ring_view().successor(key);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (small.node(i).id() != root_id) continue;
+    const auto history = small.dat(i).history(key);
+    EXPECT_EQ(history.size(), 8u);  // capped
+    EXPECT_GT(history.front().epoch, 1u);  // old entries evicted
+  }
+}
+
+}  // namespace

@@ -1,0 +1,323 @@
+// datctl — command-line driver for libdat experiments.
+//
+//   datctl tree    --n 1024 --scheme balanced --assign probed   tree properties
+//   datctl load    --n 512                                      message-load profiles
+//   datctl lookup  --n 64 --queries 50 --mode recursive         live lookups + hop stats
+//   datctl monitor --n 128 --minutes 10 --epoch 1.0             trace-driven monitoring run
+//   datctl churn   --n 96 --events 12                           churn scenario
+//   datctl inspect --n 32 --slot 5                               dump a node's tables
+//
+// Every subcommand prints a compact table on stdout; --help lists flags.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/message_load.hpp"
+#include "analysis/tree_metrics.hpp"
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "harness/live_tree.hpp"
+#include "harness/sim_cluster.hpp"
+#include "trace/cpu_trace.hpp"
+
+namespace {
+
+using namespace dat;
+
+chord::RoutingScheme parse_scheme(const std::string& text) {
+  if (text == "basic" || text == "greedy") return chord::RoutingScheme::kGreedy;
+  if (text == "balanced") return chord::RoutingScheme::kBalanced;
+  throw std::invalid_argument("unknown scheme: " + text +
+                              " (use basic|balanced)");
+}
+
+chord::IdAssignment parse_assignment(const std::string& text) {
+  if (text == "random") return chord::IdAssignment::kRandom;
+  if (text == "probed") return chord::IdAssignment::kProbed;
+  if (text == "even") return chord::IdAssignment::kEven;
+  throw std::invalid_argument("unknown assignment: " + text +
+                              " (use random|probed|even)");
+}
+
+int cmd_tree(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto scheme = parse_scheme(flags.get_string("scheme"));
+  const auto assignment = parse_assignment(flags.get_string("assign"));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const auto props = analysis::measure_tree_properties(
+      static_cast<unsigned>(flags.get_int("bits")), n, scheme, assignment,
+      static_cast<unsigned>(flags.get_int("trials")),
+      static_cast<unsigned>(flags.get_int("keys")), rng);
+  std::printf("n=%zu scheme=%s assign=%s\n", n, chord::to_string(scheme),
+              chord::to_string(assignment));
+  std::printf("  max branching:   %zu\n", props.max_branching);
+  std::printf("  avg branching:   %.2f (internal nodes)\n",
+              props.avg_branching_internal);
+  std::printf("  tree height:     %u\n", props.height);
+  std::printf("  gap ratio:       %.2f\n", props.gap_ratio);
+  return 0;
+}
+
+int cmd_load(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const IdSpace space(static_cast<unsigned>(flags.get_int("bits")));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  const chord::RingView ring(space, chord::probed_ids(space, n, rng));
+  const Id key = rng.next_id(space);
+  std::printf("%-20s %8s %8s %10s\n", "scheme", "max", "avg", "imbalance");
+  for (const auto scheme :
+       {analysis::AggregationScheme::kCentralizedDirect,
+        analysis::AggregationScheme::kCentralizedRouted,
+        analysis::AggregationScheme::kBasicDat,
+        analysis::AggregationScheme::kBalancedDat}) {
+    const auto profile = analysis::message_load(ring, key, scheme);
+    std::printf("%-20s %8llu %8.2f %10.2f\n", analysis::to_string(scheme),
+                static_cast<unsigned long long>(profile.max()),
+                profile.average(), profile.imbalance());
+  }
+  return 0;
+}
+
+int cmd_lookup(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto queries = static_cast<unsigned>(flags.get_int("queries"));
+  const bool recursive = flags.get_string("mode") == "recursive";
+
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.with_dat = false;
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  const chord::RingView ring = cluster.ring_view();
+  Rng rng(7);
+  RunningStats hops;
+  unsigned correct = 0;
+  for (unsigned q = 0; q < queries; ++q) {
+    const Id key = rng.next_id(cluster.space());
+    const Id expected = ring.successor(key);
+    bool done = false;
+    chord::NodeRef found;
+    unsigned hop_count = 0;
+    auto handler = [&](net::RpcStatus st, chord::NodeRef node, unsigned h) {
+      done = true;
+      if (st == net::RpcStatus::kOk) {
+        found = node;
+        hop_count = h;
+      }
+    };
+    chord::Node& origin = cluster.node(q % n);
+    if (recursive) {
+      origin.find_successor_recursive(key, handler);
+    } else {
+      origin.find_successor_traced(key, handler);
+    }
+    const auto deadline = cluster.engine().now() + 10'000'000;
+    while (!done && cluster.engine().now() < deadline) {
+      cluster.engine().run_steps(128);
+    }
+    if (done && found.id == expected) {
+      ++correct;
+      hops.add(hop_count);
+    }
+  }
+  std::printf("mode=%s n=%zu\n", recursive ? "recursive" : "iterative", n);
+  std::printf("  correct:   %u/%u\n", correct, queries);
+  std::printf("  hops:      mean %.2f, max %.0f (log2 n = %.1f)\n",
+              hops.mean(), hops.max(),
+              std::log2(static_cast<double>(n)));
+  return 0;
+}
+
+int cmd_monitor(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const double minutes = flags.get_double("minutes");
+  const auto epoch_us =
+      static_cast<std::uint64_t>(flags.get_double("epoch") * 1e6);
+
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.dat.epoch_us = epoch_us;
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  const trace::CpuTrace cpu =
+      trace::CpuTrace::synthesize(trace::TraceConfig{}, 13);
+  sim::Engine& engine = cluster.engine();
+  const std::uint64_t t0 = engine.now();
+  Id key = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    key = cluster.dat(i).start_aggregate(
+        "cpu-usage", core::AggregateKind::kAvg,
+        chord::RoutingScheme::kBalanced,
+        [&engine, &cpu, t0]() { return cpu.at((engine.now() - t0) / 1e6); });
+  }
+  cluster.run_for(12 * epoch_us);
+  std::printf("%8s %12s %12s %8s\n", "t(min)", "actual-avg", "agg-avg",
+              "nodes");
+  for (int minute = 1; minute <= static_cast<int>(minutes); ++minute) {
+    cluster.run_for(60'000'000);
+    const Id root_id = cluster.ring_view().successor(key);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cluster.node(i).id() != root_id) continue;
+      if (const auto g = cluster.dat(i).latest(key)) {
+        std::printf("%8d %12.1f %12.1f %8llu\n", minute,
+                    cpu.at((engine.now() - t0) / 1e6),
+                    g->state.result(core::AggregateKind::kAvg),
+                    static_cast<unsigned long long>(g->state.count));
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_inspect(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto slot = static_cast<std::size_t>(flags.get_int("slot"));
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.with_dat = false;
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  if (slot >= cluster.slot_count() || !cluster.is_live(slot)) {
+    std::fprintf(stderr, "slot %zu is not live\n", slot);
+    return 1;
+  }
+  std::fputs(cluster.node(slot).describe().c_str(), stdout);
+  const chord::RingView ring = cluster.ring_view();
+  std::printf("  converged against ground truth: %s\n",
+              cluster.node(slot).converged_against(ring) ? "yes" : "no");
+  return 0;
+}
+
+int cmd_churn(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto events = static_cast<unsigned>(flags.get_int("events"));
+
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  options.dat.epoch_us = 500'000;
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  Id key = 0;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    if (!cluster.is_live(i)) continue;
+    key = cluster.dat(i).start_aggregate("pop", core::AggregateKind::kCount,
+                                         chord::RoutingScheme::kBalanced,
+                                         []() { return 1.0; });
+  }
+  cluster.run_for(5'000'000);
+  std::printf("%6s %8s %6s %10s %12s\n", "event", "kind", "live", "covered",
+              "tree-reach");
+  std::size_t victim = 1;
+  for (unsigned e = 1; e <= events; ++e) {
+    const char* kind;
+    if (e % 3 == 0) {
+      const auto slot = cluster.add_node();
+      if (slot) {
+        cluster.dat(*slot).start_aggregate(key, core::AggregateKind::kCount,
+                                           chord::RoutingScheme::kBalanced,
+                                           []() { return 1.0; });
+      }
+      kind = "join";
+    } else {
+      while (victim < cluster.slot_count() && !cluster.is_live(victim)) {
+        ++victim;
+      }
+      cluster.remove_node(victim++, e % 2 == 0);
+      kind = e % 2 == 0 ? "leave" : "crash";
+    }
+    cluster.refresh_d0_hints();
+    cluster.run_for(8'000'000);
+    std::uint64_t covered = 0;
+    const Id root_id = cluster.ring_view().successor(key);
+    for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+      if (!cluster.is_live(i) || cluster.node(i).id() != root_id) continue;
+      if (const auto g = cluster.dat(i).latest(key)) covered = g->state.count;
+    }
+    const auto stats =
+        harness::live_tree_stats(cluster, key, chord::RoutingScheme::kBalanced);
+    std::printf("%6u %8s %6zu %10llu %9zu/%zu\n", e, kind,
+                cluster.live_count(),
+                static_cast<unsigned long long>(covered),
+                stats.reaching_root, stats.nodes);
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: datctl <tree|load|lookup|monitor|churn|inspect> [flags]\n"
+               "       datctl <subcommand> --help\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+
+  CliFlags flags;
+  flags.flag("n", std::int64_t{128}, "number of nodes");
+  flags.flag("bits", std::int64_t{32}, "identifier-space bits");
+  flags.flag("seed", std::int64_t{42}, "random seed");
+  flags.flag("help", false, "print flags and exit");
+  if (command == "tree") {
+    flags.flag("scheme", std::string("balanced"), "basic|balanced");
+    flags.flag("assign", std::string("probed"), "random|probed|even");
+    flags.flag("trials", std::int64_t{3}, "independent rings");
+    flags.flag("keys", std::int64_t{4}, "rendezvous keys per ring");
+  } else if (command == "lookup") {
+    flags.flag("queries", std::int64_t{50}, "number of lookups");
+    flags.flag("mode", std::string("iterative"), "iterative|recursive");
+  } else if (command == "monitor") {
+    flags.flag("minutes", 10.0, "measurement length (virtual minutes)");
+    flags.flag("epoch", 1.0, "aggregation epoch (seconds)");
+  } else if (command == "churn") {
+    flags.flag("events", std::int64_t{12}, "churn events");
+  } else if (command == "inspect") {
+    flags.flag("slot", std::int64_t{0}, "node slot to dump");
+  } else if (command != "load") {
+    print_usage();
+    return 2;
+  }
+
+  if (!flags.parse(argc - 2, argv + 2)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.get_bool("help")) {
+    std::fprintf(stderr, "datctl %s flags:\n%s", command.c_str(),
+                 flags.usage().c_str());
+    return 0;
+  }
+
+  try {
+    if (command == "tree") return cmd_tree(flags);
+    if (command == "load") return cmd_load(flags);
+    if (command == "lookup") return cmd_lookup(flags);
+    if (command == "monitor") return cmd_monitor(flags);
+    if (command == "churn") return cmd_churn(flags);
+    if (command == "inspect") return cmd_inspect(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  print_usage();
+  return 2;
+}
