@@ -191,8 +191,11 @@ void Node::handle_rfind(net::Endpoint /*from*/, net::Reader& msg) {
   w.u64(qid);
   w.u64(key);
   w.u64(reply_to);
-  w.u8(ttl - 1);
-  w.u8(hops + 1);
+  w.u8(static_cast<std::uint8_t>(ttl - 1));
+  // hops saturates instead of wrapping: a forged hop counter near 255 must
+  // not reset the accounting to zero.
+  w.u8(hops == UINT8_MAX ? UINT8_MAX
+                         : static_cast<std::uint8_t>(hops + 1));
   rpc_->send_one_way(next.endpoint, kRecursiveFind, w);
 }
 
@@ -271,7 +274,7 @@ void Node::handle_route(net::Endpoint /*from*/, net::Reader& msg) {
   net::Writer w;
   w.str(topic);
   w.u64(key);
-  w.u8(ttl - 1);
+  w.u8(static_cast<std::uint8_t>(ttl - 1));
   w.bytes(payload);
   rpc_->send_one_way(target->endpoint, kRoute, w);
 }
@@ -686,7 +689,10 @@ void Node::do_stabilize() {
         const NodeRef pred = read_node_ref(r);
         const auto count = r.u32();
         std::vector<NodeRef> their_list;
-        their_list.reserve(count);
+        // count is wire-controlled: cap the reservation by what the buffer
+        // can actually hold (16 bytes per NodeRef) so a forged count cannot
+        // demand a huge allocation; the read loop below throws on truncation.
+        their_list.reserve(std::min<std::size_t>(count, r.remaining() / 16));
         for (std::uint32_t i = 0; i < count; ++i) {
           their_list.push_back(read_node_ref(r));
         }
@@ -1104,7 +1110,8 @@ void Node::handle_leaving(net::Endpoint /*from*/, net::Reader& msg) {
     // Our successor is leaving; adopt its successor list.
     const auto count = msg.u32();
     std::vector<NodeRef> list;
-    list.reserve(count);
+    // Wire-controlled count: bound the reservation by the bytes present.
+    list.reserve(std::min<std::size_t>(count, msg.remaining() / 16));
     for (std::uint32_t i = 0; i < count; ++i) {
       const NodeRef s = read_node_ref(msg);
       if (s.valid() && s.endpoint != self_.endpoint) list.push_back(s);

@@ -36,7 +36,14 @@ inline NodeRef read_node_ref(net::Reader& r) {
 }
 
 [[nodiscard]] inline std::string to_string(const NodeRef& ref) {
-  return "N" + std::to_string(ref.id) + "@" + std::to_string(ref.endpoint);
+  // Built up with += rather than operator+ chains: GCC 12's -Wrestrict has a
+  // false positive on `const char* + std::string&&` under inlining (PR105651)
+  // that would trip -Werror builds.
+  std::string out = "N";
+  out += std::to_string(ref.id);
+  out += '@';
+  out += std::to_string(ref.endpoint);
+  return out;
 }
 
 }  // namespace dat::chord

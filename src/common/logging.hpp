@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -15,17 +16,24 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-    return level >= level_ && level_ != LogLevel::kOff;
+    const LogLevel current = level_.load(std::memory_order_relaxed);
+    return level >= current && current != LogLevel::kOff;
   }
 
   void write(LogLevel level, std::string_view component, std::string_view msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  /// Atomic: the level may be set from a test/driver thread while worker
+  /// threads evaluate enabled(); the log stream itself is mutex-guarded.
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   std::mutex mutex_;
 };
 

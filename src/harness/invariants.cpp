@@ -1,0 +1,217 @@
+#include "harness/invariants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace dat::harness {
+
+namespace {
+
+std::string node_tag(const chord::Node& node) {
+  return "node " + chord::to_string(node.self());
+}
+
+}  // namespace
+
+std::string InvariantReport::to_string() const {
+  if (ok()) return "all invariants hold";
+  std::string out =
+      std::to_string(violations.size()) + " invariant violation(s):";
+  for (const std::string& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+void require_ok(const InvariantReport& report, const char* where) {
+  if (report.ok()) return;
+  throw std::logic_error(std::string(where) + ": " + report.to_string());
+}
+
+void check_node_structure(const chord::Node& node, InvariantReport& report) {
+  if (!node.alive()) return;
+  const IdSpace& space = node.space();
+  const std::string tag = node_tag(node);
+
+  if (!space.contains(node.id())) {
+    report.add(tag + ": identifier outside the id space");
+  }
+
+  const std::vector<chord::NodeRef>& succs = node.successor_list();
+  if (node.joined() && succs.empty()) {
+    report.add(tag + ": joined node with empty successor list");
+  }
+  const bool singleton =
+      succs.size() == 1 && succs.front().endpoint == node.self().endpoint;
+  std::unordered_set<net::Endpoint> seen;
+  Id prev_dist = 0;
+  for (std::size_t i = 0; i < succs.size(); ++i) {
+    const chord::NodeRef& s = succs[i];
+    if (!s.valid()) {
+      report.add(tag + ": successor_list[" + std::to_string(i) +
+                 "] has a null endpoint");
+      continue;
+    }
+    if (!space.contains(s.id)) {
+      report.add(tag + ": successor_list[" + std::to_string(i) +
+                 "] id outside the id space");
+    }
+    if (!seen.insert(s.endpoint).second) {
+      report.add(tag + ": duplicate endpoint in successor list at index " +
+                 std::to_string(i));
+    }
+    if (s.endpoint == node.self().endpoint && !singleton) {
+      report.add(tag + ": successor list contains self in a non-singleton ring");
+      continue;
+    }
+    const Id dist = space.clockwise(node.id(), s.id);
+    if (!singleton && dist == 0 && s.id != node.id()) {
+      // dist == 0 with a different id is impossible; with the same id it is
+      // an identifier collision, caught by the duplicate-id check below.
+      report.add(tag + ": successor at zero clockwise distance");
+    }
+    if (i > 0 && dist <= prev_dist) {
+      report.add(tag + ": successor list not strictly clockwise-ordered at index " +
+                 std::to_string(i));
+    }
+    prev_dist = dist;
+  }
+  const std::size_t max_len = std::max<std::size_t>(
+      1, node.options().successor_list_size);
+  if (succs.size() > max_len) {
+    report.add(tag + ": successor list longer than configured maximum (" +
+               std::to_string(succs.size()) + " > " + std::to_string(max_len) +
+               ")");
+  }
+
+  // predecessor() returns the optional by value; keep it alive for the span
+  // of the checks rather than binding a reference into a temporary.
+  if (const std::optional<chord::NodeRef> pred_opt = node.predecessor()) {
+    const chord::NodeRef& pred = *pred_opt;
+    if (!pred.valid()) {
+      report.add(tag + ": predecessor set but endpoint is null");
+    }
+    if (!space.contains(pred.id)) {
+      report.add(tag + ": predecessor id outside the id space");
+    }
+  }
+
+  for (unsigned j = 0; j < space.bits(); ++j) {
+    const chord::NodeRef& f = node.finger(j);
+    if (f.valid() && !space.contains(f.id)) {
+      report.add(tag + ": finger " + std::to_string(j) +
+                 " id outside the id space");
+    }
+  }
+}
+
+void check_ring_structure(const chord::RingView& ring,
+                          InvariantReport& report) {
+  const std::vector<Id>& ids = ring.ids();
+  if (ids.empty()) {
+    report.add("ring view: empty membership");
+    return;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (!ring.space().contains(ids[i])) {
+      report.add("ring view: id at index " + std::to_string(i) +
+                 " outside the id space");
+    }
+    if (i > 0 && ids[i] <= ids[i - 1]) {
+      report.add("ring view: ids not strictly ascending at index " +
+                 std::to_string(i));
+    }
+  }
+}
+
+void check_converged_node(const chord::Node& node, const chord::RingView& ring,
+                          InvariantReport& report) {
+  if (!node.alive()) return;
+  const std::string tag = node_tag(node);
+  if (!ring.contains(node.id())) {
+    report.add(tag + ": not a member of the converged ring view");
+    return;
+  }
+  const std::size_t idx = ring.index_of(node.id());
+  const Id true_succ = ring.id((idx + 1) % ring.size());
+  const Id true_pred = ring.id((idx + ring.size() - 1) % ring.size());
+
+  if (node.successor().id != true_succ) {
+    report.add(tag + ": successor " + std::to_string(node.successor().id) +
+               " != converged successor " + std::to_string(true_succ));
+  }
+  if (ring.size() > 1) {
+    if (!node.predecessor()) {
+      report.add(tag + ": no predecessor in a multi-node converged ring");
+    } else if (node.predecessor()->id != true_pred) {
+      report.add(tag + ": predecessor " +
+                 std::to_string(node.predecessor()->id) +
+                 " != converged predecessor " + std::to_string(true_pred));
+    }
+  }
+  // Finger spans: entry j must be the first live node at or after
+  // self + 2^j, exactly RingView::finger's definition.
+  const std::vector<Id> have = node.finger_ids();
+  for (unsigned j = 0; j < ring.space().bits(); ++j) {
+    const Id expect = ring.finger(node.id(), j);
+    if (have[j] != expect) {
+      report.add(tag + ": finger " + std::to_string(j) + " = " +
+                 std::to_string(have[j]) + " != converged finger " +
+                 std::to_string(expect));
+    }
+  }
+}
+
+void check_dat_tree(const chord::RingView& ring, Id key,
+                    chord::RoutingScheme scheme, InvariantReport& report) {
+  const core::Tree tree(ring, key, scheme);
+  const std::size_t n = ring.size();
+  const std::string tag =
+      "dat tree(key=" + std::to_string(key) + ", scheme=" +
+      (scheme == chord::RoutingScheme::kBalanced ? "balanced" : "greedy") +
+      ")";
+
+  if (tree.size() != n) {
+    report.add(tag + ": spans " + std::to_string(tree.size()) + " of " +
+               std::to_string(n) + " nodes");
+  }
+  if (tree.root() != ring.successor(key)) {
+    report.add(tag + ": root " + std::to_string(tree.root()) +
+               " does not own the rendezvous key (owner is " +
+               std::to_string(ring.successor(key)) + ")");
+  }
+  if (!tree.all_reach_root()) {
+    report.add(tag + ": not every node reaches the root");
+  }
+
+  const unsigned height_bound = 2 * IdSpace::ceil_log2(n) + 2;
+  if (tree.height() > height_bound) {
+    report.add(tag + ": height " + std::to_string(tree.height()) +
+               " exceeds bound " + std::to_string(height_bound));
+  }
+  // The paper's constant branching bound for the balanced scheme assumes
+  // near-even identifier spacing; on arbitrary converged rings the hard
+  // guarantee is only logarithmic (children arrive through the g(x)-limited
+  // finger set). Greedy children can arrive through any finger.
+  const std::size_t branching_bound =
+      scheme == chord::RoutingScheme::kBalanced
+          ? std::max<std::size_t>(4, 2 * IdSpace::ceil_log2(n) + 2)
+          : static_cast<std::size_t>(ring.space().bits()) + 1;
+  if (tree.max_branching() > branching_bound) {
+    report.add(tag + ": max branching " + std::to_string(tree.max_branching()) +
+               " exceeds bound " + std::to_string(branching_bound));
+  }
+  // Every tree over n nodes has exactly n-1 edges, so the all-node mean
+  // branching factor must be (n-1)/n.
+  const double expect_avg =
+      n == 0 ? 0.0 : static_cast<double>(n - 1) / static_cast<double>(n);
+  if (std::abs(tree.avg_branching_all() - expect_avg) > 1e-9) {
+    report.add(tag + ": avg branching " +
+               std::to_string(tree.avg_branching_all()) + " != (n-1)/n");
+  }
+}
+
+}  // namespace dat::harness

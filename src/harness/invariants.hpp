@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chord/node.hpp"
+#include "chord/ring_view.hpp"
+#include "chord/routing.hpp"
+#include "common/id_space.hpp"
+#include "dat/tree.hpp"
+
+namespace dat::harness {
+
+/// Collected invariant violations from one checking pass. Empty means every
+/// checked invariant held.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  void add(std::string violation) {
+    violations.push_back(std::move(violation));
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Throws std::logic_error naming `where` and listing every violation when
+/// the report is not clean; no-op otherwise.
+void require_ok(const InvariantReport& report, const char* where);
+
+/// Structural invariants of a single live node that hold at *every* protocol
+/// step boundary, even mid-churn: successor list is non-empty, deduplicated,
+/// strictly ordered by clockwise distance from self, contains self only as a
+/// singleton; predecessor and all table entries carry canonical identifiers.
+void check_node_structure(const chord::Node& node, InvariantReport& report);
+
+/// Well-formedness of a ground-truth RingView: ascending unique canonical
+/// identifiers.
+void check_ring_structure(const chord::RingView& ring, InvariantReport& report);
+
+/// Ground-truth invariants of a node once stabilization has converged:
+/// successor/predecessor match the ring, and every finger j equals
+/// successor(self + 2^j) (the paper's finger-span property).
+void check_converged_node(const chord::Node& node, const chord::RingView& ring,
+                          InvariantReport& report);
+
+/// Structural invariants of the DAT for rendezvous `key` over a converged
+/// ring: the tree spans all n nodes, every node reaches the root, the root
+/// owns the key, and height/branching respect hard structural bounds —
+/// height <= 2*ceil(log2 n) + 2 for both schemes, max branching
+/// <= max(4, 2*ceil(log2 n) + 2) for the balanced scheme (the paper's
+/// constant bound holds only under near-even spacing; the logarithmic
+/// bound from the g(x)-limited finger set always holds) and <= b + 1 for
+/// greedy.
+void check_dat_tree(const chord::RingView& ring, Id key,
+                    chord::RoutingScheme scheme, InvariantReport& report);
+
+}  // namespace dat::harness

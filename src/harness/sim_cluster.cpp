@@ -2,6 +2,19 @@
 
 #include <stdexcept>
 
+#include "harness/invariants.hpp"
+
+// Invariant checking at protocol step boundaries is compiled in only for
+// DAT_CHECK_INVARIANTS builds (e.g. the asan-ubsan preset); release builds
+// pay nothing. The assert_* methods themselves are always available.
+#if DAT_CHECK_INVARIANTS
+#define DAT_HARNESS_CHECK_LOCAL() assert_local_invariants()
+#define DAT_HARNESS_CHECK_CONVERGED() assert_converged_invariants()
+#else
+#define DAT_HARNESS_CHECK_LOCAL() (void)0
+#define DAT_HARNESS_CHECK_CONVERGED() (void)0
+#endif
+
 namespace dat::harness {
 
 void install_default_schema(maan::Schema& schema) {
@@ -44,6 +57,7 @@ SimCluster::SimCluster(std::size_t n, ClusterOptions options)
     }
   }
   if (options_.inject_d0_hint) refresh_d0_hints();
+  DAT_HARNESS_CHECK_LOCAL();
 }
 
 SimCluster::~SimCluster() {
@@ -116,7 +130,10 @@ bool SimCluster::wait_converged(std::uint64_t max_us) {
         break;
       }
     }
-    if (all) return true;
+    if (all) {
+      DAT_HARNESS_CHECK_CONVERGED();
+      return true;
+    }
     engine_->run_until(
         std::min<sim::SimTime>(deadline, engine_->now() + 500'000));
   }
@@ -168,6 +185,7 @@ std::optional<std::size_t> SimCluster::try_add_node() {
   slot.live = true;
   attach_layers(slot);
   slots_.push_back(std::move(slot));
+  DAT_HARNESS_CHECK_LOCAL();
   return slots_.size() - 1;
 }
 
@@ -186,6 +204,7 @@ void SimCluster::remove_node(std::size_t slot_idx, bool graceful) {
   slot.node.reset();
   network_->remove_node(ep);
   slot.transport = nullptr;
+  DAT_HARNESS_CHECK_LOCAL();
 }
 
 void SimCluster::refresh_d0_hints() {
@@ -193,6 +212,33 @@ void SimCluster::refresh_d0_hints() {
   for (Slot& slot : slots_) {
     if (slot.live) slot.node->set_d0_hint(space_.size(), n);
   }
+}
+
+void SimCluster::assert_local_invariants() const {
+  InvariantReport report;
+  for (const Slot& slot : slots_) {
+    if (slot.live) check_node_structure(*slot.node, report);
+  }
+  require_ok(report, "SimCluster local invariants");
+}
+
+void SimCluster::assert_converged_invariants() const {
+  InvariantReport report;
+  const chord::RingView ring = ring_view();
+  check_ring_structure(ring, report);
+  for (const Slot& slot : slots_) {
+    if (!slot.live) continue;
+    check_node_structure(*slot.node, report);
+    check_converged_node(*slot.node, ring, report);
+  }
+  // Sample rendezvous keys across the circle (including the wrap point)
+  // under both routing schemes.
+  const Id step = space_.size() / 4 ? space_.size() / 4 : 1;
+  for (Id key = 0; key < space_.mask(); key += step) {
+    check_dat_tree(ring, key, chord::RoutingScheme::kBalanced, report);
+    check_dat_tree(ring, key, chord::RoutingScheme::kGreedy, report);
+  }
+  require_ok(report, "SimCluster converged invariants");
 }
 
 std::uint64_t SimCluster::total_maintenance_rpcs() const {

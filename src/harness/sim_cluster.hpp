@@ -84,6 +84,17 @@ class SimCluster {
   /// Sum of chord-layer maintenance RPCs across live nodes.
   [[nodiscard]] std::uint64_t total_maintenance_rpcs() const;
 
+  /// Always-true structural invariants over every live node (valid even
+  /// mid-churn); throws std::logic_error listing violations. Runs
+  /// automatically at protocol step boundaries in DAT_CHECK_INVARIANTS
+  /// builds (the asan-ubsan preset turns it on).
+  void assert_local_invariants() const;
+
+  /// Ground-truth invariants after convergence: per-node tables against the
+  /// converged RingView plus DAT-tree structure for sampled rendezvous
+  /// keys under both routing schemes. Throws std::logic_error on violation.
+  void assert_converged_invariants() const;
+
  private:
   struct Slot {
     net::SimTransport* transport = nullptr;  // owned by the network

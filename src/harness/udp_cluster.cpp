@@ -2,6 +2,16 @@
 
 #include <stdexcept>
 
+#include "harness/invariants.hpp"
+
+#if DAT_CHECK_INVARIANTS
+#define DAT_HARNESS_CHECK_LOCAL() assert_local_invariants()
+#define DAT_HARNESS_CHECK_CONVERGED() assert_converged_invariants()
+#else
+#define DAT_HARNESS_CHECK_LOCAL() (void)0
+#define DAT_HARNESS_CHECK_CONVERGED() (void)0
+#endif
+
 namespace dat::harness {
 
 UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
@@ -35,9 +45,17 @@ UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
       dats_.push_back(std::make_unique<core::DatNode>(*node, options_.dat));
     }
   }
+  DAT_HARNESS_CHECK_LOCAL();
 }
 
-UdpCluster::~UdpCluster() { shutdown(); }
+UdpCluster::~UdpCluster() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw. A failed graceful departure only means
+    // peers will learn about it through their failure detectors instead.
+  }
+}
 
 void UdpCluster::shutdown() {
   if (shut_down_) return;
@@ -58,7 +76,7 @@ chord::RingView UdpCluster::ring_view() const {
 
 bool UdpCluster::wait_converged() {
   const chord::RingView ring = ring_view();
-  return network_.run_while(
+  const bool converged = network_.run_while(
       [&] {
         for (const auto& node : nodes_) {
           if (!node->converged_against(ring)) return true;
@@ -66,11 +84,38 @@ bool UdpCluster::wait_converged() {
         return false;
       },
       options_.converge_timeout_us);
+  if (converged) DAT_HARNESS_CHECK_CONVERGED();
+  return converged;
 }
 
 bool UdpCluster::run_until(const std::function<bool()>& condition,
                            std::uint64_t max_us) {
   return network_.run_while([&] { return !condition(); }, max_us);
+}
+
+void UdpCluster::assert_local_invariants() const {
+  InvariantReport report;
+  for (const auto& node : nodes_) {
+    if (node->alive()) check_node_structure(*node, report);
+  }
+  require_ok(report, "UdpCluster local invariants");
+}
+
+void UdpCluster::assert_converged_invariants() const {
+  InvariantReport report;
+  const chord::RingView ring = ring_view();
+  check_ring_structure(ring, report);
+  for (const auto& node : nodes_) {
+    if (!node->alive()) continue;
+    check_node_structure(*node, report);
+    check_converged_node(*node, ring, report);
+  }
+  const Id step = space_.size() / 4 ? space_.size() / 4 : 1;
+  for (Id key = 0; key < space_.mask(); key += step) {
+    check_dat_tree(ring, key, chord::RoutingScheme::kBalanced, report);
+    check_dat_tree(ring, key, chord::RoutingScheme::kGreedy, report);
+  }
+  require_ok(report, "UdpCluster converged invariants");
 }
 
 void UdpCluster::inject_d0_hints() {

@@ -58,6 +58,15 @@ class UdpCluster {
   /// Gracefully departs every node (also run by the destructor).
   void shutdown();
 
+  /// Structural invariants over every live node; throws std::logic_error on
+  /// violation. Runs automatically at step boundaries in
+  /// DAT_CHECK_INVARIANTS builds.
+  void assert_local_invariants() const;
+
+  /// Ground-truth invariants against the converged ring view (called after
+  /// wait_converged succeeds in DAT_CHECK_INVARIANTS builds).
+  void assert_converged_invariants() const;
+
  private:
   UdpClusterOptions options_;
   IdSpace space_;

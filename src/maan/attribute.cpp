@@ -83,7 +83,8 @@ AttrValue read_attr_value(net::Reader& r) {
   const std::uint8_t tag = r.u8();
   if (tag == 0) return AttrValue{r.f64()};
   if (tag == 1) return AttrValue{r.str()};
-  throw net::CodecError("read_attr_value: bad tag");
+  throw net::CodecError({net::DecodeErrorCode::kBadKind, r.position() - 1},
+                        "read_attr_value");
 }
 
 void write_resource(net::Writer& w, const Resource& resource) {

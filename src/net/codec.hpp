@@ -10,12 +10,55 @@
 
 namespace dat::net {
 
+/// Machine-readable classification of a decode failure. Every way a
+/// malformed datagram can be rejected maps to exactly one code, so transport
+/// layers can count and log rejections without string matching.
+enum class DecodeErrorCode : std::uint8_t {
+  kTruncated = 0,     ///< a field extends past the end of the buffer
+  kBadKind = 1,       ///< unknown MessageKind discriminator
+  kTrailingBytes = 2, ///< well-formed prefix followed by extra bytes
+  kLengthOverflow = 3 ///< a length prefix exceeds representable bounds
+};
+
+[[nodiscard]] constexpr const char* to_string(DecodeErrorCode code) noexcept {
+  switch (code) {
+    case DecodeErrorCode::kTruncated: return "truncated";
+    case DecodeErrorCode::kBadKind: return "bad-kind";
+    case DecodeErrorCode::kTrailingBytes: return "trailing-bytes";
+    case DecodeErrorCode::kLengthOverflow: return "length-overflow";
+  }
+  return "?";
+}
+
+/// Typed decode failure: what went wrong and where in the buffer. This is
+/// the value carried by CodecError and returned by Message::try_decode, so
+/// malformed input is always reported as data, never as UB.
+struct DecodeError {
+  DecodeErrorCode code = DecodeErrorCode::kTruncated;
+  std::size_t offset = 0;  ///< byte offset at which decoding failed
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(net::to_string(code)) + " at byte " +
+           std::to_string(offset);
+  }
+};
+
 /// Raised when a Reader runs past the end of its buffer or encounters a
 /// malformed field. RPC servers catch this and drop the datagram, the usual
-/// posture for a UDP protocol.
+/// posture for a UDP protocol. Carries the typed DecodeError.
 class CodecError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit CodecError(DecodeError error)
+      : std::runtime_error("codec: " + error.to_string()), error_(error) {}
+
+  CodecError(DecodeError error, const std::string& context)
+      : std::runtime_error("codec: " + context + ": " + error.to_string()),
+        error_(error) {}
+
+  [[nodiscard]] const DecodeError& error() const noexcept { return error_; }
+
+ private:
+  DecodeError error_;
 };
 
 /// Append-only binary writer, little-endian fixed-width integers plus
@@ -30,7 +73,7 @@ class Writer {
   void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
 
   void f64(double v) {
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     static_assert(sizeof bits == sizeof v);
     std::memcpy(&bits, &v, sizeof bits);
     u64(bits);
@@ -40,13 +83,19 @@ class Writer {
 
   /// Length-prefixed (u32) byte string.
   void str(std::string_view s) {
-    if (s.size() > UINT32_MAX) throw CodecError("Writer::str: too long");
+    if (s.size() > UINT32_MAX) {
+      throw CodecError({DecodeErrorCode::kLengthOverflow, buf_.size()},
+                       "Writer::str");
+    }
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   void bytes(std::span<const std::uint8_t> s) {
-    if (s.size() > UINT32_MAX) throw CodecError("Writer::bytes: too long");
+    if (s.size() > UINT32_MAX) {
+      throw CodecError({DecodeErrorCode::kLengthOverflow, buf_.size()},
+                       "Writer::bytes");
+    }
     u32(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
@@ -71,6 +120,9 @@ class Writer {
 };
 
 /// Sequential binary reader over a borrowed buffer; the mirror of Writer.
+/// Every accessor is bounds-checked: reading past the end (or any malformed
+/// length prefix) throws CodecError with a typed DecodeError — no read ever
+/// touches memory outside the buffer.
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -83,7 +135,7 @@ class Reader {
 
   double f64() {
     const std::uint64_t bits = u64();
-    double v;
+    double v = 0.0;
     std::memcpy(&v, &bits, sizeof v);
     return v;
   }
@@ -107,15 +159,24 @@ class Reader {
     return out;
   }
 
+  /// Advances past `n` bytes without copying them.
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
   }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
-      throw CodecError("Reader: truncated buffer");
+    // Overflow-safe form of `pos_ + n > data_.size()`: pos_ <= size() is an
+    // invariant, so the subtraction cannot wrap.
+    if (n > data_.size() - pos_) {
+      throw CodecError({DecodeErrorCode::kTruncated, pos_});
     }
   }
 

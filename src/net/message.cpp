@@ -16,16 +16,32 @@ Message Message::decode(std::span<const std::uint8_t> wire) {
   Message m;
   const std::uint8_t kind = r.u8();
   if (kind > static_cast<std::uint8_t>(MessageKind::kOneWay)) {
-    throw CodecError("Message::decode: bad kind");
+    throw CodecError({DecodeErrorCode::kBadKind, 0});
   }
   m.kind = static_cast<MessageKind>(kind);
   m.request_id = r.u64();
   m.method = r.str();
   m.body = r.bytes();
   if (!r.exhausted()) {
-    throw CodecError("Message::decode: trailing bytes");
+    throw CodecError({DecodeErrorCode::kTrailingBytes, r.position()});
   }
   return m;
+}
+
+Message::DecodeResult Message::try_decode(
+    std::span<const std::uint8_t> wire) noexcept {
+  DecodeResult result;
+  try {
+    result.message = decode(wire);
+  } catch (const CodecError& e) {
+    result.error = e.error();
+  } catch (...) {
+    // Allocation failure while materializing method/body. Surface it as a
+    // truncation-class rejection rather than letting the exception escape
+    // the noexcept boundary.
+    result.error = {DecodeErrorCode::kLengthOverflow, 0};
+  }
+  return result;
 }
 
 }  // namespace dat::net

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,8 @@ constexpr Endpoint kNullEndpoint = 0;
 /// aggregation updates, which are idempotent and refreshed every epoch).
 enum class MessageKind : std::uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2 };
 
+struct MessageDecodeResult;
+
 /// A single datagram: method name, correlation id, kind, body.
 struct Message {
   std::string method;
@@ -33,6 +36,24 @@ struct Message {
 
   /// Parses a datagram; throws CodecError on malformed input.
   [[nodiscard]] static Message decode(std::span<const std::uint8_t> wire);
+
+  /// Parses a datagram without throwing: malformed input yields the typed
+  /// DecodeError instead. This is the entry point for untrusted bytes (the
+  /// UDP receive path).
+  [[nodiscard]] static MessageDecodeResult try_decode(
+      std::span<const std::uint8_t> wire) noexcept;
+
+  using DecodeResult = MessageDecodeResult;
+};
+
+/// Outcome of a non-throwing decode: either a Message or a typed
+/// DecodeError saying what was malformed and where.
+struct MessageDecodeResult {
+  std::optional<Message> message;
+  DecodeError error{};
+
+  [[nodiscard]] bool ok() const noexcept { return message.has_value(); }
+  [[nodiscard]] Message& value() { return *message; }
 };
 
 /// Per-transport traffic accounting. The load-balancing evaluation
@@ -42,6 +63,12 @@ struct TrafficCounters {
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  /// Datagrams dropped because they failed Message decoding (malformed or
+  /// adversarial input on the UDP path).
+  std::uint64_t decode_errors = 0;
+  /// Datagrams dropped because they exceeded the receive buffer (kernel
+  /// truncation reported via MSG_TRUNC).
+  std::uint64_t truncated_datagrams = 0;
 
   void reset() noexcept { *this = TrafficCounters{}; }
 };

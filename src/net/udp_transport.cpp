@@ -6,9 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstring>
+#include <cstdio>
 #include <stdexcept>
 #include <system_error>
 
@@ -27,6 +28,11 @@ std::uint64_t steady_now_us() {
 
 [[noreturn]] void throw_errno(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
+}
+
+// Thread-safe strerror replacement (::strerror is concurrency-mt-unsafe).
+std::string errno_message(int err) {
+  return std::error_code(err, std::generic_category()).message();
 }
 
 }  // namespace
@@ -90,7 +96,8 @@ void UdpNetwork::remove_node(Endpoint ep) { nodes_.erase(ep); }
 TimerId UdpNetwork::set_timer(std::uint64_t delay_us,
                               std::function<void()> cb) {
   const TimerId id = next_timer_id_++;
-  timers_.push(Timer{now_us() + delay_us, id, std::move(cb)});
+  timers_.push_back(Timer{now_us() + delay_us, id, std::move(cb)});
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
   return id;
 }
 
@@ -101,9 +108,10 @@ void UdpNetwork::cancel_timer(TimerId id) {
 
 void UdpNetwork::fire_due_timers() {
   const std::uint64_t now = now_us();
-  while (!timers_.empty() && timers_.top().deadline_us <= now) {
-    Timer t = std::move(const_cast<Timer&>(timers_.top()));
-    timers_.pop();
+  while (!timers_.empty() && timers_.front().deadline_us <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    Timer t = std::move(timers_.back());
+    timers_.pop_back();
     const auto it = cancelled_timers_.find(t.id);
     if (it != cancelled_timers_.end()) {
       cancelled_timers_.erase(it);
@@ -111,33 +119,61 @@ void UdpNetwork::fire_due_timers() {
     }
     t.cb();
   }
+  // Cancellations of already-fired timers would otherwise pin their ids in
+  // the set forever; once no timer is pending the set is trivially stale.
+  if (timers_.empty()) cancelled_timers_.clear();
 }
 
 void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
   for (;;) {
     sockaddr_in from{};
     socklen_t from_len = sizeof from;
+    // MSG_TRUNC makes recvfrom report the datagram's real length even when
+    // it exceeds the buffer, so short reads are detected instead of being
+    // decoded as if they were complete messages.
     const ssize_t n =
-        ::recvfrom(fd, recv_buf_.data(), recv_buf_.size(), MSG_DONTWAIT,
+        ::recvfrom(fd, recv_buf_.data(), recv_buf_.size(),
+                   MSG_DONTWAIT | MSG_TRUNC,
                    reinterpret_cast<sockaddr*>(&from), &from_len);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
-      DAT_LOG_WARN("udp", "recvfrom failed: " << std::strerror(errno));
+      const int err = errno;
+      if (err == EAGAIN || err == EWOULDBLOCK) return;
+      if (err == EINTR) continue;
+      if (err == ECONNREFUSED) {
+        // Deferred ICMP port-unreachable from an earlier sendto to a dead
+        // peer; it does not affect this socket's ability to receive.
+        continue;
+      }
+      DAT_LOG_WARN("udp", "recvfrom failed: " << errno_message(err));
       return;
+    }
+    if (from_len < sizeof(sockaddr_in) || from.sin_family != AF_INET) {
+      DAT_LOG_WARN("udp", "dropping datagram with non-IPv4 source address");
+      continue;
     }
     const Endpoint src =
         make_udp_endpoint(ntohl(from.sin_addr.s_addr), ntohs(from.sin_port));
     transport.counters_.messages_received += 1;
     transport.counters_.bytes_received += static_cast<std::uint64_t>(n);
-    try {
-      const Message msg = Message::decode(std::span<const std::uint8_t>(
-          recv_buf_.data(), static_cast<std::size_t>(n)));
-      if (transport.handler_) transport.handler_(src, msg);
-    } catch (const CodecError& e) {
-      DAT_LOG_WARN("udp", "dropping malformed datagram from "
-                              << endpoint_to_string(src) << ": " << e.what());
+    if (static_cast<std::size_t>(n) > recv_buf_.size()) {
+      ++transport.counters_.truncated_datagrams;
+      DAT_LOG_WARN("udp", "dropping truncated "
+                              << n << "-byte datagram from "
+                              << endpoint_to_string(src) << " (buffer is "
+                              << recv_buf_.size() << " bytes)");
+      continue;
     }
+    Message::DecodeResult decoded = Message::try_decode(
+        std::span<const std::uint8_t>(recv_buf_.data(),
+                                      static_cast<std::size_t>(n)));
+    if (!decoded.ok()) {
+      ++transport.counters_.decode_errors;
+      DAT_LOG_WARN("udp", "dropping malformed datagram from "
+                              << endpoint_to_string(src) << ": "
+                              << decoded.error.to_string());
+      continue;
+    }
+    if (transport.handler_) transport.handler_(src, decoded.value());
   }
 }
 
@@ -147,8 +183,9 @@ void UdpNetwork::pump_once(std::uint64_t max_wait_us) {
   std::uint64_t wait_us = max_wait_us;
   if (!timers_.empty()) {
     const std::uint64_t now = now_us();
-    const std::uint64_t until_timer =
-        timers_.top().deadline_us > now ? timers_.top().deadline_us - now : 0;
+    const std::uint64_t until_timer = timers_.front().deadline_us > now
+                                          ? timers_.front().deadline_us - now
+                                          : 0;
     wait_us = std::min(wait_us, until_timer);
   }
 
@@ -163,7 +200,8 @@ void UdpNetwork::pump_once(std::uint64_t max_wait_us) {
 
   const int timeout_ms =
       static_cast<int>(std::min<std::uint64_t>(wait_us / 1000 + 1, 100));
-  const int ready = ::poll(fds.data(), fds.size(), fds.empty() ? timeout_ms : timeout_ms);
+  const int ready =
+      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
   if (ready < 0) {
     if (errno == EINTR) return;
     throw_errno("poll");
@@ -212,13 +250,21 @@ void UdpTransport::send(Endpoint to, const Message& msg) {
   addr.sin_port = htons(endpoint_port(to));
   ++counters_.messages_sent;
   counters_.bytes_sent += wire.size();
-  const ssize_t n = ::sendto(fd_, wire.data(), wire.size(), 0,
-                             reinterpret_cast<const sockaddr*>(&addr),
-                             sizeof addr);
+  ssize_t n = 0;
+  do {
+    n = ::sendto(fd_, wire.data(), wire.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (n < 0 && errno == EINTR);
   if (n < 0) {
     // UDP is fire-and-forget; log and move on (RpcManager retries).
+    const int err = errno;
     DAT_LOG_DEBUG("udp", "sendto " << endpoint_to_string(to)
-                                   << " failed: " << std::strerror(errno));
+                                   << " failed: " << errno_message(err));
+  } else if (static_cast<std::size_t>(n) != wire.size()) {
+    // A datagram socket never splits a message, so a short write here means
+    // the message could not have been sent intact; surface it loudly.
+    DAT_LOG_WARN("udp", "short sendto " << endpoint_to_string(to) << ": " << n
+                                        << " of " << wire.size() << " bytes");
   }
 }
 

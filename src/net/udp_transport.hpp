@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -59,6 +58,8 @@ class UdpNetwork {
     TimerId id;
     std::function<void()> cb;
   };
+  // Heap comparator for std::push_heap/pop_heap (max-heap semantics, so the
+  // "later" timer compares greater and the earliest deadline sits at front).
   struct TimerLater {
     bool operator()(const Timer& a, const Timer& b) const noexcept {
       return a.deadline_us != b.deadline_us ? a.deadline_us > b.deadline_us
@@ -74,7 +75,7 @@ class UdpNetwork {
 
   std::uint64_t t0_us_;
   std::unordered_map<Endpoint, std::unique_ptr<UdpTransport>> nodes_;
-  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::vector<Timer> timers_;  // binary heap ordered by TimerLater
   std::unordered_set<TimerId> cancelled_timers_;
   TimerId next_timer_id_ = 1;
   std::vector<std::uint8_t> recv_buf_;

@@ -1,0 +1,140 @@
+// Adversarial wire-decoding tests: every message kind, byte-wise truncated
+// at every length and with every single bit flipped, must either decode to a
+// valid Message or yield a clean typed DecodeError — never crash, never read
+// out of bounds, never throw through the noexcept try_decode boundary.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace dat::net;
+
+Message sample_message(MessageKind kind) {
+  Message m;
+  m.kind = kind;
+  m.request_id = 0x1122334455667788ull;
+  m.method = "chord.find_successor";
+  Writer body;
+  body.u64(0xDEADBEEF);
+  body.str("payload");
+  m.body = body.take();
+  return m;
+}
+
+const MessageKind kAllKinds[] = {MessageKind::kRequest, MessageKind::kResponse,
+                                 MessageKind::kOneWay};
+
+TEST(CodecAdversarial, EveryTruncationYieldsTypedTruncatedError) {
+  for (const MessageKind kind : kAllKinds) {
+    const std::vector<std::uint8_t> wire = sample_message(kind).encode();
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const auto result = Message::try_decode(
+          std::span<const std::uint8_t>(wire.data(), len));
+      ASSERT_FALSE(result.ok())
+          << "prefix of length " << len << " decoded as a full message";
+      // A proper prefix always cuts a field short: the kind byte itself is
+      // untouched, so the only possible failure is truncation, and it must
+      // point inside the prefix.
+      EXPECT_EQ(result.error.code, DecodeErrorCode::kTruncated)
+          << "prefix length " << len;
+      EXPECT_LE(result.error.offset, len) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(CodecAdversarial, EveryBitFlipDecodesCleanlyOrFailsTyped) {
+  for (const MessageKind kind : kAllKinds) {
+    const std::vector<std::uint8_t> wire = sample_message(kind).encode();
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = wire;
+        mutated[i] = static_cast<std::uint8_t>(mutated[i] ^ (1u << bit));
+        const auto result = Message::try_decode(mutated);
+        if (result.ok()) continue;  // a valid alternative message is fine
+        switch (result.error.code) {
+          case DecodeErrorCode::kTruncated:
+          case DecodeErrorCode::kBadKind:
+          case DecodeErrorCode::kTrailingBytes:
+          case DecodeErrorCode::kLengthOverflow:
+            break;
+          default:
+            FAIL() << "byte " << i << " bit " << bit
+                   << ": unknown decode error code";
+        }
+        EXPECT_LE(result.error.offset, mutated.size())
+            << "byte " << i << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(CodecAdversarial, KindByteCorruptionReportsBadKind) {
+  const std::vector<std::uint8_t> wire =
+      sample_message(MessageKind::kRequest).encode();
+  for (unsigned v = 3; v < 256; ++v) {
+    std::vector<std::uint8_t> mutated = wire;
+    mutated[0] = static_cast<std::uint8_t>(v);
+    const auto result = Message::try_decode(mutated);
+    ASSERT_FALSE(result.ok()) << "kind byte " << v;
+    EXPECT_EQ(result.error.code, DecodeErrorCode::kBadKind);
+    EXPECT_EQ(result.error.offset, 0u);
+  }
+}
+
+TEST(CodecAdversarial, TrailingBytesReported) {
+  for (const MessageKind kind : kAllKinds) {
+    std::vector<std::uint8_t> wire = sample_message(kind).encode();
+    const std::size_t clean_size = wire.size();
+    wire.push_back(0x00);
+    const auto result = Message::try_decode(wire);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error.code, DecodeErrorCode::kTrailingBytes);
+    EXPECT_EQ(result.error.offset, clean_size);
+  }
+}
+
+TEST(CodecAdversarial, UnmutatedWireRoundTrips) {
+  for (const MessageKind kind : kAllKinds) {
+    const Message original = sample_message(kind);
+    const std::vector<std::uint8_t> wire = original.encode();
+    auto result = Message::try_decode(wire);
+    ASSERT_TRUE(result.ok()) << result.error.to_string();
+    EXPECT_EQ(result.value().kind, original.kind);
+    EXPECT_EQ(result.value().request_id, original.request_id);
+    EXPECT_EQ(result.value().method, original.method);
+    EXPECT_EQ(result.value().body, original.body);
+    EXPECT_EQ(result.value().encode(), wire);
+  }
+}
+
+TEST(CodecAdversarial, ReaderSkipAndPositionBoundsChecked) {
+  Writer w;
+  w.u32(0xABCD);
+  Reader r(w.data());
+  EXPECT_EQ(r.position(), 0u);
+  r.skip(2);
+  EXPECT_EQ(r.position(), 2u);
+  try {
+    r.skip(3);  // only 2 bytes remain
+    FAIL() << "skip past the end did not throw";
+  } catch (const CodecError& e) {
+    EXPECT_EQ(e.error().code, DecodeErrorCode::kTruncated);
+    EXPECT_EQ(e.error().offset, 2u);
+  }
+  EXPECT_EQ(r.position(), 2u);  // failed skip must not advance
+}
+
+TEST(CodecAdversarial, ErrorStringsAreHumanReadable) {
+  const DecodeError err{DecodeErrorCode::kTrailingBytes, 17};
+  EXPECT_EQ(err.to_string(), "trailing-bytes at byte 17");
+  const CodecError ex(err, "drain_socket");
+  EXPECT_NE(std::string(ex.what()).find("drain_socket"), std::string::npos);
+  EXPECT_NE(std::string(ex.what()).find("trailing-bytes"), std::string::npos);
+}
+
+}  // namespace

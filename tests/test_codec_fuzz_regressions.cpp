@@ -1,0 +1,128 @@
+// Regression tests mirroring tools/fuzz/corpus/: each fixture is one seed
+// file from the fuzz corpus, checked into the normal unit suite so the
+// documented behavior holds even in builds without the fuzz harness. Keep
+// the byte sequences here and the corpus files in sync (see
+// tools/fuzz/README.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace dat::net;
+
+using Bytes = std::vector<std::uint8_t>;
+
+void expect_rejected(const Bytes& wire, DecodeErrorCode code,
+                     std::size_t offset, const char* corpus_name) {
+  const auto result = Message::try_decode(wire);
+  ASSERT_FALSE(result.ok()) << corpus_name;
+  EXPECT_EQ(result.error.code, code)
+      << corpus_name << ": " << result.error.to_string();
+  EXPECT_EQ(result.error.offset, offset)
+      << corpus_name << ": " << result.error.to_string();
+}
+
+TEST(CodecFuzzRegression, EmptyDatagram) {
+  // corpus: empty.bin
+  expect_rejected({}, DecodeErrorCode::kTruncated, 0, "empty.bin");
+}
+
+TEST(CodecFuzzRegression, BadKindTag) {
+  // corpus: bad_kind.bin
+  expect_rejected({0x7f}, DecodeErrorCode::kBadKind, 0, "bad_kind.bin");
+}
+
+TEST(CodecFuzzRegression, TruncatedRequestId) {
+  // corpus: truncated_request_id.bin — valid kind, then 3 of 8 id bytes.
+  expect_rejected({0x02, 0x01, 0x02, 0x03}, DecodeErrorCode::kTruncated, 1,
+                  "truncated_request_id.bin");
+}
+
+TEST(CodecFuzzRegression, HugeMethodLength) {
+  // corpus: huge_method_len.bin — method length 0xffffffff with no payload.
+  const Bytes wire{0x02, 0x2a, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x00, 0xff, 0xff, 0xff, 0xff};
+  expect_rejected(wire, DecodeErrorCode::kTruncated, 13,
+                  "huge_method_len.bin");
+}
+
+TEST(CodecFuzzRegression, MethodLengthNearOverflow) {
+  // corpus: method_len_overflow.bin — length 0xfffffff8; position + length
+  // must not wrap around and "succeed".
+  const Bytes wire{0x02, 0x2a, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x00, 0xf8, 0xff, 0xff, 0xff};
+  expect_rejected(wire, DecodeErrorCode::kTruncated, 13,
+                  "method_len_overflow.bin");
+}
+
+TEST(CodecFuzzRegression, TruncatedBody) {
+  // corpus: truncated_body.bin — request "ping" claiming a 2-byte body with
+  // zero body bytes present.
+  const Bytes wire{0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x00, 0x04, 0x00, 0x00, 0x00, 0x70,
+                   0x69, 0x6e, 0x67, 0x02, 0x00, 0x00, 0x00};
+  expect_rejected(wire, DecodeErrorCode::kTruncated, 21, "truncated_body.bin");
+}
+
+TEST(CodecFuzzRegression, ValidEmptyResponse) {
+  // corpus: valid_empty_response.bin — response id 1, empty method and body.
+  const Bytes wire{0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  auto result = Message::try_decode(wire);
+  ASSERT_TRUE(result.ok()) << result.error.to_string();
+  EXPECT_EQ(result.value().kind, MessageKind::kResponse);
+  EXPECT_EQ(result.value().request_id, 1u);
+  EXPECT_TRUE(result.value().method.empty());
+  EXPECT_TRUE(result.value().body.empty());
+  EXPECT_EQ(result.value().encode(), wire);  // exact re-encode round-trip
+}
+
+TEST(CodecFuzzRegression, TrailingByteAfterValidMessage) {
+  // corpus: trailing_byte.bin — valid_empty_response plus one stray byte.
+  const Bytes wire{0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xaa};
+  expect_rejected(wire, DecodeErrorCode::kTrailingBytes, 17,
+                  "trailing_byte.bin");
+}
+
+TEST(CodecFuzzRegression, ValidOneWay) {
+  // corpus: valid_oneway.bin — one-way "ping" with body "abc".
+  const Bytes wire{0x02, 0x2a, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x04, 0x00, 0x00, 0x00, 0x70, 0x69, 0x6e,
+                   0x67, 0x03, 0x00, 0x00, 0x00, 0x61, 0x62, 0x63};
+  auto result = Message::try_decode(wire);
+  ASSERT_TRUE(result.ok()) << result.error.to_string();
+  EXPECT_EQ(result.value().kind, MessageKind::kOneWay);
+  EXPECT_EQ(result.value().request_id, 42u);
+  EXPECT_EQ(result.value().method, "ping");
+  EXPECT_EQ(result.value().body, (Bytes{0x61, 0x62, 0x63}));
+  EXPECT_EQ(result.value().encode(), wire);
+}
+
+TEST(CodecFuzzRegression, ThrowingDecodeAgreesWithTryDecode) {
+  // decode() and try_decode() must classify identically; the corpus inputs
+  // exercise every error code.
+  const std::vector<std::pair<Bytes, DecodeErrorCode>> cases = {
+      {{}, DecodeErrorCode::kTruncated},
+      {{0x7f}, DecodeErrorCode::kBadKind},
+      {{0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xaa},
+       DecodeErrorCode::kTrailingBytes},
+  };
+  for (const auto& [wire, code] : cases) {
+    try {
+      (void)Message::decode(wire);
+      FAIL() << "decode accepted malformed input";
+    } catch (const CodecError& e) {
+      EXPECT_EQ(e.error().code, code);
+      EXPECT_EQ(e.error().code, Message::try_decode(wire).error.code);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the harness invariant checker (DAT_CHECK_INVARIANTS layer):
+// the assert_* entry points are always compiled, so the default build can
+// verify both that healthy clusters pass and that the report machinery
+// actually reports.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+
+#include "chord/ring_view.hpp"
+#include "harness/invariants.hpp"
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::harness;
+
+TEST(InvariantReport, EmptyReportIsOk) {
+  InvariantReport report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_string(), "all invariants hold");
+  EXPECT_NO_THROW(require_ok(report, "test"));
+}
+
+TEST(InvariantReport, ViolationsAreCollectedAndThrown) {
+  InvariantReport report;
+  report.add("first problem");
+  report.add("second problem");
+  EXPECT_FALSE(report.ok());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("2 invariant violation(s)"), std::string::npos);
+  EXPECT_NE(text.find("first problem"), std::string::npos);
+  EXPECT_NE(text.find("second problem"), std::string::npos);
+  try {
+    require_ok(report, "somewhere");
+    FAIL() << "require_ok did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("somewhere"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("first problem"), std::string::npos);
+  }
+}
+
+TEST(Invariants, RingStructureHoldsForSortedView) {
+  const IdSpace space(16);
+  const chord::RingView ring(space, {10, 500, 900, 40000, 65000});
+  InvariantReport report;
+  check_ring_structure(ring, report);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Invariants, DatTreeHoldsOnStaticRings) {
+  const IdSpace space(16);
+  std::vector<Id> ids;
+  for (Id i = 0; i < 32; ++i) ids.push_back(i * 2048 + 7);
+  const chord::RingView ring(space, std::move(ids));
+  InvariantReport report;
+  for (const Id key : {Id{0}, Id{1}, Id{12345}, space.mask()}) {
+    check_dat_tree(ring, key, chord::RoutingScheme::kBalanced, report);
+    check_dat_tree(ring, key, chord::RoutingScheme::kGreedy, report);
+  }
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(Invariants, SimClusterPassesLocalChecksMidChurn) {
+  ClusterOptions options;
+  options.bits = 16;
+  options.seed = 7;
+  SimCluster cluster(8, std::move(options));
+  EXPECT_NO_THROW(cluster.assert_local_invariants());
+
+  // Structural invariants must hold even before re-convergence: crash one
+  // node, check immediately, then add a node and check again.
+  cluster.remove_node(3, /*graceful=*/false);
+  EXPECT_NO_THROW(cluster.assert_local_invariants());
+  ASSERT_TRUE(cluster.add_node().has_value());
+  EXPECT_NO_THROW(cluster.assert_local_invariants());
+}
+
+TEST(Invariants, SimClusterPassesConvergedChecks) {
+  ClusterOptions options;
+  options.bits = 16;
+  options.seed = 11;
+  SimCluster cluster(8, std::move(options));
+  ASSERT_TRUE(cluster.wait_converged(120'000'000));
+  EXPECT_NO_THROW(cluster.assert_converged_invariants());
+
+  // Per-node spot check through the low-level API as well.
+  const chord::RingView ring = cluster.ring_view();
+  InvariantReport report;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    if (!cluster.is_live(i)) continue;
+    check_node_structure(cluster.node(i), report);
+    check_converged_node(cluster.node(i), ring, report);
+  }
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+}  // namespace

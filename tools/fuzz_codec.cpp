@@ -1,0 +1,101 @@
+// Fuzz harness for the wire codec: Message decoding plus the Reader
+// primitives, driven by arbitrary bytes. Built behind DAT_FUZZ.
+//
+// Under Clang the target links libFuzzer (-fsanitize=fuzzer) and explores
+// inputs coverage-guided; under other compilers the same harness compiles
+// with a standalone driver that replays corpus files given on the command
+// line, which is how the checked-in crash corpus regression-runs in CI.
+//
+// Any crash found here must be distilled into tests/test_codec_fuzz_regressions.cpp
+// (and the input dropped into tools/fuzz/corpus/) before the fix lands.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/transport.hpp"
+
+namespace {
+
+// Exercises the primitive Reader accessors in a data-driven order: the first
+// byte of each step selects the accessor, so the fuzzer can reach every
+// decode path, including nested length prefixes.
+void fuzz_reader_primitives(std::span<const std::uint8_t> data) {
+  dat::net::Reader r(data);
+  try {
+    while (!r.exhausted()) {
+      switch (r.u8() % 8) {
+        case 0: (void)r.u8(); break;
+        case 1: (void)r.u16(); break;
+        case 2: (void)r.u32(); break;
+        case 3: (void)r.u64(); break;
+        case 4: (void)r.i64(); break;
+        case 5: (void)r.f64(); break;
+        case 6: (void)r.str(); break;
+        case 7: (void)r.bytes(); break;
+      }
+    }
+  } catch (const dat::net::CodecError&) {
+    // Expected rejection of malformed input — the invariant under test is
+    // "typed error or success, never UB".
+  }
+}
+
+void fuzz_message_decode(std::span<const std::uint8_t> data) {
+  const dat::net::MessageDecodeResult result =
+      dat::net::Message::try_decode(data);
+  if (result.ok()) {
+    // Round-trip invariant: anything that decodes must re-encode to the
+    // exact input bytes (the format has a unique encoding).
+    const std::vector<std::uint8_t> wire = result.message->encode();
+    if (wire.size() != data.size() ||
+        !std::equal(wire.begin(), wire.end(), data.begin())) {
+      __builtin_trap();
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+  fuzz_message_decode(input);
+  fuzz_reader_primitives(input);
+  return 0;
+}
+
+#if !defined(DAT_FUZZ_LIBFUZZER)
+// Standalone replay driver: feeds each file named on the command line (or
+// stdin when none) through the harness once. Exit 0 means no crash.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::size_t ran = 0;
+  if (argc < 2) {
+    std::vector<std::uint8_t> input(std::istreambuf_iterator<char>(std::cin),
+                                    std::istreambuf_iterator<char>{});
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ran = 1;
+  } else {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i], std::ios::binary);
+      if (!in) {
+        std::cerr << "fuzz_codec: cannot open " << argv[i] << "\n";
+        return 2;
+      }
+      std::vector<std::uint8_t> input(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>{});
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++ran;
+    }
+  }
+  std::printf("fuzz_codec: replayed %zu input(s), no crash\n", ran);
+  return 0;
+}
+#endif
