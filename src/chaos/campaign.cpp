@@ -1,0 +1,236 @@
+#include "chaos/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace dat::chaos {
+
+Campaign::Campaign(harness::SimCluster& cluster, ChaosPlan plan,
+                   CampaignOptions options)
+    : cluster_(cluster), plan_(std::move(plan)), options_(std::move(options)) {
+  if (options_.replicas == 0) {
+    throw std::invalid_argument("Campaign: replicas == 0");
+  }
+  plan_.sort_events();
+  // Same key layout as core::ReplicatedAggregate: replica i rendezvouses at
+  // H(name "#" i). Registering through the cluster keeps restarted slots
+  // contributing without campaign-side bookkeeping.
+  harness::SimCluster::LocalValueFactory local =
+      options_.local_values
+          ? options_.local_values
+          : [](std::size_t slot) -> core::DatNode::LocalValueFn {
+              return [slot] { return static_cast<double>(slot); };
+            };
+  keys_.reserve(options_.replicas);
+  for (unsigned i = 0; i < options_.replicas; ++i) {
+    keys_.push_back(cluster_.start_aggregate_everywhere(
+        options_.aggregate + "#" + std::to_string(i), options_.kind,
+        options_.scheme, local));
+  }
+}
+
+void Campaign::note(const std::string& line) {
+  report_.event_log.push_back(line);
+  DAT_LOG_INFO("chaos", line);
+}
+
+std::size_t Campaign::probe_slot() const {
+  for (std::size_t i = 0; i < cluster_.slot_count(); ++i) {
+    if (cluster_.is_live(i) && !partitioned_.contains(i)) return i;
+  }
+  throw std::logic_error("Campaign: no reachable live slot to probe from");
+}
+
+net::RpcStats Campaign::live_rpc_stats() const {
+  net::RpcStats total;
+  for (std::size_t i = 0; i < cluster_.slot_count(); ++i) {
+    if (!cluster_.is_live(i)) continue;
+    total += cluster_.node(i).rpc().stats();
+  }
+  return total;
+}
+
+void Campaign::apply(const FaultEvent& event) {
+  note(event.describe());
+  switch (event.kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kLeave: {
+      if (!cluster_.is_live(event.slot)) {
+        throw std::logic_error("Campaign: " + event.describe() +
+                               " targets a dead slot");
+      }
+      // A destroyed endpoint must not linger in the fabric's partition set.
+      if (const auto it = partitioned_.find(event.slot);
+          it != partitioned_.end()) {
+        cluster_.network().set_partitioned(it->second, false);
+        partitioned_.erase(it);
+      }
+      cluster_.remove_node(event.slot,
+                           /*graceful=*/event.kind == FaultKind::kLeave);
+      if (options_.refresh_hints) cluster_.refresh_d0_hints();
+      break;
+    }
+    case FaultKind::kRestart: {
+      if (!cluster_.restart_node(event.slot)) {
+        note("t=" + std::to_string(event.at_us / 1000) + "ms restart slot=" +
+             std::to_string(event.slot) + " FAILED");
+        report_.violations.push_back("restart failed for slot " +
+                                     std::to_string(event.slot));
+      }
+      break;
+    }
+    case FaultKind::kLossBurst:
+      cluster_.network().loss_burst(event.magnitude, event.duration_us);
+      break;
+    case FaultKind::kLatencyBurst:
+      cluster_.network().latency_burst(event.magnitude, event.duration_us);
+      break;
+    case FaultKind::kPartition: {
+      const net::Endpoint ep = cluster_.node(event.slot).self().endpoint;
+      cluster_.network().set_partitioned(ep, true);
+      partitioned_[event.slot] = ep;
+      break;
+    }
+    case FaultKind::kHeal: {
+      const auto it = partitioned_.find(event.slot);
+      if (it == partitioned_.end()) {
+        throw std::logic_error("Campaign: " + event.describe() +
+                               " targets a slot that is not partitioned");
+      }
+      cluster_.network().set_partitioned(it->second, false);
+      partitioned_.erase(it);
+      break;
+    }
+    case FaultKind::kVerify:
+      report_.phases.push_back(run_verify(event));
+      break;
+  }
+}
+
+Campaign::Probe Campaign::probe_coverage() {
+  Probe best;
+  core::DatNode& probe = cluster_.dat(probe_slot());
+  // A healed or re-parented ex-root can hold a stale global with an
+  // inflated count; only values pushed within the last two epochs count.
+  const std::uint64_t freshness = 2 * probe.options().epoch_us + 100'000;
+  for (const Id key : keys_) {
+    // The callback must own its landing pad: a query towards a partitioned
+    // root can outlive this probe's patience (retries keep the RPC pending),
+    // and the late response would otherwise write to a dead stack frame.
+    struct Pending {
+      bool done = false;
+      net::RpcStatus status = net::RpcStatus::kTimeout;
+      std::optional<core::GlobalValue> value;
+    };
+    auto pending = std::make_shared<Pending>();
+    probe.query_global(key, [pending](net::RpcStatus s,
+                                      std::optional<core::GlobalValue> v) {
+      pending->done = true;
+      pending->status = s;
+      pending->value = std::move(v);
+    });
+    const std::uint64_t deadline =
+        cluster_.engine().now() + options_.probe_timeout_us;
+    while (!pending->done && cluster_.engine().now() < deadline) {
+      cluster_.run_for(10'000);
+    }
+    if (pending->done && pending->status == net::RpcStatus::kOk &&
+        pending->value.has_value()) {
+      ++best.roots_answered;
+      const bool fresh =
+          pending->value->updated_at_us + freshness >= cluster_.engine().now();
+      if (fresh) {
+        best.coverage =
+            std::max(best.coverage,
+                     static_cast<std::size_t>(pending->value->state.count));
+      }
+    }
+  }
+  return best;
+}
+
+PhaseReport Campaign::run_verify(const FaultEvent& event) {
+  PhaseReport phase;
+  phase.phase = ++phase_;
+  phase.at_us = event.at_us;
+
+  cluster_.run_for(options_.quiesce_us);
+
+  phase.live = cluster_.live_count();
+  phase.expected_coverage = phase.live - partitioned_.size();
+
+  // Structural invariants hold at any instant, partitions included.
+  try {
+    cluster_.assert_local_invariants();
+    phase.invariants_ok = true;
+  } catch (const std::logic_error& err) {
+    report_.violations.push_back(err.what());
+  }
+
+  // Ring convergence (and the converged-tree checks inside wait_converged)
+  // is only a meaningful target when every live node is reachable.
+  if (partitioned_.empty()) {
+    phase.ring_checked = true;
+    try {
+      phase.ring_converged =
+          cluster_.wait_converged(options_.converge_timeout_us);
+      if (!phase.ring_converged) {
+        report_.violations.push_back(
+            "phase " + std::to_string(phase.phase) +
+            ": ring did not re-converge within budget");
+      }
+    } catch (const std::logic_error& err) {
+      report_.violations.push_back(err.what());
+    }
+  }
+
+  // Recovery SLO: the widest fresh replica coverage must reach the
+  // reachable population within max_recovery_epochs continuous epochs.
+  const std::uint64_t epoch_us =
+      cluster_.dat(probe_slot()).options().epoch_us;
+  Probe probe = probe_coverage();
+  unsigned epochs = 0;
+  while (probe.coverage < phase.expected_coverage &&
+         epochs < options_.max_recovery_epochs) {
+    cluster_.run_for(epoch_us);
+    ++epochs;
+    probe = probe_coverage();
+  }
+  phase.observed_coverage = probe.coverage;
+  phase.epochs_to_recover = epochs;
+  phase.roots_answered = probe.roots_answered;
+  phase.coverage_ok = probe.coverage >= phase.expected_coverage;
+  phase.query_ok = probe.roots_answered >= 1;
+  phase.rpc = live_rpc_stats();
+
+  std::ostringstream oss;
+  oss << "t=" << event.at_us / 1000 << "ms phase=" << phase.phase
+      << " live=" << phase.live << " expected=" << phase.expected_coverage
+      << " coverage=" << phase.observed_coverage
+      << " epochs=" << phase.epochs_to_recover
+      << " roots=" << phase.roots_answered
+      << (phase.ok() ? " OK" : " FAIL");
+  note(oss.str());
+  return phase;
+}
+
+CampaignReport Campaign::run() {
+  if (ran_) throw std::logic_error("Campaign::run: already ran");
+  ran_ = true;
+  const std::uint64_t start = cluster_.engine().now();
+  for (const FaultEvent& event : plan_.events) {
+    const std::uint64_t at = start + event.at_us;
+    if (cluster_.engine().now() < at) {
+      cluster_.run_for(at - cluster_.engine().now());
+    }
+    apply(event);
+  }
+  return std::move(report_);
+}
+
+}  // namespace dat::chaos

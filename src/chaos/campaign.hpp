@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "harness/sim_cluster.hpp"
+#include "net/rpc.hpp"
+
+namespace dat::chaos {
+
+struct CampaignOptions {
+  /// Base name of the campaign aggregate; replica tree i uses the key
+  /// H(name "#" i) — the same layout as core::ReplicatedAggregate, so a
+  /// reader keeps the widest-coverage answer across the replica roots.
+  std::string aggregate = "cpu-usage";
+  unsigned replicas = 3;
+  core::AggregateKind kind = core::AggregateKind::kCount;
+  chord::RoutingScheme scheme = chord::RoutingScheme::kBalanced;
+  /// Per-slot local values; null uses the slot index as the sample.
+  harness::SimCluster::LocalValueFactory local_values;
+
+  /// Settle window run before each verification.
+  std::uint64_t quiesce_us = 2'000'000;
+  /// Recovery SLO: coverage must re-converge to the reachable live
+  /// population within this many continuous-push epochs after quiesce.
+  unsigned max_recovery_epochs = 10;
+  /// Budget per root query while probing coverage.
+  std::uint64_t probe_timeout_us = 2'000'000;
+  /// Budget for ring convergence (only awaited when no partition is up).
+  std::uint64_t converge_timeout_us = 30'000'000;
+  /// Refresh d0 hints after membership changes (matches clusters built
+  /// with inject_d0_hint; set false when exercising the estimator).
+  bool refresh_hints = true;
+};
+
+/// Outcome of one verification phase (one kVerify event).
+struct PhaseReport {
+  std::size_t phase = 0;
+  std::uint64_t at_us = 0;
+  std::size_t live = 0;
+  /// Reachable population: live minus partitioned slots.
+  std::size_t expected_coverage = 0;
+  /// Widest fresh coverage any replica root reported.
+  std::size_t observed_coverage = 0;
+  /// Epochs waited after quiesce until the coverage SLO was met (or
+  /// max_recovery_epochs when it never was).
+  unsigned epochs_to_recover = 0;
+  unsigned roots_answered = 0;
+  bool coverage_ok = false;
+  bool query_ok = false;       ///< at least one replica root answered
+  bool invariants_ok = false;  ///< structural checks passed
+  bool ring_checked = false;   ///< convergence awaited (no partition active)
+  bool ring_converged = false;
+  /// Cumulative RPC counters summed over live nodes at phase end.
+  net::RpcStats rpc;
+
+  [[nodiscard]] bool ok() const {
+    return coverage_ok && query_ok && invariants_ok &&
+           (!ring_checked || ring_converged);
+  }
+};
+
+struct CampaignReport {
+  std::vector<PhaseReport> phases;
+  /// Deterministic event log: one line per applied event and per phase
+  /// outcome. Two same-seed runs must produce identical logs.
+  std::vector<std::string> event_log;
+  /// Invariant-violation texts, if any phase tripped a check.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const {
+    if (!violations.empty()) return false;
+    for (const PhaseReport& p : phases) {
+      if (!p.ok()) return false;
+    }
+    return true;
+  }
+};
+
+/// Executes a ChaosPlan deterministically against a SimCluster: applies
+/// each fault at its virtual timestamp and, at every kVerify event, runs a
+/// quiescent window and then checks the structural invariants, the
+/// coverage-recovery SLO and replica-query availability. All randomness is
+/// the cluster's own seeded Rng streams, so the produced event log is a
+/// pure function of (cluster seed, plan).
+class Campaign {
+ public:
+  /// The cluster must have its DAT layer enabled; the campaign registers
+  /// its replica aggregates cluster-wide in the constructor so restarted
+  /// slots rejoin the trees automatically.
+  Campaign(harness::SimCluster& cluster, ChaosPlan plan,
+           CampaignOptions options);
+
+  /// Runs the whole plan; may be called once.
+  CampaignReport run();
+
+  [[nodiscard]] const std::vector<Id>& keys() const noexcept { return keys_; }
+
+ private:
+  struct Probe {
+    std::size_t coverage = 0;
+    unsigned roots_answered = 0;
+  };
+
+  void apply(const FaultEvent& event);
+  PhaseReport run_verify(const FaultEvent& event);
+  [[nodiscard]] Probe probe_coverage();
+  [[nodiscard]] std::size_t probe_slot() const;
+  [[nodiscard]] net::RpcStats live_rpc_stats() const;
+  void note(const std::string& line);
+
+  harness::SimCluster& cluster_;
+  ChaosPlan plan_;
+  CampaignOptions options_;
+  std::vector<Id> keys_;
+  /// Slot -> endpoint for currently partitioned slots (the endpoint is
+  /// needed to heal after the chord::Node object is unreachable).
+  std::unordered_map<std::size_t, net::Endpoint> partitioned_;
+  CampaignReport report_;
+  std::size_t phase_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace dat::chaos

@@ -1,0 +1,251 @@
+#include "chaos/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace dat::chaos {
+
+const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kLeave:
+      return "leave";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kLossBurst:
+      return "loss";
+    case FaultKind::kLatencyBurst:
+      return "latency";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  std::ostringstream oss;
+  oss << "t=" << at_us / 1000 << "ms " << to_string(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kLeave:
+    case FaultKind::kRestart:
+    case FaultKind::kPartition:
+    case FaultKind::kHeal:
+      oss << " slot=" << slot;
+      break;
+    case FaultKind::kLossBurst:
+    case FaultKind::kLatencyBurst:
+      oss << " x=" << magnitude << " for=" << duration_us / 1000 << "ms";
+      break;
+    case FaultKind::kVerify:
+      break;
+  }
+  return oss.str();
+}
+
+ChaosPlan& ChaosPlan::crash(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kCrash, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::leave(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kLeave, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::restart(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kRestart, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::loss_burst(std::uint64_t at_us, double rate,
+                                 std::uint64_t duration_us) {
+  events.push_back({at_us, FaultKind::kLossBurst, 0, rate, duration_us});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::latency_burst(std::uint64_t at_us, double multiplier,
+                                    std::uint64_t duration_us) {
+  events.push_back(
+      {at_us, FaultKind::kLatencyBurst, 0, multiplier, duration_us});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::partition(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kPartition, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::heal(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kHeal, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::verify(std::uint64_t at_us) {
+  events.push_back({at_us, FaultKind::kVerify, 0, 0.0, 0});
+  return *this;
+}
+
+void ChaosPlan::sort_events() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_us < b.at_us;
+                   });
+}
+
+std::size_t ChaosPlan::phases() const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kVerify) ++n;
+  }
+  return n;
+}
+
+std::string ChaosPlan::to_spec() const {
+  std::ostringstream oss;
+  oss << "seed " << seed << "\n";
+  oss << "nodes " << nodes << "\n";
+  for (const FaultEvent& e : events) {
+    oss << e.at_us / 1000 << " " << to_string(e.kind);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLeave:
+      case FaultKind::kRestart:
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+        oss << " " << e.slot;
+        break;
+      case FaultKind::kLossBurst:
+      case FaultKind::kLatencyBurst:
+        oss << " " << e.magnitude << " " << e.duration_us / 1000;
+        break;
+      case FaultKind::kVerify:
+        break;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& line, const char* why) {
+  throw std::invalid_argument(std::string("ChaosPlan::parse: ") + why +
+                              " in line: \"" + line + "\"");
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::parse(std::string_view spec) {
+  ChaosPlan plan;
+  plan.events.clear();
+  std::istringstream input{std::string(spec)};
+  std::string line;
+  while (std::getline(input, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+
+    std::string head;
+    fields >> head;
+    if (head == "seed") {
+      if (!(fields >> plan.seed)) bad_line(line, "bad seed");
+      continue;
+    }
+    if (head == "nodes") {
+      if (!(fields >> plan.nodes)) bad_line(line, "bad node count");
+      continue;
+    }
+
+    std::uint64_t at_ms = 0;
+    try {
+      at_ms = std::stoull(head);
+    } catch (const std::exception&) {
+      bad_line(line, "expected a millisecond timestamp");
+    }
+    const std::uint64_t at_us = at_ms * 1000;
+
+    std::string verb;
+    if (!(fields >> verb)) bad_line(line, "missing event verb");
+    if (verb == "crash" || verb == "leave" || verb == "restart" ||
+        verb == "partition" || verb == "heal") {
+      std::size_t slot = 0;
+      if (!(fields >> slot)) bad_line(line, "missing slot");
+      if (verb == "crash") plan.crash(at_us, slot);
+      else if (verb == "leave") plan.leave(at_us, slot);
+      else if (verb == "restart") plan.restart(at_us, slot);
+      else if (verb == "partition") plan.partition(at_us, slot);
+      else plan.heal(at_us, slot);
+    } else if (verb == "loss" || verb == "latency") {
+      double magnitude = 0.0;
+      std::uint64_t duration_ms = 0;
+      if (!(fields >> magnitude >> duration_ms)) {
+        bad_line(line, "expected <magnitude> <duration_ms>");
+      }
+      if (verb == "loss") plan.loss_burst(at_us, magnitude, duration_ms * 1000);
+      else plan.latency_burst(at_us, magnitude, duration_ms * 1000);
+    } else if (verb == "verify") {
+      plan.verify(at_us);
+    } else {
+      bad_line(line, "unknown event verb");
+    }
+  }
+  plan.sort_events();
+  return plan;
+}
+
+ChaosPlan ChaosPlan::canonical(std::uint64_t seed, std::size_t nodes) {
+  if (nodes < 4) {
+    throw std::invalid_argument("ChaosPlan::canonical: need >= 4 nodes");
+  }
+  Rng rng(seed * 7919 + 17);
+  // Distinct victim slots, excluding slot 0 so the verifier always has a
+  // stable probe node (any slot may still crash in hand-written plans).
+  const auto pick = [&](std::size_t avoid) {
+    for (;;) {
+      const auto slot = 1 + static_cast<std::size_t>(
+                                rng.next_below(static_cast<std::uint64_t>(
+                                    nodes - 1)));
+      if (slot != avoid) return slot;
+    }
+  };
+  const std::size_t crash_victim = pick(0);
+  const std::size_t leave_victim = pick(crash_victim);
+  // The leaver stays gone, so the partition must target someone else; the
+  // crash victim has restarted by then and is fair game again.
+  const std::size_t part_victim = pick(leave_victim);
+
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.nodes = nodes;
+  // Phase 1: abrupt crash, then the same slot restarts and rejoins.
+  plan.crash(1'000'000, crash_victim);
+  plan.verify(3'000'000);
+  plan.restart(4'000'000, crash_victim);
+  plan.verify(6'000'000);
+  // Phase 2: graceful leave (stays gone).
+  plan.leave(7'000'000, leave_victim);
+  plan.verify(9'000'000);
+  // Phase 3: 20% loss burst across the fabric.
+  plan.loss_burst(10'000'000, 0.20, 2'000'000);
+  plan.verify(13'000'000);
+  // Phase 4: partition one node, then heal it.
+  plan.partition(14'000'000, part_victim);
+  plan.verify(16'000'000);
+  plan.heal(17'000'000, part_victim);
+  plan.verify(19'000'000);
+  // Phase 5: 8x latency spike.
+  plan.latency_burst(20'000'000, 8.0, 2'000'000);
+  plan.verify(23'000'000);
+  return plan;
+}
+
+}  // namespace dat::chaos

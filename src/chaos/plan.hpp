@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dat::chaos {
+
+/// One kind of injected fault (or control point) in a chaos timeline.
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,        ///< abrupt failure of a slot, no departure notice
+  kLeave = 1,        ///< graceful departure of a slot
+  kRestart = 2,      ///< rejoin a previously crashed/departed slot
+  kLossBurst = 3,    ///< uniform datagram loss `magnitude` for `duration_us`
+  kLatencyBurst = 4, ///< latency multiplier `magnitude` for `duration_us`
+  kPartition = 5,    ///< slot becomes unreachable (stays alive)
+  kHeal = 6,         ///< partition on slot is lifted
+  kVerify = 7,       ///< quiesce, then run the recovery verifier
+};
+
+[[nodiscard]] const char* to_string(FaultKind k) noexcept;
+
+/// One scheduled event of a ChaosPlan. Which fields matter depends on the
+/// kind: slot for crash/leave/restart/partition/heal, magnitude+duration
+/// for the bursts, nothing extra for verify.
+struct FaultEvent {
+  std::uint64_t at_us = 0;
+  FaultKind kind = FaultKind::kVerify;
+  std::size_t slot = 0;
+  double magnitude = 0.0;
+  std::uint64_t duration_us = 0;
+
+  /// Stable one-line rendering, e.g. "t=1200ms crash slot=3"; used for the
+  /// deterministic event log that same-seed runs must reproduce bit-exact.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A seeded, scripted timeline of fault events executed against a cluster
+/// by chaos::Campaign. Events run in at_us order (ties keep insertion
+/// order); every kVerify event closes a phase and triggers the verifier.
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 16;
+  std::vector<FaultEvent> events;
+
+  // Builder-style helpers; times are virtual microseconds from campaign
+  // start. Each returns *this for chaining.
+  ChaosPlan& crash(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& leave(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& restart(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& loss_burst(std::uint64_t at_us, double rate,
+                        std::uint64_t duration_us);
+  ChaosPlan& latency_burst(std::uint64_t at_us, double multiplier,
+                           std::uint64_t duration_us);
+  ChaosPlan& partition(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& heal(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& verify(std::uint64_t at_us);
+
+  /// Orders events by at_us (stable: simultaneous events keep the order
+  /// they were added in). Campaign calls this before executing.
+  void sort_events();
+
+  /// Number of kVerify events, i.e. phases the campaign reports on.
+  [[nodiscard]] std::size_t phases() const;
+
+  /// Renders the plan back to the text-spec format parse() accepts.
+  [[nodiscard]] std::string to_spec() const;
+
+  /// Parses the line-based spec format (times in milliseconds):
+  ///
+  ///   # comment / blank lines ignored
+  ///   seed <n>
+  ///   nodes <n>
+  ///   <at_ms> crash <slot>
+  ///   <at_ms> leave <slot>
+  ///   <at_ms> restart <slot>
+  ///   <at_ms> loss <rate> <duration_ms>
+  ///   <at_ms> latency <multiplier> <duration_ms>
+  ///   <at_ms> partition <slot>
+  ///   <at_ms> heal <slot>
+  ///   <at_ms> verify
+  ///
+  /// Throws std::invalid_argument with the offending line on bad input.
+  [[nodiscard]] static ChaosPlan parse(std::string_view spec);
+
+  /// The canonical seeded campaign used by tests and the CI soak: a mix of
+  /// crash+rejoin, graceful leave, a 20% loss burst, a partition+heal and a
+  /// latency spike, with a verify point after each disturbance. Slot
+  /// choices are drawn from Rng(seed), so the timeline is a pure function
+  /// of (seed, nodes).
+  [[nodiscard]] static ChaosPlan canonical(std::uint64_t seed,
+                                           std::size_t nodes);
+};
+
+}  // namespace dat::chaos

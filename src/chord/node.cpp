@@ -722,10 +722,16 @@ void Node::do_stabilize() {
         net::Writer w;
         write_node_ref(w, self_);
         ++maintenance_rpcs_;
+        // Notify is advisory (the next stabilize repeats it): two fixed
+        // attempts, no backoff.
         rpc_->call(successor().endpoint, kNotify, w,
-                   [](net::RpcStatus, net::Reader&) {}, options_.rpc);
+                   [](net::RpcStatus, net::Reader&) {},
+                   options_.rpc.fixed(2));
       },
-      options_.rpc);
+      // Explicit maintenance budget: fixed timeout, full attempts. Backing
+      // off here would only postpone promote_next_successor past the next
+      // stabilize tick.
+      options_.rpc.fixed(options_.rpc.attempts));
 }
 
 void Node::promote_next_successor() {
@@ -765,6 +771,8 @@ void Node::do_fix_fingers() {
       // on every fix so split_interval answers for probing joins reflect
       // intervals that recent joiners have already subdivided.
       ++maintenance_rpcs_;
+      // Metadata-only refresh, repeated every fix_fingers cycle: a tight
+      // two-attempt fixed budget instead of the data-plane default.
       rpc_->call(node.endpoint, kGetNeighbors, net::Writer{},
                  [this, j, node](net::RpcStatus st, net::Reader& r) {
                    if (!alive_ || st != net::RpcStatus::kOk) return;
@@ -774,7 +782,7 @@ void Node::do_fix_fingers() {
                      finger_pred_[j] = pred.id;
                    }
                  },
-                 options_.rpc);
+                 options_.rpc.fixed(2));
     } else {
       finger_pred_[j] = std::nullopt;
     }
@@ -785,6 +793,9 @@ void Node::do_check_predecessor() {
   if (!predecessor_ || predecessor_->endpoint == self_.endpoint) return;
   const NodeRef pred = *predecessor_;
   ++maintenance_rpcs_;
+  // Failure-detector ping: fixed budget with full attempts — a false
+  // positive drops the predecessor (flapping tree roots), so keep the
+  // redundancy but never the backoff, which would blur the detection window.
   rpc_->call(pred.endpoint, kPing, net::Writer{},
              [this, pred](net::RpcStatus status, net::Reader&) {
                if (!alive_) return;
@@ -793,7 +804,7 @@ void Node::do_check_predecessor() {
                  predecessor_ = std::nullopt;
                }
              },
-             options_.rpc);
+             options_.rpc.fixed(options_.rpc.attempts));
 }
 
 // -- lookup ---------------------------------------------------------------

@@ -25,7 +25,14 @@ struct NodeOptions {
   std::uint64_t stabilize_interval_us = 200'000;
   std::uint64_t fix_fingers_interval_us = 50'000;  ///< one finger per tick
   std::uint64_t check_predecessor_interval_us = 400'000;
-  net::RpcManager::Options rpc{};   ///< per-call timeout/attempts
+  /// Base budget of data-plane RPCs (lookups, join probing): adaptive —
+  /// exponential per-attempt timeouts with decorrelated-jitter backoff, so
+  /// retry volume stays bounded under loss. Maintenance RPCs (stabilize,
+  /// notify, ping, finger-metadata refresh) derive explicit fixed budgets
+  /// from this instead of inheriting it: their periodic timers are the
+  /// retry mechanism, so backing off inside one tick only delays failure
+  /// detection.
+  net::RpcManager::Options rpc = net::RpcOptions::adaptive();
   bool probing_join = true;         ///< identifier probing (Sec. 3.5 / 4)
   std::uint64_t start_jitter_us = 50'000;  ///< staggers periodic timers
 };

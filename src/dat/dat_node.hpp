@@ -30,7 +30,10 @@ struct DatOptions {
   unsigned child_ttl_epochs = 3;
   /// Timeout for collecting one level of snapshot (on-demand) responses.
   std::uint64_t snapshot_timeout_us = 2'000'000;
-  net::RpcManager::Options rpc{};
+  /// Budget of root-query RPCs (get_global / get_history): adaptive so
+  /// retries back off under loss. Snapshot/collect fan-out uses one-way
+  /// messages bounded by snapshot_timeout_us instead of this budget.
+  net::RpcManager::Options rpc = net::RpcOptions::adaptive();
 };
 
 /// Latest global value as held by a tree's root.

@@ -79,6 +79,38 @@ void SimCluster::attach_layers(Slot& slot) {
   }
 }
 
+void SimCluster::register_cluster_aggregates(Slot& slot, std::size_t slot_idx) {
+  if (!slot.dat) return;
+  for (const AggregateSpec& spec : cluster_aggregates_) {
+    slot.dat->start_aggregate(
+        spec.name, spec.kind, spec.scheme,
+        spec.local_for ? spec.local_for(slot_idx)
+                       : core::DatNode::LocalValueFn{});
+  }
+}
+
+Id SimCluster::start_aggregate_everywhere(std::string_view name,
+                                          core::AggregateKind kind,
+                                          chord::RoutingScheme scheme,
+                                          LocalValueFactory local_for) {
+  if (!options_.with_dat) {
+    throw std::logic_error(
+        "SimCluster::start_aggregate_everywhere: DAT layer disabled");
+  }
+  cluster_aggregates_.push_back(
+      {std::string(name), kind, scheme, std::move(local_for)});
+  const AggregateSpec& spec = cluster_aggregates_.back();
+  Id key = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.live || !slot.dat) continue;
+    key = slot.dat->start_aggregate(
+        spec.name, spec.kind, spec.scheme,
+        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{});
+  }
+  return key;
+}
+
 std::size_t SimCluster::live_count() const {
   std::size_t count = 0;
   for (const Slot& slot : slots_) {
@@ -134,7 +166,7 @@ bool SimCluster::wait_converged(std::uint64_t max_us) {
       DAT_HARNESS_CHECK_CONVERGED();
       return true;
     }
-    engine_->run_until(
+    engine_->advance_until(
         std::min<sim::SimTime>(deadline, engine_->now() + 500'000));
   }
   return false;
@@ -156,9 +188,8 @@ std::optional<std::size_t> SimCluster::add_node() {
   return std::nullopt;
 }
 
-std::optional<std::size_t> SimCluster::try_add_node() {
+bool SimCluster::boot_into_slot(Slot& slot, std::size_t slot_idx) {
   const std::size_t bootstrap = lowest_live_slot();
-  Slot slot;
   slot.transport = &network_->add_node();
   slot.node = std::make_unique<chord::Node>(space_, *slot.transport,
                                             options_.node, next_seed_++);
@@ -178,15 +209,42 @@ std::optional<std::size_t> SimCluster::try_add_node() {
     // transport itself.
     const net::Endpoint ep = slot.transport->local();
     slot.node.reset();
+    slot.transport = nullptr;
     network_->remove_node(ep);
-    return std::nullopt;
+    return false;
   }
   engine_->run_until(engine_->now() + options_.join_settle_us);
   slot.live = true;
   attach_layers(slot);
+  register_cluster_aggregates(slot, slot_idx);
+  return true;
+}
+
+std::optional<std::size_t> SimCluster::try_add_node() {
+  Slot slot;
+  if (!boot_into_slot(slot, slots_.size())) return std::nullopt;
   slots_.push_back(std::move(slot));
   DAT_HARNESS_CHECK_LOCAL();
   return slots_.size() - 1;
+}
+
+bool SimCluster::restart_node(std::size_t slot_idx) {
+  if (slot_idx >= slots_.size()) {
+    throw std::out_of_range("SimCluster::restart_node: unknown slot");
+  }
+  if (slots_[slot_idx].live) {
+    throw std::logic_error("SimCluster::restart_node: slot is live");
+  }
+  // A crash loses all protocol state; the restarted instance is a brand-new
+  // node on a fresh transport that happens to reuse the slot index.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (boot_into_slot(slots_[slot_idx], slot_idx)) {
+      if (options_.inject_d0_hint) refresh_d0_hints();
+      DAT_HARNESS_CHECK_LOCAL();
+      return true;
+    }
+  }
+  return false;
 }
 
 void SimCluster::remove_node(std::size_t slot_idx, bool graceful) {

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "chord/node.hpp"
@@ -64,7 +67,10 @@ class SimCluster {
   [[nodiscard]] chord::RingView ring_view() const;
 
   /// Runs virtual time forward.
-  void run_for(std::uint64_t us) { engine_->run_until(engine_->now() + us); }
+  /// Runs the simulation for `us` of virtual time. The clock always advances
+  /// by exactly `us`, even across stretches with no scheduled events, so
+  /// fixed-step pump loops make progress regardless of timer density.
+  void run_for(std::uint64_t us) { engine_->advance_until(engine_->now() + us); }
 
   /// Runs until every live node's tables match the converged RingView, or
   /// until `max_us` virtual time passes. Returns true on convergence.
@@ -76,6 +82,27 @@ class SimCluster {
 
   /// Departs a node: graceful leave() or abrupt crash.
   void remove_node(std::size_t slot, bool graceful);
+
+  /// Restarts a crashed/departed slot: a fresh transport and chord::Node
+  /// rejoin the ring through identifier probing via the lowest live slot,
+  /// the DAT/MAAN layers are re-attached, and every cluster-registered
+  /// aggregate (see start_aggregate_everywhere) is re-registered so the
+  /// node is absorbed back into the trees. Returns true once the rejoin
+  /// completed; the slot keeps its index.
+  bool restart_node(std::size_t slot);
+
+  /// Per-slot local-value factory for cluster-wide aggregates; called with
+  /// the slot index, may return nullptr for relay-only slots.
+  using LocalValueFactory =
+      std::function<core::DatNode::LocalValueFn(std::size_t slot)>;
+
+  /// Registers the named aggregate on every live node and remembers the
+  /// spec: nodes joining via add_node() or rejoining via restart_node()
+  /// register it automatically, so churn never silently shrinks the
+  /// contributor set. Returns the rendezvous key.
+  Id start_aggregate_everywhere(std::string_view name, core::AggregateKind kind,
+                                chord::RoutingScheme scheme,
+                                LocalValueFactory local_for);
 
   /// Refreshes the d0 hints after churn (call when inject_d0_hint is set
   /// and the live population changed).
@@ -104,7 +131,19 @@ class SimCluster {
     bool live = false;
   };
 
+  struct AggregateSpec {
+    std::string name;
+    core::AggregateKind kind;
+    chord::RoutingScheme scheme;
+    LocalValueFactory local_for;
+  };
+
   void attach_layers(Slot& slot);
+  void register_cluster_aggregates(Slot& slot, std::size_t slot_idx);
+  /// Boots a node on a fresh transport and joins it via the lowest live
+  /// slot; fills `slot` on success (live, layers attached, aggregates
+  /// registered).
+  bool boot_into_slot(Slot& slot, std::size_t slot_idx);
   std::optional<std::size_t> try_add_node();
   [[nodiscard]] std::size_t lowest_live_slot() const;
 
@@ -114,6 +153,7 @@ class SimCluster {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<net::SimNetwork> network_;
   std::vector<Slot> slots_;
+  std::vector<AggregateSpec> cluster_aggregates_;
   std::uint64_t next_seed_;
 };
 

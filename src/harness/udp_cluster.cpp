@@ -45,6 +45,7 @@ UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
       dats_.push_back(std::make_unique<core::DatNode>(*node, options_.dat));
     }
   }
+  next_seed_ = options_.seed + 100 + n;
   DAT_HARNESS_CHECK_LOCAL();
 }
 
@@ -62,15 +63,104 @@ void UdpCluster::shutdown() {
   shut_down_ = true;
   dats_.clear();
   for (auto& node : nodes_) {
-    if (node->alive()) node->leave();
+    if (node && node->alive()) node->leave();
   }
   network_.run_for(100'000);  // let the leaving notices drain
+}
+
+void UdpCluster::crash(std::size_t i) {
+  if (!is_live(i)) {
+    throw std::logic_error("UdpCluster::crash: slot not live");
+  }
+  nodes_[i]->fail();
+  const net::Endpoint ep = nodes_[i]->self().endpoint;
+  // Layered teardown before the socket goes away, like a killed process:
+  // no departure notice is sent, peers must detect the failure.
+  if (i < dats_.size()) dats_[i].reset();
+  nodes_[i].reset();
+  network_.remove_node(ep);
+}
+
+std::size_t UdpCluster::lowest_live_slot() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] && nodes_[i]->alive()) return i;
+  }
+  throw std::logic_error("UdpCluster: no live nodes");
+}
+
+bool UdpCluster::restart(std::size_t i) {
+  if (i >= nodes_.size()) {
+    throw std::out_of_range("UdpCluster::restart: unknown slot");
+  }
+  if (nodes_[i]) {
+    throw std::logic_error("UdpCluster::restart: slot is live");
+  }
+  const net::Endpoint bootstrap =
+      nodes_[lowest_live_slot()]->self().endpoint;
+  // A crash lost all state; the restarted instance is a brand-new node on a
+  // fresh socket that happens to reuse the slot index.
+  auto& transport = network_.add_node();
+  nodes_[i] = std::make_unique<chord::Node>(space_, transport, options_.node,
+                                            next_seed_++);
+  bool joined = false;
+  bool failed = false;
+  nodes_[i]->join(bootstrap, [&](bool ok) {
+    joined = ok;
+    failed = !ok;
+  });
+  network_.run_while([&] { return !joined && !failed; },
+                     options_.join_timeout_us);
+  if (!joined) {
+    const net::Endpoint ep = transport.local();
+    nodes_[i].reset();
+    network_.remove_node(ep);
+    return false;
+  }
+  if (options_.with_dat && i < dats_.size()) {
+    dats_[i] = std::make_unique<core::DatNode>(*nodes_[i], options_.dat);
+    register_cluster_aggregates(i);
+  }
+  DAT_HARNESS_CHECK_LOCAL();
+  return true;
+}
+
+void UdpCluster::register_cluster_aggregates(std::size_t i) {
+  if (i >= dats_.size() || !dats_[i]) return;
+  for (const AggregateSpec& spec : cluster_aggregates_) {
+    dats_[i]->start_aggregate(spec.name, spec.kind, spec.scheme,
+                              spec.local_for
+                                  ? spec.local_for(i)
+                                  : core::DatNode::LocalValueFn{});
+  }
+}
+
+Id UdpCluster::start_aggregate_everywhere(std::string_view name,
+                                          core::AggregateKind kind,
+                                          chord::RoutingScheme scheme,
+                                          LocalValueFactory local_for) {
+  if (!options_.with_dat) {
+    throw std::logic_error(
+        "UdpCluster::start_aggregate_everywhere: DAT layer disabled");
+  }
+  cluster_aggregates_.push_back(
+      {std::string(name), kind, scheme, std::move(local_for)});
+  const AggregateSpec& spec = cluster_aggregates_.back();
+  Id key = 0;
+  for (std::size_t i = 0; i < dats_.size(); ++i) {
+    if (!dats_[i]) continue;
+    key = dats_[i]->start_aggregate(
+        spec.name, spec.kind, spec.scheme,
+        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{});
+  }
+  return key;
 }
 
 chord::RingView UdpCluster::ring_view() const {
   std::vector<Id> ids;
   ids.reserve(nodes_.size());
-  for (const auto& node : nodes_) ids.push_back(node->id());
+  for (const auto& node : nodes_) {
+    if (node && node->alive()) ids.push_back(node->id());
+  }
   return {space_, std::move(ids)};
 }
 
@@ -79,7 +169,9 @@ bool UdpCluster::wait_converged() {
   const bool converged = network_.run_while(
       [&] {
         for (const auto& node : nodes_) {
-          if (!node->converged_against(ring)) return true;
+          if (node && node->alive() && !node->converged_against(ring)) {
+            return true;
+          }
         }
         return false;
       },
@@ -96,7 +188,7 @@ bool UdpCluster::run_until(const std::function<bool()>& condition,
 void UdpCluster::assert_local_invariants() const {
   InvariantReport report;
   for (const auto& node : nodes_) {
-    if (node->alive()) check_node_structure(*node, report);
+    if (node && node->alive()) check_node_structure(*node, report);
   }
   require_ok(report, "UdpCluster local invariants");
 }
@@ -106,7 +198,7 @@ void UdpCluster::assert_converged_invariants() const {
   const chord::RingView ring = ring_view();
   check_ring_structure(ring, report);
   for (const auto& node : nodes_) {
-    if (!node->alive()) continue;
+    if (!node || !node->alive()) continue;
     check_node_structure(*node, report);
     check_converged_node(*node, ring, report);
   }
@@ -119,8 +211,12 @@ void UdpCluster::assert_converged_invariants() const {
 }
 
 void UdpCluster::inject_d0_hints() {
+  std::size_t live = 0;
+  for (const auto& node : nodes_) {
+    if (node && node->alive()) ++live;
+  }
   for (auto& node : nodes_) {
-    node->set_d0_hint(space_.size(), nodes_.size());
+    if (node && node->alive()) node->set_d0_hint(space_.size(), live);
   }
 }
 

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "chord/node.hpp"
@@ -39,6 +42,30 @@ class UdpCluster {
   [[nodiscard]] const IdSpace& space() const noexcept { return space_; }
   [[nodiscard]] chord::Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] core::DatNode& dat(std::size_t i) { return *dats_.at(i); }
+  [[nodiscard]] bool is_live(std::size_t i) const {
+    return i < nodes_.size() && nodes_[i] && nodes_[i]->alive();
+  }
+
+  /// Crashes node i: its socket is closed and the instance destroyed with
+  /// no departure notice, like a killed process. The slot stays allocated
+  /// for restart().
+  void crash(std::size_t i);
+
+  /// Restarts a crashed slot: binds a fresh socket, rejoins through any
+  /// live node (identifier probing), re-attaches the DAT layer and
+  /// re-registers every cluster-registered aggregate. Returns true once
+  /// the rejoin completed within the configured join timeout.
+  bool restart(std::size_t i);
+
+  /// Per-slot local-value factory for cluster-wide aggregates.
+  using LocalValueFactory =
+      std::function<core::DatNode::LocalValueFn(std::size_t slot)>;
+
+  /// Registers the named aggregate on every live node and remembers the
+  /// spec so restarted nodes re-register it. Returns the rendezvous key.
+  Id start_aggregate_everywhere(std::string_view name, core::AggregateKind kind,
+                                chord::RoutingScheme scheme,
+                                LocalValueFactory local_for);
 
   [[nodiscard]] chord::RingView ring_view() const;
 
@@ -68,11 +95,23 @@ class UdpCluster {
   void assert_converged_invariants() const;
 
  private:
+  struct AggregateSpec {
+    std::string name;
+    core::AggregateKind kind;
+    chord::RoutingScheme scheme;
+    LocalValueFactory local_for;
+  };
+
+  void register_cluster_aggregates(std::size_t i);
+  [[nodiscard]] std::size_t lowest_live_slot() const;
+
   UdpClusterOptions options_;
   IdSpace space_;
   net::UdpNetwork network_;
   std::vector<std::unique_ptr<chord::Node>> nodes_;
   std::vector<std::unique_ptr<core::DatNode>> dats_;
+  std::vector<AggregateSpec> cluster_aggregates_;
+  std::uint64_t next_seed_ = 0;
   bool shut_down_ = false;
 };
 

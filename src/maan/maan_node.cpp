@@ -106,12 +106,14 @@ void MaanNode::register_resource(const Resource& resource,
           w.str(attr);
           w.u64(key);
           write_resource(w, resource);
+          // Explicit store budget: two fixed attempts — the producer's
+          // periodic re-registration is the real retry for soft state.
           chord_.rpc().call(
               target.endpoint, kStore, w,
               [finish_one](net::RpcStatus st, net::Reader&) {
                 finish_one(st == net::RpcStatus::kOk);
               },
-              options_.rpc);
+              options_.rpc.fixed(2));
         });
   }
 }

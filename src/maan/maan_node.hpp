@@ -13,7 +13,10 @@
 namespace dat::maan {
 
 struct MaanOptions {
-  net::RpcManager::Options rpc{};
+  /// Budget of query RPCs (point lookups): adaptive backoff under loss.
+  /// Stores derive a tight fixed budget from it — registrations are soft
+  /// state that producers refresh periodically, so the refresh is the retry.
+  net::RpcManager::Options rpc = net::RpcOptions::adaptive();
   /// Query abandonment timeout while a range sweep is circulating.
   std::uint64_t query_timeout_us = 5'000'000;
   /// Safety cap on successor-sweep length (k in O(log n + k)).

@@ -1,5 +1,6 @@
 #include "net/rpc.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -10,7 +11,37 @@ namespace dat::net {
 namespace {
 // Reserved method name of error responses; the body is the exception text.
 constexpr const char* kErrorMethod = "$error";
+
+// splitmix64: a tiny deterministic stream for backoff jitter. Kept local to
+// the RPC layer so retry timing never perturbs the protocol layers' seeded
+// Rng streams.
+std::uint64_t next_jitter(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 }  // namespace
+
+std::uint64_t RpcOptions::attempt_timeout_us(unsigned attempt) const {
+  if (timeout_multiplier <= 1.0) return timeout_us;
+  double t = static_cast<double>(timeout_us);
+  for (unsigned k = 0; k < attempt; ++k) t *= timeout_multiplier;
+  // Cap at something sane; a multiplier cannot overflow the u64 clock.
+  constexpr double kMaxTimeout = 3600.0 * 1e6;  // one hour
+  if (t > kMaxTimeout) t = kMaxTimeout;
+  return static_cast<std::uint64_t>(t);
+}
+
+std::uint64_t RpcOptions::max_total_us() const {
+  std::uint64_t total = 0;
+  for (unsigned k = 0; k < attempts; ++k) total += attempt_timeout_us(k);
+  if (backoff_base_us > 0 && attempts > 1) {
+    total += static_cast<std::uint64_t>(attempts - 1) * backoff_cap_us;
+  }
+  return total;
+}
 
 const char* to_string(RpcStatus s) noexcept {
   switch (s) {
@@ -21,7 +52,9 @@ const char* to_string(RpcStatus s) noexcept {
   return "?";
 }
 
-RpcManager::RpcManager(Transport& transport) : transport_(transport) {
+RpcManager::RpcManager(Transport& transport)
+    : transport_(transport),
+      jitter_state_(transport.local() * 0x9E3779B97F4A7C15ull + 1) {
   transport_.set_receive_handler(
       [this](Endpoint from, const Message& msg) { on_message(from, msg); });
 }
@@ -52,10 +85,12 @@ void RpcManager::call(Endpoint to, const std::string& method,
   req.body = body.data();
 
   PendingCall call{to, std::move(req), std::move(handler), options,
-                   options.attempts, 0};
+                   options.attempts, 0, 0, 0};
   auto [it, inserted] = pending_.emplace(id, std::move(call));
   (void)inserted;
   --it->second.attempts_left;
+  ++stats_.calls;
+  ++stats_.attempts;
   transport_.send(to, it->second.request);
   arm_timer(id);
 }
@@ -73,7 +108,7 @@ void RpcManager::arm_timer(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
   it->second.timer = transport_.set_timer(
-      it->second.options.timeout_us,
+      it->second.options.attempt_timeout_us(it->second.attempt),
       [this, request_id]() { on_timeout(request_id); });
 }
 
@@ -83,17 +118,45 @@ void RpcManager::on_timeout(std::uint64_t request_id) {
   PendingCall& call = it->second;
   call.timer = 0;
   if (call.attempts_left > 0) {
-    --call.attempts_left;
-    transport_.send(call.to, call.request);
-    arm_timer(request_id);
+    const Options& opts = call.options;
+    if (opts.backoff_base_us > 0) {
+      // Decorrelated jitter: wait uniform(base, 3 * previous wait) before
+      // the retransmission, capped. Spreads synchronized retries apart and
+      // grows the expected wait geometrically without full lockstep.
+      const std::uint64_t lo = opts.backoff_base_us;
+      const std::uint64_t hi =
+          std::max<std::uint64_t>(lo + 1, 3 * std::max(call.last_backoff_us, lo));
+      std::uint64_t wait = lo + next_jitter(jitter_state_) % (hi - lo);
+      wait = std::min(wait, opts.backoff_cap_us);
+      call.last_backoff_us = wait;
+      stats_.backoff_wait_us += wait;
+      call.timer = transport_.set_timer(
+          wait, [this, request_id]() { retransmit(request_id); });
+      return;
+    }
+    retransmit(request_id);
     return;
   }
   // Exhausted: deliver timeout. Move the handler out before erasing so a
   // re-entrant call() from the handler is safe.
+  ++stats_.timeouts;
   ResponseHandler handler = std::move(call.handler);
   pending_.erase(it);
   Reader empty(std::span<const std::uint8_t>{});
   if (handler) handler(RpcStatus::kTimeout, empty);
+}
+
+void RpcManager::retransmit(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingCall& call = it->second;
+  call.timer = 0;
+  --call.attempts_left;
+  ++call.attempt;
+  ++stats_.attempts;
+  ++stats_.retransmits;
+  transport_.send(call.to, call.request);
+  arm_timer(request_id);
 }
 
 void RpcManager::on_message(Endpoint from, const Message& msg) {
@@ -163,11 +226,12 @@ void RpcManager::on_response(const Message& msg) {
   ResponseHandler handler = std::move(it->second.handler);
   pending_.erase(it);
   Reader r(msg.body);
-  if (!handler) return;
   if (msg.method == kErrorMethod) {
-    handler(RpcStatus::kRemoteError, r);
+    ++stats_.remote_errors;
+    if (handler) handler(RpcStatus::kRemoteError, r);
   } else {
-    handler(RpcStatus::kOk, r);
+    ++stats_.ok;
+    if (handler) handler(RpcStatus::kOk, r);
   }
 }
 

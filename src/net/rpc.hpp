@@ -19,10 +19,87 @@ enum class RpcStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(RpcStatus s) noexcept;
 
-/// Retry/timeout policy of a single RPC.
+/// Retry/timeout policy of a single RPC. The default is the classic fixed
+/// policy (constant per-attempt timeout, immediate retransmission); the
+/// adaptive profile adds exponential backoff with decorrelated jitter so
+/// retry volume stays bounded exactly when the network is sick (a fixed
+/// policy amplifies load under loss — every timeout injects a retransmission
+/// into an already-lossy path at full rate).
 struct RpcOptions {
-  std::uint64_t timeout_us = 500'000;  ///< per-attempt timeout
+  std::uint64_t timeout_us = 500'000;  ///< first-attempt timeout
   unsigned attempts = 3;               ///< total send attempts
+  /// Per-attempt timeout growth: attempt k waits timeout_us * multiplier^k.
+  /// 1.0 keeps the classic fixed timeout.
+  double timeout_multiplier = 1.0;
+  /// Delay inserted before each retransmission, grown with decorrelated
+  /// jitter: d_k = min(cap, uniform(base, 3 * d_{k-1})), d_0 = base.
+  /// 0 disables the backoff delay (immediate retransmission).
+  std::uint64_t backoff_base_us = 0;
+  std::uint64_t backoff_cap_us = 2'000'000;
+
+  /// The adaptive retry profile used by the protocol layers' data-plane
+  /// calls (lookups, queries, stores).
+  [[nodiscard]] static RpcOptions adaptive(std::uint64_t timeout_us = 500'000,
+                                           unsigned attempts = 3) {
+    RpcOptions o;
+    o.timeout_us = timeout_us;
+    o.attempts = attempts;
+    o.timeout_multiplier = 2.0;
+    o.backoff_base_us = 25'000;
+    return o;
+  }
+
+  /// A copy with an explicit budget — named derivation for call sites that
+  /// must not inherit the caller's global default.
+  [[nodiscard]] RpcOptions with_budget(std::uint64_t new_timeout_us,
+                                       unsigned new_attempts) const {
+    RpcOptions o = *this;
+    o.timeout_us = new_timeout_us;
+    o.attempts = new_attempts;
+    return o;
+  }
+
+  /// A copy without backoff or timeout growth — the right budget for
+  /// periodic maintenance RPCs, whose own timer is the retry mechanism.
+  [[nodiscard]] RpcOptions fixed(unsigned new_attempts) const {
+    RpcOptions o = *this;
+    o.attempts = new_attempts;
+    o.timeout_multiplier = 1.0;
+    o.backoff_base_us = 0;
+    return o;
+  }
+
+  /// Timeout of the (0-based) k-th attempt under the multiplier.
+  [[nodiscard]] std::uint64_t attempt_timeout_us(unsigned attempt) const;
+
+  /// Worst-case wall time a call can occupy: every per-attempt timeout plus
+  /// every backoff delay at its cap. Upper layers size end-to-end deadlines
+  /// from this instead of assuming attempts * timeout_us.
+  [[nodiscard]] std::uint64_t max_total_us() const;
+};
+
+/// Client-side retry/latency accounting of one RpcManager — the observable
+/// surface chaos campaigns use to assert retry storms stay bounded under
+/// loss.
+struct RpcStats {
+  std::uint64_t calls = 0;           ///< call() invocations
+  std::uint64_t attempts = 0;        ///< request datagrams sent (incl. retransmissions)
+  std::uint64_t retransmits = 0;     ///< attempts beyond each call's first
+  std::uint64_t timeouts = 0;        ///< calls that exhausted every attempt
+  std::uint64_t ok = 0;              ///< calls completed with kOk
+  std::uint64_t remote_errors = 0;   ///< calls completed with kRemoteError
+  std::uint64_t backoff_wait_us = 0; ///< total time spent in backoff delays
+
+  RpcStats& operator+=(const RpcStats& other) noexcept {
+    calls += other.calls;
+    attempts += other.attempts;
+    retransmits += other.retransmits;
+    timeouts += other.timeouts;
+    ok += other.ok;
+    remote_errors += other.remote_errors;
+    backoff_wait_us += other.backoff_wait_us;
+    return *this;
+  }
 };
 
 /// Request/response RPC with timeouts and retransmission over an unreliable
@@ -78,6 +155,10 @@ class RpcManager {
     return served_;
   }
 
+  /// Client-side retry accounting since construction (or the last reset).
+  [[nodiscard]] const RpcStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = RpcStats{}; }
+
  private:
   struct PendingCall {
     Endpoint to;
@@ -85,6 +166,8 @@ class RpcManager {
     ResponseHandler handler;
     Options options;
     unsigned attempts_left;
+    unsigned attempt = 0;            ///< 0-based index of the attempt in flight
+    std::uint64_t last_backoff_us = 0;
     TimerId timer = 0;
   };
 
@@ -93,12 +176,17 @@ class RpcManager {
   void on_response(const Message& msg);
   void arm_timer(std::uint64_t request_id);
   void on_timeout(std::uint64_t request_id);
+  void retransmit(std::uint64_t request_id);
 
   Transport& transport_;
   std::unordered_map<std::string, MethodHandler> methods_;
   std::unordered_map<std::string, OneWayHandler> one_ways_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
   std::unordered_map<std::string, std::uint64_t> served_;
+  RpcStats stats_;
+  /// Jitter source for decorrelated backoff; seeded from the local endpoint
+  /// so simulated runs stay deterministic per node.
+  std::uint64_t jitter_state_;
   std::uint64_t next_request_id_ = 1;
 };
 

@@ -24,6 +24,25 @@ void SimNetwork::set_loss_rate(double p) {
   loss_rate_ = p;
 }
 
+void SimNetwork::set_latency_multiplier(double m) {
+  if (m < 0.0) {
+    throw std::invalid_argument("SimNetwork: latency multiplier must be >= 0");
+  }
+  latency_multiplier_ = m;
+}
+
+void SimNetwork::latency_burst(double m, std::uint64_t duration_us) {
+  set_latency_multiplier(m);
+  engine_.schedule_after(duration_us, [this]() { latency_multiplier_ = 1.0; });
+}
+
+void SimNetwork::loss_burst(double p, std::uint64_t duration_us) {
+  const double previous = loss_rate_;
+  set_loss_rate(p);
+  engine_.schedule_after(duration_us,
+                         [this, previous]() { loss_rate_ = previous; });
+}
+
 void SimNetwork::set_partitioned(Endpoint ep, bool partitioned) {
   if (partitioned) {
     partitioned_.insert(ep);
@@ -41,7 +60,11 @@ void SimNetwork::route(Endpoint from, Endpoint to, Message msg) {
     ++dropped_;
     return;
   }
-  const sim::SimDuration delay = engine_.latency().sample(from, to, engine_.rng());
+  sim::SimDuration delay = engine_.latency().sample(from, to, engine_.rng());
+  if (latency_multiplier_ != 1.0) {
+    delay = static_cast<sim::SimDuration>(static_cast<double>(delay) *
+                                          latency_multiplier_);
+  }
   engine_.schedule_after(delay, [this, from, to, m = std::move(msg)]() {
     const auto it = nodes_.find(to);
     if (it == nodes_.end()) {

@@ -29,9 +29,28 @@ class SimNetwork {
 
   /// Fraction of datagrams dropped uniformly at random in [0, 1).
   void set_loss_rate(double p);
+  [[nodiscard]] double loss_rate() const noexcept { return loss_rate_; }
+
+  /// Scales every sampled delivery delay by `m` (>= 0) — a latency spike
+  /// without swapping the LatencyModel. 1.0 restores nominal delays.
+  void set_latency_multiplier(double m);
+  [[nodiscard]] double latency_multiplier() const noexcept {
+    return latency_multiplier_;
+  }
+
+  /// Timed latency spike: multiplier `m` for `duration_us` of virtual time,
+  /// then automatically back to 1.0 via the engine's event queue.
+  void latency_burst(double m, std::uint64_t duration_us);
+
+  /// Timed loss burst: loss rate `p` for `duration_us` of virtual time, then
+  /// automatically back to the rate in effect when the burst started.
+  void loss_burst(double p, std::uint64_t duration_us);
 
   /// Marks a node unreachable (network partition) without destroying it.
   void set_partitioned(Endpoint ep, bool partitioned);
+  [[nodiscard]] bool is_partitioned(Endpoint ep) const {
+    return partitioned_.contains(ep);
+  }
 
   [[nodiscard]] bool exists(Endpoint ep) const {
     return nodes_.contains(ep);
@@ -53,6 +72,7 @@ class SimNetwork {
   std::unordered_set<Endpoint> partitioned_;
   Endpoint next_endpoint_ = 1;
   double loss_rate_ = 0.0;
+  double latency_multiplier_ = 1.0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
 };

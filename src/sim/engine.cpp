@@ -32,6 +32,12 @@ std::uint64_t Engine::run_until(SimTime until) {
   return fired;
 }
 
+std::uint64_t Engine::advance_until(SimTime until) {
+  const std::uint64_t fired = run_until(until);
+  queue_.advance_to(until);
+  return fired;
+}
+
 std::uint64_t Engine::run_steps(std::uint64_t max_events) {
   std::uint64_t fired = 0;
   while (!queue_.empty() && fired < max_events) {

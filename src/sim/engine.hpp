@@ -41,6 +41,12 @@ class Engine {
   /// min(until, last event time)). Returns the number of events fired.
   std::uint64_t run_until(SimTime until);
 
+  /// Like run_until, but then advances the clock to exactly `until` even if
+  /// the queue held no event that late. Fixed-step pump loops need this: with
+  /// run_until alone, a step smaller than the gap to the next event would
+  /// never move `now()` and the loop could spin forever on a frozen clock.
+  std::uint64_t advance_until(SimTime until);
+
   /// Runs at most `max_events` events. Returns the number fired.
   std::uint64_t run_steps(std::uint64_t max_events);
 

@@ -49,6 +49,16 @@ SimTime EventQueue::next_time() const {
   return heap_.top().when;
 }
 
+void EventQueue::advance_to(SimTime when) {
+  if (when <= now_) return;
+  drop_cancelled_top();
+  if (!heap_.empty() && heap_.top().when < when) {
+    throw std::logic_error(
+        "EventQueue::advance_to would skip over a pending event");
+  }
+  now_ = when;
+}
+
 void EventQueue::run_next() {
   drop_cancelled_top();
   if (heap_.empty()) {

@@ -48,6 +48,11 @@ class EventQueue {
   /// timestamp. Requires !empty().
   void run_next();
 
+  /// Advances the clock to `when` without firing anything. Requires that no
+  /// live event is scheduled before `when`; callers drain the queue up to
+  /// `when` first (see Engine::advance_until).
+  void advance_to(SimTime when);
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Total number of events that have fired (diagnostic).

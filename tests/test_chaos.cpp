@@ -1,0 +1,161 @@
+// Chaos campaigns: scripted fault timelines, deterministic execution, and
+// recovery-SLO verification.
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "harness/sim_cluster.hpp"
+
+namespace {
+
+using namespace dat;
+using namespace dat::chaos;
+
+TEST(ChaosPlanTest, BuildersAndPhaseCount) {
+  ChaosPlan plan;
+  plan.crash(2'000'000, 3)
+      .verify(4'000'000)
+      .restart(5'000'000, 3)
+      .verify(7'000'000)
+      .loss_burst(1'000'000, 0.2, 500'000);
+  EXPECT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.phases(), 2u);
+  plan.sort_events();
+  EXPECT_EQ(plan.events.front().kind, FaultKind::kLossBurst);
+  EXPECT_EQ(plan.events.back().kind, FaultKind::kVerify);
+}
+
+TEST(ChaosPlanTest, SpecRoundTrip) {
+  const ChaosPlan plan = ChaosPlan::canonical(7, 16);
+  const ChaosPlan reparsed = ChaosPlan::parse(plan.to_spec());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  EXPECT_EQ(reparsed.nodes, plan.nodes);
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].at_us, plan.events[i].at_us);
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].slot, plan.events[i].slot);
+    EXPECT_DOUBLE_EQ(reparsed.events[i].magnitude, plan.events[i].magnitude);
+    EXPECT_EQ(reparsed.events[i].duration_us, plan.events[i].duration_us);
+  }
+}
+
+TEST(ChaosPlanTest, ParseAcceptsCommentsAndHeaders) {
+  const ChaosPlan plan = ChaosPlan::parse(
+      "# a commented plan\n"
+      "seed 99\n"
+      "nodes 8\n"
+      "\n"
+      "1000 crash 2\n"
+      "2000 loss 0.25 500\n"
+      "3000 latency 4.0 250\n"
+      "4000 verify\n");
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_EQ(plan.nodes, 8u);
+  ASSERT_EQ(plan.events.size(), 4u);
+  EXPECT_EQ(plan.events[0].at_us, 1'000'000u);
+  EXPECT_EQ(plan.events[1].magnitude, 0.25);
+  EXPECT_EQ(plan.events[1].duration_us, 500'000u);
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kVerify);
+}
+
+TEST(ChaosPlanTest, ParseRejectsGarbage) {
+  EXPECT_THROW(ChaosPlan::parse("frobnicate 3"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("1000 crash"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("1000 sabotage 2"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("1000 loss 0.5"), std::invalid_argument);
+}
+
+TEST(ChaosPlanTest, CanonicalIsAPureFunctionOfSeed) {
+  const ChaosPlan a = ChaosPlan::canonical(7, 16);
+  const ChaosPlan b = ChaosPlan::canonical(7, 16);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].describe(), b.events[i].describe());
+  }
+  EXPECT_GE(a.phases(), 5u);  // crash, leave, loss, partition+heal, latency
+  EXPECT_THROW(ChaosPlan::canonical(1, 2), std::invalid_argument);
+}
+
+CampaignReport run_canonical_campaign(std::uint64_t seed, std::size_t nodes) {
+  harness::ClusterOptions options;
+  options.seed = seed;
+  options.dat.epoch_us = 200'000;
+  harness::SimCluster cluster(nodes, std::move(options));
+  CampaignOptions campaign_options;
+  campaign_options.quiesce_us = 1'500'000;
+  Campaign campaign(cluster, ChaosPlan::canonical(seed, nodes),
+                    campaign_options);
+  return campaign.run();
+}
+
+TEST(ChaosCampaignTest, CanonicalPlanMeetsRecoverySlos) {
+  const CampaignReport report = run_canonical_campaign(7, 10);
+  for (const std::string& violation : report.violations) {
+    ADD_FAILURE() << "violation: " << violation;
+  }
+  ASSERT_EQ(report.phases.size(), ChaosPlan::canonical(7, 10).phases());
+  for (const PhaseReport& phase : report.phases) {
+    EXPECT_TRUE(phase.ok()) << "phase " << phase.phase << " failed: expected "
+                            << phase.expected_coverage << ", observed "
+                            << phase.observed_coverage;
+    EXPECT_LE(phase.epochs_to_recover, 10u);
+    EXPECT_GE(phase.roots_answered, 1u);
+  }
+  // The RPC layer was actually exercised, including retries.
+  EXPECT_GT(report.phases.back().rpc.calls, 0u);
+}
+
+TEST(ChaosCampaignTest, SameSeedProducesIdenticalEventLogs) {
+  const CampaignReport first = run_canonical_campaign(7, 10);
+  const CampaignReport second = run_canonical_campaign(7, 10);
+  ASSERT_EQ(first.event_log.size(), second.event_log.size());
+  for (std::size_t i = 0; i < first.event_log.size(); ++i) {
+    EXPECT_EQ(first.event_log[i], second.event_log[i]) << "line " << i;
+  }
+}
+
+TEST(ChaosCampaignTest, ScriptedPlanRunsCrashRestartCycle) {
+  harness::ClusterOptions options;
+  options.seed = 5;
+  options.dat.epoch_us = 200'000;
+  harness::SimCluster cluster(8, std::move(options));
+  const ChaosPlan plan = ChaosPlan::parse(
+      "seed 5\n"
+      "nodes 8\n"
+      "1000 crash 4\n"
+      "3000 verify\n"
+      "4000 restart 4\n"
+      "6000 verify\n");
+  CampaignOptions campaign_options;
+  campaign_options.quiesce_us = 1'500'000;
+  Campaign campaign(cluster, plan, campaign_options);
+  const CampaignReport report = campaign.run();
+  ASSERT_EQ(report.phases.size(), 2u);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.phases[0].expected_coverage, 7u);
+  EXPECT_EQ(report.phases[1].expected_coverage, 8u);
+  // Coverage is a lower-bound SLO: soft-state re-parenting can transiently
+  // double-count a subtree until the stale child entry ages out of its TTL.
+  EXPECT_GE(report.phases[1].observed_coverage, 8u);
+  EXPECT_TRUE(cluster.is_live(4));
+
+  // A campaign object runs once.
+  EXPECT_THROW(campaign.run(), std::logic_error);
+}
+
+TEST(ChaosCampaignTest, RejectsZeroReplicas) {
+  harness::ClusterOptions options;
+  options.seed = 5;
+  harness::SimCluster cluster(4, std::move(options));
+  CampaignOptions campaign_options;
+  campaign_options.replicas = 0;
+  EXPECT_THROW(Campaign(cluster, ChaosPlan::canonical(5, 4), campaign_options),
+               std::invalid_argument);
+}
+
+}  // namespace

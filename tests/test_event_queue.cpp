@@ -112,6 +112,36 @@ TEST(EngineTest, RunUntilStopsAtBoundary) {
   EXPECT_TRUE(engine.idle());
 }
 
+TEST(EngineTest, AdvanceUntilMovesClockPastQuietStretches) {
+  Engine engine(1);
+  std::vector<int> fired;
+  engine.schedule_at(100, [&] { fired.push_back(1); });
+  // run_until leaves the clock at the last event; advance_until pins it to
+  // the requested boundary even when nothing is scheduled that late, so
+  // fixed-step pump loops always make progress.
+  EXPECT_EQ(engine.run_until(5'000), 1u);
+  EXPECT_EQ(engine.now(), 100u);
+  EXPECT_EQ(engine.advance_until(5'000), 0u);
+  EXPECT_EQ(engine.now(), 5'000u);
+  // Timers started after the jump run relative to the advanced clock.
+  engine.schedule_after(10, [&] { fired.push_back(2); });
+  EXPECT_EQ(engine.advance_until(6'000), 1u);
+  EXPECT_EQ(engine.now(), 6'000u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  // Advancing backwards (or to now) is a no-op, never an error.
+  EXPECT_EQ(engine.advance_until(10), 0u);
+  EXPECT_EQ(engine.now(), 6'000u);
+}
+
+TEST(EventQueue, AdvanceToRefusesToSkipPendingEvents) {
+  EventQueue q;
+  q.schedule_at(50, [] {});
+  EXPECT_THROW(q.advance_to(60), std::logic_error);
+  q.run_next();
+  q.advance_to(60);
+  EXPECT_EQ(q.now(), 60u);
+}
+
 TEST(EngineTest, ScheduleAfterUsesCurrentTime) {
   Engine engine(1);
   dat::sim::SimTime observed = 0;

@@ -199,6 +199,96 @@ TEST_F(RpcTest, MalformedResponseBodySurfacesAsCodecError) {
   EXPECT_TRUE(threw);
 }
 
+TEST_F(RpcTest, AttemptTimeoutGrowsWithMultiplier) {
+  RpcOptions options;
+  options.timeout_us = 1000;
+  options.attempts = 3;
+  options.timeout_multiplier = 2.0;
+  EXPECT_EQ(options.attempt_timeout_us(0), 1000u);
+  EXPECT_EQ(options.attempt_timeout_us(1), 2000u);
+  EXPECT_EQ(options.attempt_timeout_us(2), 4000u);
+  // Fixed policy keeps every attempt at the base timeout.
+  const RpcOptions fixed = options.fixed(3);
+  EXPECT_EQ(fixed.attempt_timeout_us(2), 1000u);
+  EXPECT_EQ(fixed.backoff_base_us, 0u);
+}
+
+TEST_F(RpcTest, StatsCountOutcomes) {
+  server_.register_method("ping", [](Endpoint, Reader&, Writer& reply) {
+    reply.u8(1);
+  });
+  client_.call(server_transport_.local(), "ping", Writer{},
+               [](RpcStatus, Reader&) {});
+  engine_.run();
+  EXPECT_EQ(client_.stats().calls, 1u);
+  EXPECT_EQ(client_.stats().attempts, 1u);
+  EXPECT_EQ(client_.stats().ok, 1u);
+  EXPECT_EQ(client_.stats().timeouts, 0u);
+
+  client_.reset_stats();
+  network_.set_partitioned(server_transport_.local(), true);
+  RpcOptions options;
+  options.timeout_us = 1000;
+  options.attempts = 3;
+  client_.call(server_transport_.local(), "ping", Writer{},
+               [](RpcStatus, Reader&) {}, options);
+  engine_.run();
+  EXPECT_EQ(client_.stats().calls, 1u);
+  EXPECT_EQ(client_.stats().attempts, 3u);
+  EXPECT_EQ(client_.stats().retransmits, 2u);
+  EXPECT_EQ(client_.stats().timeouts, 1u);
+  EXPECT_EQ(client_.stats().ok, 0u);
+}
+
+TEST_F(RpcTest, AdaptiveBackoffDelaysRetries) {
+  // With nobody answering, the adaptive policy still sends every attempt
+  // but spaces them out: total elapsed time exceeds the sum of the
+  // (growing) per-attempt timeouts by the waited backoff.
+  network_.set_partitioned(server_transport_.local(), true);
+  const RpcOptions options = RpcOptions::adaptive(1000, 4);
+  RpcStatus status = RpcStatus::kOk;
+  client_.call(server_transport_.local(), "ping", Writer{},
+               [&](RpcStatus s, Reader&) { status = s; }, options);
+  engine_.run();
+  EXPECT_EQ(status, RpcStatus::kTimeout);
+  EXPECT_EQ(client_transport_.counters().messages_sent, 4u);
+  EXPECT_GT(client_.stats().backoff_wait_us, 0u);
+  std::uint64_t timeout_sum = 0;
+  for (unsigned a = 0; a < 4; ++a) timeout_sum += options.attempt_timeout_us(a);
+  EXPECT_GE(engine_.now(), timeout_sum + client_.stats().backoff_wait_us);
+  EXPECT_LE(engine_.now(), options.max_total_us());
+}
+
+TEST_F(RpcTest, AdaptiveRetryVolumeBoundedUnderLoss) {
+  // 20% loss: the adaptive policy must not retransmit more than the fixed
+  // baseline for the same budget (its growing timeouts absorb slow replies
+  // that fixed timers would spuriously re-send). Deterministic: one seed.
+  server_.register_method("ping", [](Endpoint, Reader&, Writer& reply) {
+    reply.u8(1);
+  });
+  network_.set_loss_rate(0.20);
+  const auto run_batch = [&](const RpcOptions& options) {
+    client_.reset_stats();
+    int done = 0;
+    for (int i = 0; i < 50; ++i) {
+      client_.call(server_transport_.local(), "ping", Writer{},
+                   [&](RpcStatus, Reader&) { ++done; }, options);
+    }
+    engine_.run();
+    EXPECT_EQ(done, 50);
+    return client_.stats();
+  };
+  RpcOptions fixed;
+  fixed.timeout_us = 2000;
+  fixed.attempts = 6;
+  const RpcStats fixed_stats = run_batch(fixed);
+  const RpcStats adaptive_stats = run_batch(RpcOptions::adaptive(2000, 6));
+  EXPECT_EQ(adaptive_stats.calls, 50u);
+  EXPECT_LE(adaptive_stats.retransmits, fixed_stats.retransmits);
+  EXPECT_GT(adaptive_stats.ok, 45u);
+  EXPECT_EQ(fixed_stats.backoff_wait_us, 0u);
+}
+
 TEST_F(RpcTest, StatusToString) {
   EXPECT_STREQ(to_string(RpcStatus::kOk), "ok");
   EXPECT_STREQ(to_string(RpcStatus::kTimeout), "timeout");

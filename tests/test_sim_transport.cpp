@@ -111,6 +111,48 @@ TEST_F(SimTransportTest, LossRateDropsApproximately) {
   EXPECT_THROW(network_.set_loss_rate(-0.1), std::invalid_argument);
 }
 
+TEST_F(SimTransportTest, LatencyMultiplierScalesDelivery) {
+  auto& a = network_.add_node();
+  auto& b = network_.add_node();
+  sim::SimTime arrival = 0;
+  b.set_receive_handler(
+      [&](Endpoint, const Message&) { arrival = engine_.now(); });
+
+  a.send(b.local(), make_msg("base"));
+  engine_.run();
+  const sim::SimTime base = arrival;
+  ASSERT_GT(base, 0u);
+
+  network_.set_latency_multiplier(10.0);
+  EXPECT_EQ(network_.latency_multiplier(), 10.0);
+  const sim::SimTime sent_at = engine_.now();
+  a.send(b.local(), make_msg("slow"));
+  engine_.run();
+  // The sampled delay varies, but a 10x multiplier dominates the sampling
+  // noise of the default LAN model.
+  EXPECT_GT(arrival - sent_at, 2 * base);
+
+  EXPECT_THROW(network_.set_latency_multiplier(-1.0), std::invalid_argument);
+}
+
+TEST_F(SimTransportTest, LatencyBurstExpires) {
+  auto& a = network_.add_node();
+  auto& b = network_.add_node();
+  b.set_receive_handler([](Endpoint, const Message&) {});
+  network_.latency_burst(8.0, 1000);
+  EXPECT_EQ(network_.latency_multiplier(), 8.0);
+  engine_.run();  // the reset event is queued at +1000us
+  EXPECT_EQ(network_.latency_multiplier(), 1.0);
+}
+
+TEST_F(SimTransportTest, LossBurstRestoresPreviousRate) {
+  network_.set_loss_rate(0.05);
+  network_.loss_burst(0.5, 2000);
+  EXPECT_EQ(network_.loss_rate(), 0.5);
+  engine_.run();
+  EXPECT_EQ(network_.loss_rate(), 0.05);
+}
+
 TEST_F(SimTransportTest, TimersFireAndCancel) {
   auto& a = network_.add_node();
   bool fired = false;

@@ -1,0 +1,130 @@
+// dat_chaos: deterministic chaos campaigns against a simulated DAT cluster.
+//
+// Runs a scripted fault timeline (crash, graceful leave, restart/rejoin,
+// loss bursts, latency spikes, partition/heal) against a SimCluster and
+// verifies recovery after every quiescent window: structural invariants,
+// coverage re-convergence within a bounded number of epochs, and replica
+// query availability. Everything is seeded, so two runs with the same seed
+// produce bit-identical event logs — which the CI soak job asserts.
+//
+//   dat_chaos --nodes 16 --seed 7 --print-events
+//   dat_chaos --plan myplan.txt --replicas 3
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/campaign.hpp"
+#include "chaos/plan.hpp"
+#include "common/cli.hpp"
+#include "common/logging.hpp"
+
+namespace {
+
+int run_campaign(const dat::CliFlags& flags) {
+  using namespace dat;
+
+  chaos::ChaosPlan plan;
+  const std::string plan_path = flags.get_string("plan");
+  if (!plan_path.empty()) {
+    std::ifstream in(plan_path);
+    if (!in) {
+      std::fprintf(stderr, "dat_chaos: cannot open plan file %s\n",
+                   plan_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    plan = chaos::ChaosPlan::parse(text.str());
+  } else {
+    plan = chaos::ChaosPlan::canonical(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<std::size_t>(flags.get_int("nodes")));
+  }
+
+  harness::ClusterOptions cluster_options;
+  cluster_options.seed = plan.seed;
+  cluster_options.with_dat = true;
+  harness::SimCluster cluster(plan.nodes, std::move(cluster_options));
+
+  chaos::CampaignOptions options;
+  options.replicas = static_cast<unsigned>(flags.get_int("replicas"));
+  options.quiesce_us =
+      static_cast<std::uint64_t>(flags.get_int("quiesce-ms")) * 1000;
+  options.max_recovery_epochs =
+      static_cast<unsigned>(flags.get_int("max-epochs"));
+
+  chaos::Campaign campaign(cluster, plan, options);
+  const chaos::CampaignReport report = campaign.run();
+
+  if (flags.get_bool("print-events")) {
+    for (const std::string& line : report.event_log) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  std::printf("\n%-6s %-8s %-6s %-9s %-9s %-7s %-6s %s\n", "phase", "t(ms)",
+              "live", "expected", "coverage", "epochs", "roots", "result");
+  for (const chaos::PhaseReport& p : report.phases) {
+    std::printf("%-6zu %-8llu %-6zu %-9zu %-9zu %-7u %-6u %s\n", p.phase,
+                static_cast<unsigned long long>(p.at_us / 1000), p.live,
+                p.expected_coverage, p.observed_coverage, p.epochs_to_recover,
+                p.roots_answered, p.ok() ? "OK" : "FAIL");
+  }
+
+  if (!report.phases.empty()) {
+    const dat::net::RpcStats& rpc = report.phases.back().rpc;
+    std::printf("\nrpc totals (live nodes): calls=%llu attempts=%llu "
+                "retransmits=%llu timeouts=%llu backoff=%llums\n",
+                static_cast<unsigned long long>(rpc.calls),
+                static_cast<unsigned long long>(rpc.attempts),
+                static_cast<unsigned long long>(rpc.retransmits),
+                static_cast<unsigned long long>(rpc.timeouts),
+                static_cast<unsigned long long>(rpc.backoff_wait_us / 1000));
+  }
+
+  for (const std::string& violation : report.violations) {
+    std::fprintf(stderr, "violation: %s\n", violation.c_str());
+  }
+  std::size_t phases_ok = 0;
+  for (const auto& p : report.phases) {
+    if (p.ok()) ++phases_ok;
+  }
+  std::printf("\ncampaign %s: %zu/%zu phases ok\n",
+              report.ok() ? "PASSED" : "FAILED", phases_ok,
+              report.phases.size());
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dat::CliFlags flags;
+  flags.flag("nodes", std::int64_t{16}, "cluster size for the canonical plan")
+      .flag("seed", std::int64_t{7}, "campaign seed (canonical plan)")
+      .flag("plan", std::string{},
+            "path to a text plan spec (overrides --nodes/--seed)")
+      .flag("replicas", std::int64_t{3}, "replica trees for the aggregate")
+      .flag("quiesce-ms", std::int64_t{2000},
+            "settle window before each verification")
+      .flag("max-epochs", std::int64_t{10},
+            "recovery SLO: epochs allowed until coverage re-converges")
+      .flag("print-events", false, "print the deterministic event log")
+      .flag("verbose", false, "chaos events to stderr as they happen");
+
+  if (!flags.parse(argc - 1, argv + 1)) {
+    std::fprintf(stderr, "dat_chaos: %s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.get_bool("verbose")) {
+    dat::Logger::instance().set_level(dat::LogLevel::kInfo);
+  }
+  try {
+    return run_campaign(flags);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "dat_chaos: %s\n", err.what());
+    return 2;
+  }
+}
