@@ -1,8 +1,15 @@
 // Micro-benchmarks (google-benchmark) of the hot paths underneath the
 // experiments: SHA-1 hashing, wire codec round-trips, routing next-hop
-// selection, full tree construction, and the event queue.
+// selection, full tree construction, and the event queue. Results also land
+// in BENCH_micro.json (google-benchmark's JSON schema, tagged with the git
+// sha) for CI artifact archival.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "chord/id_assignment.hpp"
 #include "chord/ring_view.hpp"
@@ -88,4 +95,32 @@ BENCHMARK(BM_EventQueueChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef DAT_GIT_SHA
+#define DAT_GIT_SHA "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("git_sha", DAT_GIT_SHA);
+  benchmark::AddCustomContext("suite", "micro");
+  // Default the JSON artifact on (console output stays untouched); an
+  // explicit --benchmark_out on the command line wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  const bool has_out = std::any_of(
+      args.begin(), args.end(), [](const char* arg) {
+        return std::string_view(arg).starts_with("--benchmark_out=");
+      });
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "harness/invariants.hpp"
+#include "netio/netio_network.hpp"
 
 #if DAT_CHECK_INVARIANTS
 #define DAT_HARNESS_CHECK_LOCAL() assert_local_invariants()
@@ -14,17 +15,28 @@
 
 namespace dat::harness {
 
+namespace {
+std::unique_ptr<net::NodeHostNetwork> make_network(net::NetBackend backend) {
+  if (backend == net::NetBackend::kNetio) {
+    return std::make_unique<netio::NetioNetwork>();
+  }
+  return std::make_unique<net::UdpNetwork>();
+}
+}  // namespace
+
 UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
-    : options_(options), space_(options.bits) {
+    : options_(options),
+      space_(options.bits),
+      network_(make_network(options.backend)) {
   if (n == 0) throw std::invalid_argument("UdpCluster: n == 0");
 
-  auto& first_transport = network_.add_node();
+  auto& first_transport = network_->add_node();
   nodes_.push_back(std::make_unique<chord::Node>(
       space_, first_transport, options_.node, options_.seed));
   nodes_.front()->create();
 
   for (std::size_t i = 1; i < n; ++i) {
-    auto& transport = network_.add_node();
+    auto& transport = network_->add_node();
     nodes_.push_back(std::make_unique<chord::Node>(
         space_, transport, options_.node, options_.seed + 100 + i));
     bool joined = false;
@@ -33,7 +45,7 @@ UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
       joined = ok;
       failed = !ok;
     });
-    network_.run_while([&] { return !joined && !failed; },
+    network_->run_while([&] { return !joined && !failed; },
                        options_.join_timeout_us);
     if (!joined) {
       throw std::runtime_error("UdpCluster: join failed for node " +
@@ -65,7 +77,7 @@ void UdpCluster::shutdown() {
   for (auto& node : nodes_) {
     if (node && node->alive()) node->leave();
   }
-  network_.run_for(100'000);  // let the leaving notices drain
+  network_->run_for(100'000);  // let the leaving notices drain
 }
 
 void UdpCluster::crash(std::size_t i) {
@@ -78,7 +90,7 @@ void UdpCluster::crash(std::size_t i) {
   // no departure notice is sent, peers must detect the failure.
   if (i < dats_.size()) dats_[i].reset();
   nodes_[i].reset();
-  network_.remove_node(ep);
+  network_->remove_node(ep);
 }
 
 std::size_t UdpCluster::lowest_live_slot() const {
@@ -99,7 +111,7 @@ bool UdpCluster::restart(std::size_t i) {
       nodes_[lowest_live_slot()]->self().endpoint;
   // A crash lost all state; the restarted instance is a brand-new node on a
   // fresh socket that happens to reuse the slot index.
-  auto& transport = network_.add_node();
+  auto& transport = network_->add_node();
   nodes_[i] = std::make_unique<chord::Node>(space_, transport, options_.node,
                                             next_seed_++);
   bool joined = false;
@@ -108,12 +120,12 @@ bool UdpCluster::restart(std::size_t i) {
     joined = ok;
     failed = !ok;
   });
-  network_.run_while([&] { return !joined && !failed; },
+  network_->run_while([&] { return !joined && !failed; },
                      options_.join_timeout_us);
   if (!joined) {
     const net::Endpoint ep = transport.local();
     nodes_[i].reset();
-    network_.remove_node(ep);
+    network_->remove_node(ep);
     return false;
   }
   if (options_.with_dat && i < dats_.size()) {
@@ -166,7 +178,7 @@ chord::RingView UdpCluster::ring_view() const {
 
 bool UdpCluster::wait_converged() {
   const chord::RingView ring = ring_view();
-  const bool converged = network_.run_while(
+  const bool converged = network_->run_while(
       [&] {
         for (const auto& node : nodes_) {
           if (node && node->alive() && !node->converged_against(ring)) {
@@ -182,7 +194,7 @@ bool UdpCluster::wait_converged() {
 
 bool UdpCluster::run_until(const std::function<bool()>& condition,
                            std::uint64_t max_us) {
-  return network_.run_while([&] { return !condition(); }, max_us);
+  return network_->run_while([&] { return !condition(); }, max_us);
 }
 
 void UdpCluster::assert_local_invariants() const {

@@ -10,6 +10,7 @@
 #include "chord/node.hpp"
 #include "chord/ring_view.hpp"
 #include "dat/dat_node.hpp"
+#include "net/node_host.hpp"
 #include "net/udp_transport.hpp"
 
 namespace dat::harness {
@@ -20,6 +21,10 @@ struct UdpClusterOptions {
   chord::NodeOptions node{};
   core::DatOptions dat{};
   bool with_dat = true;
+  /// Event-loop backend hosting the node sockets: the legacy poll(2) loop
+  /// or the netio epoll reactor. Overridable at runtime via DAT_NET_BACKEND
+  /// without touching call sites.
+  net::NetBackend backend = net::net_backend_from_env(net::NetBackend::kPoll);
   /// Wall-clock budget for each join to complete.
   std::uint64_t join_timeout_us = 5'000'000;
   /// Wall-clock budget for full finger-table convergence.
@@ -38,7 +43,10 @@ class UdpCluster {
   UdpCluster& operator=(const UdpCluster&) = delete;
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
-  [[nodiscard]] net::UdpNetwork& network() noexcept { return network_; }
+  [[nodiscard]] net::NodeHostNetwork& network() noexcept { return *network_; }
+  [[nodiscard]] net::NetBackend backend() const noexcept {
+    return options_.backend;
+  }
   [[nodiscard]] const IdSpace& space() const noexcept { return space_; }
   [[nodiscard]] chord::Node& node(std::size_t i) { return *nodes_.at(i); }
   [[nodiscard]] core::DatNode& dat(std::size_t i) { return *dats_.at(i); }
@@ -74,7 +82,7 @@ class UdpCluster {
   bool wait_converged();
 
   /// Pumps for the given wall-clock duration.
-  void run_for(std::uint64_t us) { network_.run_for(us); }
+  void run_for(std::uint64_t us) { network_->run_for(us); }
 
   /// Pumps until the predicate returns true (or `max_us`); true on success.
   bool run_until(const std::function<bool()>& condition, std::uint64_t max_us);
@@ -107,7 +115,7 @@ class UdpCluster {
 
   UdpClusterOptions options_;
   IdSpace space_;
-  net::UdpNetwork network_;
+  std::unique_ptr<net::NodeHostNetwork> network_;
   std::vector<std::unique_ptr<chord::Node>> nodes_;
   std::vector<std::unique_ptr<core::DatNode>> dats_;
   std::vector<AggregateSpec> cluster_aggregates_;

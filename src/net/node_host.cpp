@@ -1,0 +1,28 @@
+#include "net/node_host.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dat::net {
+
+const char* to_string(NetBackend backend) noexcept {
+  switch (backend) {
+    case NetBackend::kPoll: return "poll";
+    case NetBackend::kNetio: return "netio";
+  }
+  return "?";
+}
+
+NetBackend net_backend_from_env(NetBackend fallback) noexcept {
+  const char* value = std::getenv("DAT_NET_BACKEND");
+  if (value == nullptr) return fallback;
+  if (std::strcmp(value, "poll") == 0 || std::strcmp(value, "legacy") == 0) {
+    return NetBackend::kPoll;
+  }
+  if (std::strcmp(value, "netio") == 0 || std::strcmp(value, "epoll") == 0) {
+    return NetBackend::kNetio;
+  }
+  return fallback;
+}
+
+}  // namespace dat::net

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/transport.hpp"
+
+namespace dat::net {
+
+/// Which event-loop backend hosts a cluster's node sockets.
+enum class NetBackend : std::uint8_t {
+  kPoll = 0,   ///< legacy single-threaded poll(2) loop (UdpNetwork)
+  kNetio = 1,  ///< epoll reactor with syscall batching and write coalescing
+};
+
+[[nodiscard]] const char* to_string(NetBackend backend) noexcept;
+
+/// Runtime backend selection: reads DAT_NET_BACKEND ("poll"/"legacy" or
+/// "netio"/"epoll", case-sensitive) and falls back to `fallback` when the
+/// variable is unset or unrecognized. Lets every UDP harness and example
+/// switch backends without a rebuild.
+[[nodiscard]] NetBackend net_backend_from_env(NetBackend fallback) noexcept;
+
+/// Narrow interface of an in-process network hosting many node sockets in
+/// one OS process — the paper's "up to 64 DAT instances on each machine".
+/// Implemented by the legacy UdpNetwork (poll loop) and netio::NetioNetwork
+/// (epoll reactor); UdpCluster drives either through this seam, selected at
+/// runtime.
+class NodeHostNetwork {
+ public:
+  virtual ~NodeHostNetwork() = default;
+
+  NodeHostNetwork() = default;
+  NodeHostNetwork(const NodeHostNetwork&) = delete;
+  NodeHostNetwork& operator=(const NodeHostNetwork&) = delete;
+
+  /// Binds a new UDP socket on 127.0.0.1 with an OS-assigned port and
+  /// returns its transport.
+  virtual Transport& add_node() = 0;
+
+  /// Closes the node's socket and destroys its transport. Safe to call from
+  /// a receive handler or timer of the same network: destruction is
+  /// deferred to the end of the current pump iteration.
+  virtual void remove_node(Endpoint ep) = 0;
+
+  /// Microseconds since the network was constructed (monotonic wall clock).
+  [[nodiscard]] virtual std::uint64_t now_us() const = 0;
+
+  /// Pumps I/O and timers for the given wall-clock duration.
+  virtual void run_for(std::uint64_t duration_us) = 0;
+
+  /// Pumps while `keep_going()` is true, up to `max_us`. Returns true if
+  /// the predicate turned false (i.e. the awaited condition was met).
+  virtual bool run_while(const std::function<bool()>& keep_going,
+                         std::uint64_t max_us) = 0;
+};
+
+}  // namespace dat::net

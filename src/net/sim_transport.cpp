@@ -85,7 +85,13 @@ void SimTransport::send(Endpoint to, const Message& msg) {
 void SimTransport::deliver(Endpoint from, const Message& msg) {
   ++counters_.messages_received;
   counters_.bytes_received += msg.body.size();
-  if (handler_) handler_(from, msg);
+  // Invoke through a stack copy: the handler may remove this very node from
+  // the network (a crash inside a receive upcall), which destroys `this` —
+  // and with it the handler_ member — while the callback is still running.
+  if (handler_) {
+    const ReceiveHandler handler = handler_;
+    handler(from, msg);
+  }
 }
 
 TimerId SimTransport::set_timer(std::uint64_t delay_us,

@@ -9,11 +9,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstdio>
 #include <stdexcept>
 #include <system_error>
 
 #include "common/logging.hpp"
+#include "net/frame.hpp"
 
 namespace dat::net {
 
@@ -36,27 +36,6 @@ std::string errno_message(int err) {
 }
 
 }  // namespace
-
-Endpoint make_udp_endpoint(std::uint32_t ipv4_host_order, std::uint16_t port) {
-  return (static_cast<Endpoint>(ipv4_host_order) << 16) | port;
-}
-
-std::uint32_t endpoint_ipv4(Endpoint ep) {
-  return static_cast<std::uint32_t>(ep >> 16);
-}
-
-std::uint16_t endpoint_port(Endpoint ep) {
-  return static_cast<std::uint16_t>(ep & 0xFFFF);
-}
-
-std::string endpoint_to_string(Endpoint ep) {
-  const std::uint32_t ip = endpoint_ipv4(ep);
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u:%u", (ip >> 24) & 0xFF,
-                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF,
-                endpoint_port(ep));
-  return buf;
-}
 
 UdpNetwork::UdpNetwork() : t0_us_(steady_now_us()) {
   recv_buf_.resize(64 * 1024);
@@ -88,10 +67,22 @@ UdpTransport& UdpNetwork::add_node() {
   auto transport = std::make_unique<UdpTransport>(*this, fd, ep);
   auto* raw = transport.get();
   nodes_.emplace(ep, std::move(transport));
+  pollfds_dirty_ = true;
   return *raw;
 }
 
-void UdpNetwork::remove_node(Endpoint ep) { nodes_.erase(ep); }
+void UdpNetwork::remove_node(Endpoint ep) {
+  const auto it = nodes_.find(ep);
+  if (it == nodes_.end()) return;
+  // Defer destruction: the caller may be this very transport's receive
+  // handler (a node crashing itself), and its socket may still appear in the
+  // poll set of the iteration in progress.
+  graveyard_.push_back(std::move(it->second));
+  nodes_.erase(it);
+  pollfds_dirty_ = true;
+}
+
+void UdpNetwork::reap_graveyard() { graveyard_.clear(); }
 
 TimerId UdpNetwork::set_timer(std::uint64_t delay_us,
                               std::function<void()> cb) {
@@ -124,8 +115,51 @@ void UdpNetwork::fire_due_timers() {
   if (timers_.empty()) cancelled_timers_.clear();
 }
 
-void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
+void UdpNetwork::deliver_datagram(Endpoint ep, Endpoint src,
+                                  std::span<const std::uint8_t> dgram) {
+  // A coalesced batch (netio's write coalescer) carries several sub-frames;
+  // anything else is a single Message. Between frames the transport is
+  // re-looked up: a handler may have removed this node (or any other), and
+  // the remaining frames of a removed node must be dropped, not delivered
+  // to freed state.
+  const auto dispatch_frame = [&](std::span<const std::uint8_t> frame) {
+    const auto it = nodes_.find(ep);
+    if (it == nodes_.end()) return;
+    UdpTransport& transport = *it->second;
+    Message::DecodeResult decoded = Message::try_decode(frame);
+    if (!decoded.ok()) {
+      ++transport.counters_.decode_errors;
+      DAT_LOG_WARN("udp", "dropping malformed datagram from "
+                              << endpoint_to_string(src) << ": "
+                              << decoded.error.to_string());
+      return;
+    }
+    ++transport.counters_.messages_received;
+    if (transport.handler_) transport.handler_(src, decoded.value());
+  };
+
+  if (is_batch_datagram(dgram)) {
+    const auto container_error = split_batch(dgram, dispatch_frame);
+    if (container_error) {
+      const auto it = nodes_.find(ep);
+      if (it != nodes_.end()) ++it->second->counters_.decode_errors;
+      DAT_LOG_WARN("udp", "dropping malformed batch tail from "
+                              << endpoint_to_string(src) << ": "
+                              << container_error->to_string());
+    }
+    return;
+  }
+  dispatch_frame(dgram);
+}
+
+void UdpNetwork::drain_socket(int fd, Endpoint ep) {
+  // Hot path: one level check per drain, not per datagram, so disabled
+  // debug logging costs nothing on the receive path.
+  const bool debug_logging =
+      Logger::instance().enabled(LogLevel::kDebug);
   for (;;) {
+    const auto node_it = nodes_.find(ep);
+    if (node_it == nodes_.end()) return;  // removed by a handler mid-drain
     sockaddr_in from{};
     socklen_t from_len = sizeof from;
     // MSG_TRUNC makes recvfrom report the datagram's real length even when
@@ -135,6 +169,7 @@ void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
         ::recvfrom(fd, recv_buf_.data(), recv_buf_.size(),
                    MSG_DONTWAIT | MSG_TRUNC,
                    reinterpret_cast<sockaddr*>(&from), &from_len);
+    ++loop_counters_.recv_syscalls;
     if (n < 0) {
       const int err = errno;
       if (err == EAGAIN || err == EWOULDBLOCK) return;
@@ -153,7 +188,7 @@ void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
     }
     const Endpoint src =
         make_udp_endpoint(ntohl(from.sin_addr.s_addr), ntohs(from.sin_port));
-    transport.counters_.messages_received += 1;
+    UdpTransport& transport = *node_it->second;
     transport.counters_.bytes_received += static_cast<std::uint64_t>(n);
     if (static_cast<std::size_t>(n) > recv_buf_.size()) {
       ++transport.counters_.truncated_datagrams;
@@ -163,21 +198,30 @@ void UdpNetwork::drain_socket(int fd, UdpTransport& transport) {
                               << recv_buf_.size() << " bytes)");
       continue;
     }
-    Message::DecodeResult decoded = Message::try_decode(
-        std::span<const std::uint8_t>(recv_buf_.data(),
-                                      static_cast<std::size_t>(n)));
-    if (!decoded.ok()) {
-      ++transport.counters_.decode_errors;
-      DAT_LOG_WARN("udp", "dropping malformed datagram from "
-                              << endpoint_to_string(src) << ": "
-                              << decoded.error.to_string());
-      continue;
+    if (debug_logging) {
+      DAT_LOG_DEBUG("udp", "recv " << n << "B " << endpoint_to_string(src)
+                                   << " -> " << endpoint_to_string(ep));
     }
-    if (transport.handler_) transport.handler_(src, decoded.value());
+    deliver_datagram(ep, src,
+                     std::span<const std::uint8_t>(
+                         recv_buf_.data(), static_cast<std::size_t>(n)));
   }
 }
 
+void UdpNetwork::rebuild_pollfds() {
+  pollfds_.clear();
+  poll_eps_.clear();
+  pollfds_.reserve(nodes_.size());
+  poll_eps_.reserve(nodes_.size());
+  for (auto& [ep, transport] : nodes_) {
+    pollfds_.push_back(pollfd{transport->fd_, POLLIN, 0});
+    poll_eps_.push_back(ep);
+  }
+  pollfds_dirty_ = false;
+}
+
 void UdpNetwork::pump_once(std::uint64_t max_wait_us) {
+  reap_graveyard();
   fire_due_timers();
 
   std::uint64_t wait_us = max_wait_us;
@@ -189,33 +233,30 @@ void UdpNetwork::pump_once(std::uint64_t max_wait_us) {
     wait_us = std::min(wait_us, until_timer);
   }
 
-  std::vector<pollfd> fds;
-  std::vector<UdpTransport*> owners;
-  fds.reserve(nodes_.size());
-  owners.reserve(nodes_.size());
-  for (auto& [ep, transport] : nodes_) {
-    fds.push_back(pollfd{transport->fd_, POLLIN, 0});
-    owners.push_back(transport.get());
-  }
+  // The poll set is cached across iterations and rebuilt only when
+  // add_node/remove_node changed the socket population — the previous
+  // rebuild-every-pump loop dominated the syscall path at 64 instances.
+  if (pollfds_dirty_) rebuild_pollfds();
 
   const int timeout_ms =
       static_cast<int>(std::min<std::uint64_t>(wait_us / 1000 + 1, 100));
   const int ready =
-      ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+      ::poll(pollfds_.data(), static_cast<nfds_t>(pollfds_.size()),
+             timeout_ms);
+  ++loop_counters_.poll_syscalls;
   if (ready < 0) {
     if (errno == EINTR) return;
     throw_errno("poll");
   }
-  for (std::size_t i = 0; i < fds.size(); ++i) {
-    if ((fds[i].revents & POLLIN) != 0) {
+  for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+    if ((pollfds_[i].revents & POLLIN) != 0) {
       // The transport may have been removed by an earlier handler this
-      // iteration; verify it is still registered.
-      if (nodes_.contains(owners[i]->self_)) {
-        drain_socket(fds[i].fd, *owners[i]);
-      }
+      // iteration; drain_socket re-resolves the endpoint per datagram.
+      drain_socket(pollfds_[i].fd, poll_eps_[i]);
     }
   }
   fire_due_timers();
+  reap_graveyard();
 }
 
 void UdpNetwork::run_for(std::uint64_t duration_us) {
@@ -223,16 +264,22 @@ void UdpNetwork::run_for(std::uint64_t duration_us) {
   while (now_us() < deadline) {
     pump_once(deadline - now_us());
   }
+  reap_graveyard();
 }
 
 bool UdpNetwork::run_while(const std::function<bool()>& keep_going,
                            std::uint64_t max_us) {
   const std::uint64_t deadline = now_us() + max_us;
+  bool met = true;
   while (keep_going()) {
-    if (now_us() >= deadline) return false;
+    if (now_us() >= deadline) {
+      met = false;
+      break;
+    }
     pump_once(deadline - now_us());
   }
-  return true;
+  reap_graveyard();
+  return met;
 }
 
 UdpTransport::UdpTransport(UdpNetwork& net, int fd, Endpoint self)
@@ -254,6 +301,7 @@ void UdpTransport::send(Endpoint to, const Message& msg) {
   do {
     n = ::sendto(fd_, wire.data(), wire.size(), 0,
                  reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    ++net_.loop_counters_.send_syscalls;
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
     // UDP is fire-and-forget; log and move on (RpcManager retries).

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <poll.h>
+
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -7,48 +9,92 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/endpoint.hpp"
+#include "net/node_host.hpp"
 #include "net/transport.hpp"
 
 namespace dat::net {
 
-/// Packs an IPv4 address and UDP port into a Transport endpoint:
-/// (ipv4 << 16) | port, both host byte order. Never 0 for a bound socket.
-[[nodiscard]] Endpoint make_udp_endpoint(std::uint32_t ipv4_host_order,
-                                         std::uint16_t port);
-[[nodiscard]] std::uint32_t endpoint_ipv4(Endpoint ep);
-[[nodiscard]] std::uint16_t endpoint_port(Endpoint ep);
-[[nodiscard]] std::string endpoint_to_string(Endpoint ep);
+class UdpNetwork;
 
-class UdpTransport;
+/// Per-loop syscall accounting, kept distinct from TrafficCounters (which
+/// count protocol messages): the throughput bench derives syscalls/message
+/// from these to compare the legacy loop against netio's batched paths.
+struct LoopCounters {
+  std::uint64_t poll_syscalls = 0;
+  std::uint64_t recv_syscalls = 0;
+  std::uint64_t send_syscalls = 0;
+
+  void reset() noexcept { *this = LoopCounters{}; }
+};
+
+/// Transport bound to one UDP socket; created via UdpNetwork::add_node().
+class UdpTransport final : public Transport {
+ public:
+  UdpTransport(UdpNetwork& net, int fd, Endpoint self);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  [[nodiscard]] Endpoint local() const override { return self_; }
+  void send(Endpoint to, const Message& msg) override;
+  void set_receive_handler(ReceiveHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  TimerId set_timer(std::uint64_t delay_us, std::function<void()> cb) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] std::uint64_t now_us() const override;
+
+ private:
+  friend class UdpNetwork;
+
+  UdpNetwork& net_;
+  int fd_;
+  Endpoint self_;
+  ReceiveHandler handler_;
+};
 
 /// Single-threaded UDP event loop hosting any number of node sockets in one
 /// process — how the paper ran "up to 64 DAT instances on each machine".
 /// Sockets are polled with poll(2); timers run on a monotonic clock. All
 /// callbacks fire on the thread that calls run_for()/run_while().
-class UdpNetwork {
+///
+/// This is the legacy backend; src/netio hosts the same Transport contract
+/// on an epoll reactor with batched syscalls. Both understand coalesced
+/// batch datagrams (net/frame.hpp) on receive, so they interoperate.
+class UdpNetwork final : public NodeHostNetwork {
  public:
   UdpNetwork();
-  ~UdpNetwork();
+  ~UdpNetwork() override;
 
   UdpNetwork(const UdpNetwork&) = delete;
   UdpNetwork& operator=(const UdpNetwork&) = delete;
 
   /// Binds a new UDP socket on 127.0.0.1 with an OS-assigned port and
   /// returns its transport.
-  UdpTransport& add_node();
+  UdpTransport& add_node() override;
 
-  /// Closes the node's socket and destroys its transport.
-  void remove_node(Endpoint ep);
+  /// Closes the node's socket and destroys its transport. Destruction is
+  /// deferred to the end of the current pump iteration, so a node may
+  /// remove itself (or a peer) from inside a receive handler or timer.
+  void remove_node(Endpoint ep) override;
 
   /// Microseconds since the network was constructed (monotonic).
-  [[nodiscard]] std::uint64_t now_us() const;
+  [[nodiscard]] std::uint64_t now_us() const override;
 
   /// Pumps I/O and timers for the given wall-clock duration.
-  void run_for(std::uint64_t duration_us);
+  void run_for(std::uint64_t duration_us) override;
 
   /// Pumps while `keep_going()` is true, up to `max_us`. Returns true if the
   /// predicate turned false (i.e. the awaited condition was met).
-  bool run_while(const std::function<bool()>& keep_going, std::uint64_t max_us);
+  bool run_while(const std::function<bool()>& keep_going,
+                 std::uint64_t max_us) override;
+
+  [[nodiscard]] const LoopCounters& loop_counters() const noexcept {
+    return loop_counters_;
+  }
+  void reset_loop_counters() noexcept { loop_counters_.reset(); }
 
  private:
   friend class UdpTransport;
@@ -71,41 +117,30 @@ class UdpNetwork {
   void cancel_timer(TimerId id);
   void pump_once(std::uint64_t max_wait_us);
   void fire_due_timers();
-  void drain_socket(int fd, UdpTransport& transport);
+  void drain_socket(int fd, Endpoint ep);
+  void deliver_datagram(Endpoint ep, Endpoint src,
+                        std::span<const std::uint8_t> dgram);
+  void rebuild_pollfds();
+  void reap_graveyard();
 
   std::uint64_t t0_us_;
   std::unordered_map<Endpoint, std::unique_ptr<UdpTransport>> nodes_;
+  /// Transports removed mid-iteration; destroyed at the next safe point so
+  /// a handler that removes its own node never frees the object under its
+  /// feet (the remove-while-pending hazard).
+  std::vector<std::unique_ptr<UdpTransport>> graveyard_;
+  /// poll(2) set cached across iterations (parallel arrays); rebuilt only
+  /// when add_node/remove_node invalidates it instead of on every pump.
+  std::vector<pollfd> pollfds_;
+  std::vector<Endpoint> poll_eps_;
+  bool pollfds_dirty_ = true;
   std::vector<Timer> timers_;  // binary heap ordered by TimerLater
   std::unordered_set<TimerId> cancelled_timers_;
   TimerId next_timer_id_ = 1;
   std::vector<std::uint8_t> recv_buf_;
+  LoopCounters loop_counters_;
 };
 
-/// Transport bound to one UDP socket; created via UdpNetwork::add_node().
-class UdpTransport final : public Transport {
- public:
-  UdpTransport(UdpNetwork& net, int fd, Endpoint self);
-  ~UdpTransport() override;
-
-  UdpTransport(const UdpTransport&) = delete;
-  UdpTransport& operator=(const UdpTransport&) = delete;
-
-  [[nodiscard]] Endpoint local() const override { return self_; }
-  void send(Endpoint to, const Message& msg) override;
-  void set_receive_handler(ReceiveHandler handler) override {
-    handler_ = std::move(handler);
-  }
-  TimerId set_timer(std::uint64_t delay_us, std::function<void()> cb) override;
-  void cancel_timer(TimerId id) override;
-  [[nodiscard]] std::uint64_t now_us() const override { return net_.now_us(); }
-
- private:
-  friend class UdpNetwork;
-
-  UdpNetwork& net_;
-  int fd_;
-  Endpoint self_;
-  ReceiveHandler handler_;
-};
+inline std::uint64_t UdpTransport::now_us() const { return net_.now_us(); }
 
 }  // namespace dat::net

@@ -1,0 +1,26 @@
+#include "netio/buffer_arena.hpp"
+
+namespace dat::netio {
+
+BufferArena::BufferArena(std::size_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes) {}
+
+std::vector<std::uint8_t> BufferArena::acquire() {
+  if (!pool_.empty()) {
+    std::vector<std::uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();
+    return buf;
+  }
+  ++allocated_;
+  std::vector<std::uint8_t> buf;
+  buf.reserve(buffer_bytes_);
+  return buf;
+}
+
+void BufferArena::release(std::vector<std::uint8_t>&& buf) {
+  buf.clear();
+  pool_.push_back(std::move(buf));
+}
+
+}  // namespace dat::netio

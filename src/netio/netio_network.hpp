@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node_host.hpp"
+#include "netio/reactor.hpp"
+
+namespace dat::netio {
+
+/// NodeHostNetwork facade over a single Reactor driven inline on the
+/// caller's thread — the drop-in netio replacement for the legacy
+/// UdpNetwork poll loop. UdpCluster (and anything else written against the
+/// run_for/run_while surface) gets epoll, syscall batching and write
+/// coalescing without any threading change; the multi-shard threaded mode
+/// is ReactorPool's job.
+class NetioNetwork final : public net::NodeHostNetwork {
+ public:
+  explicit NetioNetwork(const ReactorOptions& options = {});
+
+  NetioTransport& add_node() override;
+  void remove_node(net::Endpoint ep) override;
+  [[nodiscard]] std::uint64_t now_us() const override;
+  void run_for(std::uint64_t duration_us) override;
+  bool run_while(const std::function<bool()>& keep_going,
+                 std::uint64_t max_us) override;
+
+  [[nodiscard]] Reactor& reactor() noexcept { return reactor_; }
+  [[nodiscard]] const Reactor& reactor() const noexcept { return reactor_; }
+
+ private:
+  Reactor reactor_;
+};
+
+}  // namespace dat::netio

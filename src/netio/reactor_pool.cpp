@@ -1,0 +1,81 @@
+#include "netio/reactor_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace dat::netio {
+
+namespace {
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+ReactorPool::ReactorPool(const ReactorPoolOptions& options) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("ReactorPool: shards must be > 0");
+  }
+  const std::uint64_t t0 = steady_now_us();
+  shards_.reserve(options.shards);
+  for (std::size_t i = 0; i < options.shards; ++i) {
+    shards_.push_back(std::make_unique<Reactor>(options.reactor, t0));
+  }
+}
+
+ReactorPool::~ReactorPool() { stop(); }
+
+NetioTransport& ReactorPool::add_node() {
+  std::size_t index = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    index = next_shard_;
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+  }
+  // add_socket marshals onto the shard thread itself, so the pool mutex is
+  // not held across the (potentially blocking) call.
+  NetioTransport& transport = shards_[index]->add_socket();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shard_index_[transport.local()] = index;
+  }
+  return transport;
+}
+
+void ReactorPool::remove_node(net::Endpoint ep) {
+  std::size_t index = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shard_index_.find(ep);
+    if (it == shard_index_.end()) return;
+    index = it->second;
+    shard_index_.erase(it);
+  }
+  shards_[index]->remove_socket(ep);
+}
+
+Reactor* ReactorPool::shard_of(net::Endpoint ep) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shard_index_.find(ep);
+  return it == shard_index_.end() ? nullptr : shards_[it->second].get();
+}
+
+void ReactorPool::start() {
+  for (auto& shard : shards_) shard->start();
+}
+
+void ReactorPool::stop() {
+  for (auto& shard : shards_) shard->stop();
+}
+
+std::uint64_t ReactorPool::now_us() const { return shards_.front()->now_us(); }
+
+ReactorCounters ReactorPool::counters() const {
+  ReactorCounters total;
+  for (const auto& shard : shards_) total += shard->counters();
+  return total;
+}
+
+}  // namespace dat::netio
