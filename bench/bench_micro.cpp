@@ -18,6 +18,7 @@
 #include "common/sha1.hpp"
 #include "dat/tree.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/event_queue.hpp"
 
 namespace {
@@ -78,6 +79,30 @@ void BM_TreeBuild(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_TreeBuild)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_MetricsCounterInc(benchmark::State& state) {
+  // The instrumented-hot-path cost every layer pays per event: one relaxed
+  // atomic add through a borrowed instrument pointer.
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("bench_counter_total");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_MetricsCounterInc);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("bench_hist");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.observe(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+  }
+  benchmark::DoNotOptimize(hist.sum());
+}
+BENCHMARK(BM_MetricsHistogramObserve);
 
 void BM_EventQueueChurn(benchmark::State& state) {
   for (auto _ : state) {

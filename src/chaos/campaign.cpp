@@ -10,12 +10,32 @@
 
 namespace dat::chaos {
 
+namespace {
+const char* fault_kind_label(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kLeave: return "leave";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kLossBurst: return "loss_burst";
+    case FaultKind::kLatencyBurst: return "latency_burst";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kVerify: return "verify";
+  }
+  return "unknown";
+}
+}  // namespace
+
 Campaign::Campaign(harness::SimCluster& cluster, ChaosPlan plan,
                    CampaignOptions options)
     : cluster_(cluster), plan_(std::move(plan)), options_(std::move(options)) {
   if (options_.replicas == 0) {
     throw std::invalid_argument("Campaign: replicas == 0");
   }
+  m_phases_ = &metrics_.counter("dat_chaos_phases_total");
+  m_phase_failures_ = &metrics_.counter("dat_chaos_phase_failures_total");
+  m_recovery_epochs_ = &metrics_.histogram("dat_chaos_recovery_epochs");
+  m_phase_duration_us_ = &metrics_.histogram("dat_chaos_phase_duration_us");
   plan_.sort_events();
   // Same key layout as core::ReplicatedAggregate: replica i rendezvouses at
   // H(name "#" i). Registering through the cluster keeps restarted slots
@@ -57,6 +77,11 @@ net::RpcStats Campaign::live_rpc_stats() const {
 
 void Campaign::apply(const FaultEvent& event) {
   note(event.describe());
+  // Find-or-create per fault kind: apply() runs a handful of times per
+  // campaign, so the registry lookup is not a hot path.
+  metrics_.counter("dat_chaos_faults_total",
+                   {{"kind", fault_kind_label(event.kind)}})
+      .inc();
   switch (event.kind) {
     case FaultKind::kCrash:
     case FaultKind::kLeave: {
@@ -158,6 +183,7 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
   PhaseReport phase;
   phase.phase = ++phase_;
   phase.at_us = event.at_us;
+  const std::uint64_t phase_start_us = cluster_.engine().now();
 
   cluster_.run_for(options_.quiesce_us);
 
@@ -207,6 +233,11 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
   phase.coverage_ok = probe.coverage >= phase.expected_coverage;
   phase.query_ok = probe.roots_answered >= 1;
   phase.rpc = live_rpc_stats();
+
+  m_phases_->inc();
+  if (!phase.ok()) m_phase_failures_->inc();
+  m_recovery_epochs_->observe(phase.epochs_to_recover);
+  m_phase_duration_us_->observe(cluster_.engine().now() - phase_start_us);
 
   std::ostringstream oss;
   oss << "t=" << event.at_us / 1000 << "ms phase=" << phase.phase

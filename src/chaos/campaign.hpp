@@ -8,6 +8,7 @@
 #include "chaos/plan.hpp"
 #include "harness/sim_cluster.hpp"
 #include "net/rpc.hpp"
+#include "obs/metrics.hpp"
 
 namespace dat::chaos {
 
@@ -99,6 +100,12 @@ class Campaign {
 
   [[nodiscard]] const std::vector<Id>& keys() const noexcept { return keys_; }
 
+  /// Campaign-level telemetry: fault counts by kind, phases run/failed,
+  /// and per-phase recovery timing histograms (epochs to meet the
+  /// coverage SLO, virtual-time duration of quiesce + recovery). Populated
+  /// by run(); snapshot it afterwards (or merge into a cluster roll-up).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+
  private:
   struct Probe {
     std::size_t coverage = 0;
@@ -122,6 +129,12 @@ class Campaign {
   CampaignReport report_;
   std::size_t phase_ = 0;
   bool ran_ = false;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_phases_ = nullptr;
+  obs::Counter* m_phase_failures_ = nullptr;
+  obs::Histogram* m_recovery_epochs_ = nullptr;
+  obs::Histogram* m_phase_duration_us_ = nullptr;
 };
 
 }  // namespace dat::chaos

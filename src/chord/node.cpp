@@ -33,11 +33,47 @@ Node::Node(const IdSpace& space, net::Transport& transport,
       transport_(transport),
       options_(options),
       rng_(seed),
+      telemetry_(std::make_unique<obs::NodeTelemetry>(
+          (seed * 0x9e3779b97f4a7c15ULL) ^ transport.local())),
       rpc_(std::make_unique<net::RpcManager>(transport)),
       fingers_(space.bits()),
       finger_pred_(space.bits()) {
   self_.endpoint = transport.local();
   self_.id = endpoint_hash_id(self_.endpoint, space_);
+  rpc_->set_telemetry(telemetry_.get());
+  obs::MetricsRegistry& reg = telemetry_->registry;
+  m_lookups_ = &reg.counter("dat_chord_lookups_total");
+  m_lookup_failures_ = &reg.counter("dat_chord_lookup_failures_total");
+  m_lookup_hops_ = &reg.histogram("dat_chord_lookup_hops");
+  m_stabilize_rounds_ = &reg.counter("dat_chord_stabilize_rounds_total");
+  m_finger_fixes_ = &reg.counter("dat_chord_finger_fixes_total");
+  m_join_probes_ = &reg.counter("dat_chord_join_probes_total");
+  m_purges_ = &reg.counter("dat_chord_purges_total");
+  // Protocol-state view: sampled at snapshot time, no hot-path cost. The
+  // collector lives in the registry, which this node owns, so `this` cannot
+  // dangle.
+  reg.add_collector([this](obs::MetricsSnapshot& out) {
+    const auto add = [&out](const char* name, obs::MetricType type,
+                            double value) {
+      obs::Sample s;
+      s.name = name;
+      s.type = type;
+      s.value = value;
+      out.samples.push_back(std::move(s));
+    };
+    std::uint64_t valid_fingers = 0;
+    for (const NodeRef& f : fingers_) {
+      if (f.valid()) ++valid_fingers;
+    }
+    using enum obs::MetricType;
+    add("dat_chord_maintenance_rpcs_total", kCounter,
+        static_cast<double>(maintenance_rpcs_));
+    add("dat_chord_fingers_valid", kGauge,
+        static_cast<double>(valid_fingers));
+    add("dat_chord_successor_list_len", kGauge,
+        static_cast<double>(successor_list_.size()));
+    add("dat_chord_joined", kGauge, joined_ ? 1.0 : 0.0);
+  });
   register_handlers();
 }
 
@@ -93,11 +129,17 @@ void Node::register_handlers() {
 void Node::find_successor_recursive(
     Id key, std::function<void(net::RpcStatus, NodeRef, unsigned)> h) {
   key &= space_.mask();
+  m_lookups_->inc();
   const std::uint64_t qid = next_rlookup_id_++;
   PendingRecursiveLookup pending;
   pending.key = key;
   pending.attempts_left = 1;  // one full retry on timeout
-  pending.handler = std::move(h);
+  pending.handler = [this, h = std::move(h)](net::RpcStatus st, NodeRef node,
+                                             unsigned hops) {
+    m_lookup_hops_->observe(hops);
+    if (st != net::RpcStatus::kOk) m_lookup_failures_->inc();
+    h(st, node, hops);
+  };
   rlookups_.emplace(qid, std::move(pending));
   send_rfind(qid, key);
 }
@@ -391,6 +433,7 @@ void Node::join(net::Endpoint bootstrap, std::function<void(bool)> done,
             alive_ = false;
             return;
           }
+          m_join_probes_->inc();
           rpc_->call(
               succ.endpoint, kSplitInterval, net::Writer{},
               [this, well_known, finish_join = std::move(finish_join)](
@@ -410,6 +453,7 @@ void Node::join(net::Endpoint bootstrap, std::function<void(bool)> done,
                 const net::Endpoint owner = r2.u64();
                 net::Writer own_only;
                 own_only.boolean(true);
+                m_join_probes_->inc();
                 rpc_->call(owner, kSplitInterval, own_only,
                            [this, well_known,
                             finish_join = std::move(finish_join)](
@@ -677,6 +721,7 @@ void Node::do_stabilize() {
     return;
   }
   ++maintenance_rpcs_;
+  m_stabilize_rounds_->inc();
   rpc_->call(
       succ.endpoint, kGetNeighbors, net::Writer{},
       [this, succ](net::RpcStatus status, net::Reader& r) {
@@ -751,6 +796,7 @@ void Node::promote_next_successor() {
 }
 
 void Node::do_fix_fingers() {
+  m_finger_fixes_->inc();
   const unsigned j = next_finger_to_fix_;
   next_finger_to_fix_ = (next_finger_to_fix_ + 1) % space_.bits();
   const Id target = space_.finger_target(self_.id, j);
@@ -837,11 +883,17 @@ void Node::find_successor(Id key, LookupHandler handler) {
 
 void Node::find_successor_traced(
     Id key, std::function<void(net::RpcStatus, NodeRef, unsigned)> h) {
+  m_lookups_->inc();
   auto state = std::make_shared<LookupState>();
   state->key = key & space_.mask();
   state->current = self_;
   state->max_hops = 2 * space_.bits() + 8;
-  state->handler = std::move(h);
+  state->handler = [this, h = std::move(h)](net::RpcStatus st, NodeRef node,
+                                            unsigned hops) {
+    m_lookup_hops_->observe(hops);
+    if (st != net::RpcStatus::kOk) m_lookup_failures_->inc();
+    h(st, node, hops);
+  };
   lookup_step(std::move(state));
 }
 
@@ -1093,6 +1145,7 @@ void Node::handle_split_interval(net::Endpoint /*from*/, net::Reader& req,
 
 void Node::purge_endpoint(net::Endpoint ep) {
   if (ep == net::kNullEndpoint || ep == self_.endpoint) return;
+  m_purges_->inc();
   for (unsigned j = 0; j < space_.bits(); ++j) {
     if (fingers_[j].endpoint == ep) {
       fingers_[j] = NodeRef{};

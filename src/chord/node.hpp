@@ -15,6 +15,7 @@
 #include "common/id_space.hpp"
 #include "common/rng.hpp"
 #include "net/rpc.hpp"
+#include "obs/trace.hpp"
 
 namespace dat::chord {
 
@@ -169,6 +170,14 @@ class Node {
   [[nodiscard]] net::RpcManager& rpc() noexcept { return *rpc_; }
   [[nodiscard]] const NodeOptions& options() const noexcept { return options_; }
 
+  /// This node's telemetry bundle: metrics registry (chord, rpc and
+  /// transport series), flight-recorder span ring and ambient trace
+  /// context. Lives as long as the node.
+  [[nodiscard]] obs::NodeTelemetry& telemetry() noexcept { return *telemetry_; }
+  [[nodiscard]] const obs::NodeTelemetry& telemetry() const noexcept {
+    return *telemetry_;
+  }
+
   /// Messages of Chord maintenance traffic sent since the counter reset —
   /// used by the churn-overhead experiment.
   [[nodiscard]] std::uint64_t maintenance_rpcs() const noexcept {
@@ -230,6 +239,9 @@ class Node {
   net::Transport& transport_;
   NodeOptions options_;
   Rng rng_;
+  /// Declared before rpc_: the RPC manager unregisters its metrics
+  /// collector on destruction, so the registry must still be alive then.
+  std::unique_ptr<obs::NodeTelemetry> telemetry_;
   std::unique_ptr<net::RpcManager> rpc_;
 
   NodeRef self_;
@@ -248,6 +260,16 @@ class Node {
   net::TimerId check_pred_timer_ = 0;
   std::optional<std::pair<std::uint64_t, std::uint64_t>> d0_hint_;
   std::uint64_t maintenance_rpcs_ = 0;
+
+  // Borrowed instrument pointers into telemetry_->registry; the deque-backed
+  // registry guarantees they stay valid for the node's lifetime.
+  obs::Counter* m_lookups_ = nullptr;
+  obs::Counter* m_lookup_failures_ = nullptr;
+  obs::Histogram* m_lookup_hops_ = nullptr;
+  obs::Counter* m_stabilize_rounds_ = nullptr;
+  obs::Counter* m_finger_fixes_ = nullptr;
+  obs::Counter* m_join_probes_ = nullptr;
+  obs::Counter* m_purges_ = nullptr;
   std::unordered_map<std::string, UpcallHandler> upcalls_;
 
   struct PendingRecursiveLookup {

@@ -1,6 +1,7 @@
 #include "dat/dat_node.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "common/logging.hpp"
@@ -16,6 +17,13 @@ constexpr const char* kSnapReq = "dat.snap_req";
 constexpr const char* kSnapResp = "dat.snap_resp";
 constexpr const char* kCollectStart = "dat.collect_start";
 constexpr const char* kCollectReq = "dat.collect_req";
+
+std::string key_label(Id key) {
+  char buf[19];  // "0x" + 16 hex digits + NUL
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
 }  // namespace
 
 Id rendezvous_key(std::string_view aggregate_name, const IdSpace& space) {
@@ -25,11 +33,39 @@ Id rendezvous_key(std::string_view aggregate_name, const IdSpace& space) {
 
 DatNode::DatNode(chord::Node& chord, DatOptions options)
     : chord_(chord), options_(options) {
+  obs::MetricsRegistry& reg = chord_.telemetry().registry;
+  m_epochs_ = &reg.counter("dat_tree_epochs_total");
+  m_updates_in_ = &reg.counter("dat_tree_updates_received_total");
+  m_updates_out_ = &reg.counter("dat_tree_updates_sent_total");
+  m_parent_switches_ = &reg.counter("dat_tree_parent_switches_total");
+  m_relay_entries_ = &reg.counter("dat_tree_relay_entries_total");
+  m_child_staleness_ = &reg.histogram("dat_tree_child_staleness_us");
+  // Per-key aggregation-table state as a registry view: sampled at snapshot
+  // time, zero cost on the push path. Runs on the node's thread like every
+  // other access to table_.
+  collector_id_ = reg.add_collector([this](obs::MetricsSnapshot& out) {
+    for (const auto& [key, entry] : table_) {
+      const obs::Labels labels{{"key", key_label(key)}};
+      const auto add = [&out, &labels](const char* name, double value) {
+        obs::Sample s;
+        s.name = name;
+        s.type = obs::MetricType::kGauge;
+        s.labels = labels;
+        s.value = value;
+        out.samples.push_back(std::move(s));
+      };
+      add("dat_tree_children", static_cast<double>(entry.children.size()));
+      add("dat_tree_epoch", static_cast<double>(entry.epoch));
+      add("dat_tree_is_root", entry.global.has_value() ? 1.0 : 0.0);
+      add("dat_tree_history_len", static_cast<double>(entry.history.size()));
+    }
+  });
   register_handlers();
 }
 
 DatNode::~DatNode() {
   alive_ = false;
+  chord_.telemetry().registry.remove_collector(collector_id_);
   for (auto& [key, entry] : table_) {
     if (entry.timer != 0) chord_.rpc().transport().cancel_timer(entry.timer);
   }
@@ -232,6 +268,7 @@ AggState DatNode::collect(Entry& entry) {
     if (now - it->second.received_at_us > ttl) {
       it = entry.children.erase(it);  // soft-state expiry: departed child
     } else {
+      m_child_staleness_->observe(now - it->second.received_at_us);
       state.merge(it->second.state);
       ++it;
     }
@@ -244,28 +281,80 @@ void DatNode::run_epoch(Id key) {
   if (it == table_.end() || !chord_.alive()) return;
   Entry& entry = it->second;
   ++entry.epoch;
+  m_epochs_->inc();
   const AggState state = collect(entry);
 
+  obs::NodeTelemetry& tel = chord_.telemetry();
+  const std::uint64_t now = chord_.rpc().transport().now_us();
   const auto parent = chord_.dat_parent(key, entry.scheme);
   if (!parent) {
     // This node is the root: the collected state is the global aggregate.
-    entry.global = GlobalValue{state, entry.epoch,
-                               chord_.rpc().transport().now_us()};
+    entry.global = GlobalValue{state, entry.epoch, now};
     entry.history.push_back(*entry.global);
     while (entry.history.size() > options_.history_size) {
       entry.history.pop_front();
     }
+    // Close the causal wave: the aggregate span is the chain's last link,
+    // parented on the most recent traced child update folded in.
+    if (entry.wave_trace_id != 0) {
+      obs::Span span;
+      span.trace_id = entry.wave_trace_id;
+      span.span_id = tel.recorder.new_span_id();
+      span.parent_span_id = entry.wave_parent_span;
+      span.name = "dat.aggregate";
+      span.start_us = now;
+      span.end_us = now;
+      span.key = key;
+      span.epoch = entry.epoch;
+      tel.recorder.record(span);
+      entry.wave_trace_id = 0;
+      entry.wave_parent_span = 0;
+    }
     return;
   }
   entry.global.reset();  // no longer (or not) the root
+  if (entry.last_parent != net::kNullEndpoint &&
+      entry.last_parent != parent->endpoint) {
+    m_parent_switches_->inc();
+  }
+  entry.last_parent = parent->endpoint;
+
+  // Causal wave: a leaf (no traced child update seen this epoch) starts a
+  // fresh trace; an interior node continues the wave stored by
+  // handle_update, chaining its send span onto the child's.
+  std::uint64_t trace_id = entry.wave_trace_id;
+  std::uint64_t parent_span = entry.wave_parent_span;
+  if (trace_id == 0) {
+    trace_id = tel.recorder.new_trace_id();
+    parent_span = 0;
+  }
+  entry.wave_trace_id = 0;
+  entry.wave_parent_span = 0;
+  obs::Span span;
+  span.trace_id = trace_id;
+  span.span_id = tel.recorder.new_span_id();
+  span.parent_span_id = parent_span;
+  span.name = "dat.update.send";
+  span.start_us = now;
+  span.end_us = now;
+  span.key = key;
+  span.epoch = entry.epoch;
+  span.peer = parent->endpoint;
+  tel.recorder.record(span);
+
   net::Writer w;
   w.u64(key);
   w.u8(static_cast<std::uint8_t>(entry.kind));
   w.u8(static_cast<std::uint8_t>(entry.scheme));
   chord::write_node_ref(w, chord_.self());
   write_agg_state(w, state);
-  chord_.rpc().send_one_way(parent->endpoint, kUpdate, w);
+  {
+    // Scoped so RpcManager stamps {trace, send span} onto the wire frame.
+    const obs::TraceContext::Scope scope(tel.trace, trace_id, span.span_id);
+    chord_.rpc().send_one_way(parent->endpoint, kUpdate, w);
+  }
   ++entry.updates_sent;
+  m_updates_out_->inc();
 }
 
 void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
@@ -285,13 +374,36 @@ void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
                             : chord::RoutingScheme::kBalanced;
     start_aggregate(key, kind, scheme, nullptr);
     it = table_.find(key);
+    m_relay_entries_->inc();
   }
   Entry& entry = it->second;
   ++entry.updates_received;
+  m_updates_in_->inc();
   ChildRecord& rec = entry.children[from];
   rec.ref = sender;
   rec.state = state;
   rec.received_at_us = chord_.rpc().transport().now_us();
+
+  // Causal wave: RpcManager scoped the dispatch to the sender's wire trace,
+  // so the ambient context carries the child's send span. Record the
+  // receive link and adopt the wave — the next run_epoch's own send (or the
+  // root's aggregate span) continues this chain.
+  obs::NodeTelemetry& tel = chord_.telemetry();
+  if (tel.trace.active()) {
+    obs::Span span;
+    span.trace_id = tel.trace.trace_id();
+    span.span_id = tel.recorder.new_span_id();
+    span.parent_span_id = tel.trace.span_id();
+    span.name = "dat.update.recv";
+    span.start_us = rec.received_at_us;
+    span.end_us = rec.received_at_us;
+    span.key = key;
+    span.epoch = entry.epoch;
+    span.peer = from;
+    tel.recorder.record(span);
+    entry.wave_trace_id = span.trace_id;
+    entry.wave_parent_span = span.span_id;
+  }
 }
 
 void DatNode::handle_get_global(net::Endpoint /*from*/, net::Reader& req,

@@ -10,6 +10,7 @@
 
 #include "chord/node.hpp"
 #include "dat/aggregate.hpp"
+#include "obs/trace.hpp"
 
 namespace dat::core {
 
@@ -144,6 +145,16 @@ class DatNode {
     std::deque<GlobalValue> history;    // root-side time series
     std::uint64_t updates_received = 0;
     std::uint64_t updates_sent = 0;
+    // Causal-wave trace state: set by handle_update when a traced child
+    // update arrives (the child's send span becomes our parent span),
+    // consumed and cleared by the next run_epoch so the outgoing update
+    // continues the child's trace — one aggregation wave is then one span
+    // chain climbing the tree from a leaf to the root.
+    std::uint64_t wave_trace_id = 0;
+    std::uint64_t wave_parent_span = 0;
+    // Last parent this entry pushed to; a change means Chord re-parented us
+    // (churn or finger repair) and is counted as a tree-topology event.
+    net::Endpoint last_parent = net::kNullEndpoint;
   };
 
   struct PendingSnapshot {
@@ -191,6 +202,17 @@ class DatNode {
   std::unordered_map<std::uint64_t, PendingSnapshot> snapshots_;
   std::uint64_t next_seq_ = 1;
   bool alive_ = true;
+
+  // Borrowed instrument pointers into chord_.telemetry().registry; the
+  // deque-backed registry guarantees they outlive this object (the chord
+  // node owns both and destroys the DAT layer first).
+  obs::Counter* m_epochs_ = nullptr;
+  obs::Counter* m_updates_in_ = nullptr;
+  obs::Counter* m_updates_out_ = nullptr;
+  obs::Counter* m_parent_switches_ = nullptr;
+  obs::Counter* m_relay_entries_ = nullptr;
+  obs::Histogram* m_child_staleness_ = nullptr;
+  std::uint64_t collector_id_ = 0;
 };
 
 }  // namespace dat::core

@@ -307,4 +307,14 @@ std::uint64_t SimCluster::total_maintenance_rpcs() const {
   return total;
 }
 
+obs::MetricsSnapshot SimCluster::telemetry_snapshot() const {
+  obs::MetricsSnapshot all;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    all.merge(slots_[i].node->telemetry().registry.snapshot().with_label(
+        "node", std::to_string(i)));
+  }
+  return all;
+}
+
 }  // namespace dat::harness

@@ -13,6 +13,7 @@
 #include "dat/dat_node.hpp"
 #include "maan/maan_node.hpp"
 #include "net/sim_transport.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace dat::harness {
@@ -110,6 +111,12 @@ class SimCluster {
 
   /// Sum of chord-layer maintenance RPCs across live nodes.
   [[nodiscard]] std::uint64_t total_maintenance_rpcs() const;
+
+  /// Cluster-wide metrics roll-up: every live node's registry snapshot
+  /// stamped with its slot (node=<i>) and merged into one snapshot. Feed
+  /// the result to obs::to_prometheus / obs::to_json, or call
+  /// .rollup("node") to collapse per-node series into cluster totals.
+  [[nodiscard]] obs::MetricsSnapshot telemetry_snapshot() const;
 
   /// Always-true structural invariants over every live node (valid even
   /// mid-churn); throws std::logic_error listing violations. Runs

@@ -1,5 +1,6 @@
 #include "harness/udp_cluster.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "harness/invariants.hpp"
@@ -16,9 +17,12 @@
 namespace dat::harness {
 
 namespace {
-std::unique_ptr<net::NodeHostNetwork> make_network(net::NetBackend backend) {
+std::unique_ptr<net::NodeHostNetwork> make_network(
+    net::NetBackend backend, obs::MetricsRegistry& cluster_metrics) {
   if (backend == net::NetBackend::kNetio) {
-    return std::make_unique<netio::NetioNetwork>();
+    netio::ReactorOptions reactor_options;
+    reactor_options.metrics = &cluster_metrics;
+    return std::make_unique<netio::NetioNetwork>(reactor_options);
   }
   return std::make_unique<net::UdpNetwork>();
 }
@@ -27,7 +31,7 @@ std::unique_ptr<net::NodeHostNetwork> make_network(net::NetBackend backend) {
 UdpCluster::UdpCluster(std::size_t n, UdpClusterOptions options)
     : options_(options),
       space_(options.bits),
-      network_(make_network(options.backend)) {
+      network_(make_network(options.backend, cluster_metrics_)) {
   if (n == 0) throw std::invalid_argument("UdpCluster: n == 0");
 
   auto& first_transport = network_->add_node();
@@ -188,13 +192,47 @@ bool UdpCluster::wait_converged() {
         return false;
       },
       options_.converge_timeout_us);
+  maybe_dump_metrics();
   if (converged) DAT_HARNESS_CHECK_CONVERGED();
   return converged;
 }
 
 bool UdpCluster::run_until(const std::function<bool()>& condition,
                            std::uint64_t max_us) {
-  return network_->run_while([&] { return !condition(); }, max_us);
+  const bool met = network_->run_while([&] { return !condition(); }, max_us);
+  maybe_dump_metrics();
+  return met;
+}
+
+obs::MetricsSnapshot UdpCluster::telemetry_snapshot() const {
+  obs::MetricsSnapshot all;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i] || !nodes_[i]->alive()) continue;
+    all.merge(nodes_[i]->telemetry().registry.snapshot().with_label(
+        "node", std::to_string(i)));
+  }
+  all.merge(cluster_metrics_.snapshot().with_label("node", "cluster"));
+  return all;
+}
+
+void UdpCluster::dump_metrics(const std::string& path,
+                              obs::ExportFormat format) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("UdpCluster::dump_metrics: cannot open " + path);
+  }
+  out << obs::render(telemetry_snapshot(), format);
+}
+
+void UdpCluster::maybe_dump_metrics() {
+  if (options_.metrics_dump_path.empty()) return;
+  const std::uint64_t now = network_->now_us();
+  if (last_dump_us_ != 0 &&
+      now - last_dump_us_ < options_.metrics_dump_period_us) {
+    return;
+  }
+  last_dump_us_ = now;
+  dump_metrics(options_.metrics_dump_path, options_.metrics_dump_format);
 }
 
 void UdpCluster::assert_local_invariants() const {

@@ -12,6 +12,8 @@
 #include "dat/dat_node.hpp"
 #include "net/node_host.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace dat::harness {
 
@@ -29,6 +31,12 @@ struct UdpClusterOptions {
   std::uint64_t join_timeout_us = 5'000'000;
   /// Wall-clock budget for full finger-table convergence.
   std::uint64_t converge_timeout_us = 60'000'000;
+  /// Periodic telemetry dump: while the cluster pumps (run_for/run_until/
+  /// wait_converged), the full cluster snapshot is written to this path
+  /// (overwritten in place) every `metrics_dump_period_us`. Empty disables.
+  std::string metrics_dump_path;
+  std::uint64_t metrics_dump_period_us = 1'000'000;
+  obs::ExportFormat metrics_dump_format = obs::ExportFormat::kJson;
 };
 
 /// Real-socket sibling of SimCluster: hosts n live Chord(+DAT) nodes on
@@ -82,10 +90,26 @@ class UdpCluster {
   bool wait_converged();
 
   /// Pumps for the given wall-clock duration.
-  void run_for(std::uint64_t us) { network_->run_for(us); }
+  void run_for(std::uint64_t us) {
+    network_->run_for(us);
+    maybe_dump_metrics();
+  }
 
   /// Pumps until the predicate returns true (or `max_us`); true on success.
   bool run_until(const std::function<bool()>& condition, std::uint64_t max_us);
+
+  /// Registry for infrastructure shared by all nodes (the netio reactor's
+  /// shard counters land here when that backend is selected).
+  [[nodiscard]] obs::MetricsRegistry& cluster_metrics() noexcept {
+    return cluster_metrics_;
+  }
+
+  /// Cluster-wide roll-up: each live node's registry stamped node=<i>,
+  /// merged with the shared infrastructure registry (node="cluster").
+  [[nodiscard]] obs::MetricsSnapshot telemetry_snapshot() const;
+
+  /// Writes the current telemetry snapshot to `path` in `format`.
+  void dump_metrics(const std::string& path, obs::ExportFormat format) const;
 
   /// Gives every node the exact d0 hint for balanced routing.
   void inject_d0_hints();
@@ -112,15 +136,20 @@ class UdpCluster {
 
   void register_cluster_aggregates(std::size_t i);
   [[nodiscard]] std::size_t lowest_live_slot() const;
+  void maybe_dump_metrics();
 
   UdpClusterOptions options_;
   IdSpace space_;
+  // Declared before network_: the netio reactor holds a collector in this
+  // registry and unregisters it on destruction.
+  obs::MetricsRegistry cluster_metrics_;
   std::unique_ptr<net::NodeHostNetwork> network_;
   std::vector<std::unique_ptr<chord::Node>> nodes_;
   std::vector<std::unique_ptr<core::DatNode>> dats_;
   std::vector<AggregateSpec> cluster_aggregates_;
   std::uint64_t next_seed_ = 0;
   bool shut_down_ = false;
+  std::uint64_t last_dump_us_ = 0;
 };
 
 }  // namespace dat::harness

@@ -8,6 +8,13 @@ std::vector<std::uint8_t> Message::encode() const {
   w.u64(request_id);
   w.str(method);
   w.bytes(body);
+  if (trace.has_value()) {
+    w.u8(kFrameExtMagic);
+    w.u8(kFrameExtTraceTag);
+    w.u8(16);  // extension payload length: two u64s
+    w.u64(trace->trace_id);
+    w.u64(trace->span_id);
+  }
   return w.take();
 }
 
@@ -23,7 +30,25 @@ Message Message::decode(std::span<const std::uint8_t> wire) {
   m.method = r.str();
   m.body = r.bytes();
   if (!r.exhausted()) {
-    throw CodecError({DecodeErrorCode::kTrailingBytes, r.position()});
+    // Optional extension area: marker byte, then (tag, length, payload)
+    // records. Unknown tags are skipped for forward compatibility; any
+    // other trailing byte is still a malformed frame.
+    const std::size_t marker_pos = r.position();
+    if (r.u8() != kFrameExtMagic) {
+      throw CodecError({DecodeErrorCode::kTrailingBytes, marker_pos});
+    }
+    while (!r.exhausted()) {
+      const std::uint8_t tag = r.u8();
+      const std::uint8_t len = r.u8();
+      if (tag == kFrameExtTraceTag && len == 16) {
+        WireTrace t;
+        t.trace_id = r.u64();
+        t.span_id = r.u64();
+        m.trace = t;
+      } else {
+        r.skip(len);
+      }
+    }
   }
   return m;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -60,9 +61,65 @@ RpcManager::RpcManager(Transport& transport)
 }
 
 RpcManager::~RpcManager() {
+  set_telemetry(nullptr);
   transport_.set_receive_handler(nullptr);
   for (auto& [id, call] : pending_) {
     if (call.timer != 0) transport_.cancel_timer(call.timer);
+  }
+}
+
+void RpcManager::set_telemetry(obs::NodeTelemetry* telemetry) {
+  if (telemetry_ != nullptr && collector_id_ != 0) {
+    telemetry_->registry.remove_collector(collector_id_);
+    collector_id_ = 0;
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  collector_id_ =
+      telemetry_->registry.add_collector([this](obs::MetricsSnapshot& out) {
+        const auto add = [&out](const char* name, obs::MetricType type,
+                                double value) {
+          obs::Sample s;
+          s.name = name;
+          s.type = type;
+          s.value = value;
+          out.samples.push_back(std::move(s));
+        };
+        using enum obs::MetricType;
+        add("dat_rpc_calls_total", kCounter,
+            static_cast<double>(stats_.calls));
+        add("dat_rpc_attempts_total", kCounter,
+            static_cast<double>(stats_.attempts));
+        add("dat_rpc_retransmits_total", kCounter,
+            static_cast<double>(stats_.retransmits));
+        add("dat_rpc_timeouts_total", kCounter,
+            static_cast<double>(stats_.timeouts));
+        add("dat_rpc_ok_total", kCounter, static_cast<double>(stats_.ok));
+        add("dat_rpc_remote_errors_total", kCounter,
+            static_cast<double>(stats_.remote_errors));
+        add("dat_rpc_backoff_wait_us_total", kCounter,
+            static_cast<double>(stats_.backoff_wait_us));
+        add("dat_rpc_pending", kGauge, static_cast<double>(pending_.size()));
+        const TrafficCounters& traffic = transport_.counters();
+        add("dat_net_messages_sent_total", kCounter,
+            static_cast<double>(traffic.messages_sent));
+        add("dat_net_messages_received_total", kCounter,
+            static_cast<double>(traffic.messages_received));
+        add("dat_net_bytes_sent_total", kCounter,
+            static_cast<double>(traffic.bytes_sent));
+        add("dat_net_bytes_received_total", kCounter,
+            static_cast<double>(traffic.bytes_received));
+        add("dat_net_decode_errors_total", kCounter,
+            static_cast<double>(traffic.decode_errors));
+        add("dat_net_truncated_datagrams_total", kCounter,
+            static_cast<double>(traffic.truncated_datagrams));
+      });
+}
+
+void RpcManager::stamp_trace(Message& msg) const {
+  if (telemetry_ != nullptr && telemetry_->trace.active()) {
+    msg.trace = WireTrace{telemetry_->trace.trace_id(),
+                          telemetry_->trace.span_id()};
   }
 }
 
@@ -83,6 +140,7 @@ void RpcManager::call(Endpoint to, const std::string& method,
   req.request_id = id;
   req.method = method;
   req.body = body.data();
+  stamp_trace(req);
 
   PendingCall call{to, std::move(req), std::move(handler), options,
                    options.attempts, 0, 0, 0};
@@ -101,6 +159,7 @@ void RpcManager::send_one_way(Endpoint to, const std::string& method,
   msg.kind = MessageKind::kOneWay;
   msg.method = method;
   msg.body = body.data();
+  stamp_trace(msg);
   transport_.send(to, msg);
 }
 
@@ -160,6 +219,13 @@ void RpcManager::retransmit(std::uint64_t request_id) {
 }
 
 void RpcManager::on_message(Endpoint from, const Message& msg) {
+  // A traced message carries its cause across the wire: make that the
+  // ambient context for the whole dispatch, so handlers (and any RPCs or
+  // spans they produce) are causally linked to the sender's span.
+  std::optional<obs::TraceContext::Scope> scope;
+  if (telemetry_ != nullptr && msg.trace.has_value()) {
+    scope.emplace(telemetry_->trace, msg.trace->trace_id, msg.trace->span_id);
+  }
   switch (msg.kind) {
     case MessageKind::kRequest:
       on_request(from, msg);
@@ -190,6 +256,9 @@ void RpcManager::on_request(Endpoint from, const Message& msg) {
   Message reply;
   reply.kind = MessageKind::kResponse;
   reply.request_id = msg.request_id;
+  // Echo the request's trace so the caller's response handler runs in the
+  // same causal context (even when this node has no telemetry attached).
+  reply.trace = msg.trace;
 
   const auto it = methods_.find(msg.method);
   if (it == methods_.end()) {

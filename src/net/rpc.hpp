@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/trace.hpp"
 
 namespace dat::net {
 
@@ -159,6 +160,17 @@ class RpcManager {
   [[nodiscard]] const RpcStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = RpcStats{}; }
 
+  /// Attaches this manager to a node's telemetry bundle (nullptr detaches):
+  /// RpcStats becomes a registry view (a snapshot-time collector — the retry
+  /// hot path is untouched), outgoing messages are stamped with the ambient
+  /// trace context, and inbound traced messages set that context around
+  /// handler dispatch so causality propagates across RPC hops. The bundle
+  /// must outlive this manager.
+  void set_telemetry(obs::NodeTelemetry* telemetry);
+  [[nodiscard]] obs::NodeTelemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
  private:
   struct PendingCall {
     Endpoint to;
@@ -178,7 +190,12 @@ class RpcManager {
   void on_timeout(std::uint64_t request_id);
   void retransmit(std::uint64_t request_id);
 
+  /// Stamps the ambient trace onto an outgoing message, when tracing is on.
+  void stamp_trace(Message& msg) const;
+
   Transport& transport_;
+  obs::NodeTelemetry* telemetry_ = nullptr;
+  std::uint64_t collector_id_ = 0;
   std::unordered_map<std::string, MethodHandler> methods_;
   std::unordered_map<std::string, OneWayHandler> one_ways_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/logging.hpp"
+
 namespace dat::net {
 
 SimTransport& SimNetwork::add_node() {
@@ -52,12 +54,20 @@ void SimNetwork::set_partitioned(Endpoint ep, bool partitioned) {
 }
 
 void SimNetwork::route(Endpoint from, Endpoint to, Message msg) {
+  // Hoisted level gate (one relaxed load per message instead of one per log
+  // site): route() is the simulator's hottest path, and under configured
+  // loss the drop branch fires at traffic rate.
+  const bool log_debug = Logger::instance().enabled(LogLevel::kDebug);
   // Loss and partitions are evaluated at send time; a message already in
   // flight when a partition heals is still lost, matching UDP semantics
   // closely enough for protocol testing.
   if (partitioned_.contains(from) || partitioned_.contains(to) ||
       (loss_rate_ > 0.0 && engine_.rng().next_double() < loss_rate_)) {
     ++dropped_;
+    if (log_debug) {
+      DAT_LOG_DEBUG("sim", "dropped " << msg.method << " " << from << " -> "
+                                      << to << " (loss/partition)");
+    }
     return;
   }
   sim::SimDuration delay = engine_.latency().sample(from, to, engine_.rng());
@@ -65,10 +75,15 @@ void SimNetwork::route(Endpoint from, Endpoint to, Message msg) {
     delay = static_cast<sim::SimDuration>(static_cast<double>(delay) *
                                           latency_multiplier_);
   }
-  engine_.schedule_after(delay, [this, from, to, m = std::move(msg)]() {
+  engine_.schedule_after(delay, [this, from, to, log_debug,
+                                 m = std::move(msg)]() {
     const auto it = nodes_.find(to);
     if (it == nodes_.end()) {
       ++dropped_;
+      if (log_debug) {
+        DAT_LOG_DEBUG("sim", "dropped " << m.method << " " << from << " -> "
+                                        << to << " (endpoint gone)");
+      }
       return;
     }
     ++delivered_;

@@ -24,12 +24,38 @@ enum class MessageKind : std::uint8_t { kRequest = 0, kResponse = 1, kOneWay = 2
 
 struct MessageDecodeResult;
 
-/// A single datagram: method name, correlation id, kind, body.
+/// Frame extension area marker. A message may carry optional extensions
+/// after the body: the byte 0xE7 followed by (tag, u8 length, payload)
+/// records. Decoders skip unknown tags, so new extensions stay
+/// backward-compatible; a frame without the marker is byte-identical to
+/// the pre-extension format, so old peers interoperate unchanged. Any
+/// trailing byte other than the marker is still rejected as kTrailingBytes.
+inline constexpr std::uint8_t kFrameExtMagic = 0xE7;
+/// Extension tag: causal trace correlation, payload = u64 trace id + u64
+/// span id (16 bytes).
+inline constexpr std::uint8_t kFrameExtTraceTag = 0x01;
+
+/// Causal trace correlation carried in the frame extension area: which
+/// trace this message belongs to and which span on the sender caused it
+/// (obs layer flight recorders stitch these into cross-node traces).
+struct WireTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  friend bool operator==(const WireTrace&, const WireTrace&) = default;
+};
+
+/// A single datagram: method name, correlation id, kind, body, plus
+/// optional frame extensions (trace correlation).
 struct Message {
   std::string method;
   std::uint64_t request_id = 0;
   MessageKind kind = MessageKind::kOneWay;
   std::vector<std::uint8_t> body;
+  /// When set, encode() appends the trace extension; decode() fills it
+  /// from the wire. Absent on untraced messages (and the encoding is then
+  /// byte-identical to the pre-extension wire format).
+  std::optional<WireTrace> trace;
 
   /// Flat wire encoding of the whole message.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;

@@ -90,6 +90,13 @@ struct Reactor::Scratch {
     std::atomic<std::uint64_t> tasks_run{0};
   } stats;
 
+  /// Log-level gates cached once per loop iteration (the PR 3 pattern from
+  /// the legacy UDP drain loop): the drop/error paths can fire at line rate
+  /// under an adversarial flood, so they must not pay even the macro's
+  /// atomic level load per datagram. Loop-thread confined.
+  bool log_debug = false;
+  bool log_warn = true;
+
   /// Receive slots, one datagram each; slot 0 doubles as the buffer of the
   /// portable single-datagram path.
   std::vector<std::vector<std::uint8_t>> bufs;
@@ -155,6 +162,8 @@ Reactor::Reactor(const ReactorOptions& options, std::uint64_t t0_steady_us)
   }
 
   Scratch& s = *scratch_;
+  s.log_debug = Logger::instance().enabled(LogLevel::kDebug);
+  s.log_warn = Logger::instance().enabled(LogLevel::kWarn);
   s.bufs.resize(options_.recv_batch);
   for (auto& buf : s.bufs) buf.resize(options_.max_datagram);
   s.addrs.resize(options_.recv_batch);
@@ -165,6 +174,38 @@ Reactor::Reactor(const ReactorOptions& options, std::uint64_t t0_steady_us)
   s.send_iovecs.resize(kSendBatch);
   s.send_hdrs.resize(kSendBatch);
 #endif
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *options_.metrics;
+    const obs::Labels shard_labels{{"shard", options_.metrics_shard}};
+    frames_per_datagram_ =
+        &registry.histogram("dat_netio_frames_per_datagram", shard_labels);
+    metrics_collector_ = registry.add_collector(
+        [this, shard_labels](obs::MetricsSnapshot& out) {
+          const ReactorCounters c = counters();
+          const auto add = [&](const char* name, std::uint64_t value) {
+            obs::Sample sample;
+            sample.name = name;
+            sample.type = obs::MetricType::kCounter;
+            sample.labels = shard_labels;
+            sample.value = static_cast<double>(value);
+            out.samples.push_back(std::move(sample));
+          };
+          add("dat_netio_epoll_waits_total", c.epoll_waits);
+          add("dat_netio_recv_syscalls_total", c.recv_syscalls);
+          add("dat_netio_send_syscalls_total", c.send_syscalls);
+          add("dat_netio_datagrams_in_total", c.datagrams_in);
+          add("dat_netio_datagrams_out_total", c.datagrams_out);
+          add("dat_netio_frames_in_total", c.frames_in);
+          add("dat_netio_frames_out_total", c.frames_out);
+          add("dat_netio_coalesced_datagrams_out_total",
+              c.coalesced_datagrams_out);
+          add("dat_netio_batch_datagrams_in_total", c.batch_datagrams_in);
+          add("dat_netio_truncated_in_total", c.truncated_in);
+          add("dat_netio_send_errors_total", c.send_errors);
+          add("dat_netio_tasks_run_total", c.tasks_run);
+        });
+  }
 }
 
 Reactor::~Reactor() {
@@ -172,6 +213,9 @@ Reactor::~Reactor() {
     stop();
   } catch (...) {
     // Joining the shard thread must not throw out of a destructor.
+  }
+  if (options_.metrics != nullptr && metrics_collector_ != 0) {
+    options_.metrics->remove_collector(metrics_collector_);
   }
   sockets_.clear();
   graveyard_.clear();
@@ -398,8 +442,10 @@ bool Reactor::send_datagram(int fd, net::Endpoint to,
     // UDP is fire-and-forget; log and move on (RpcManager retries).
     const int err = errno;
     stats.send_errors.fetch_add(1, std::memory_order_relaxed);
-    DAT_LOG_DEBUG("netio", "sendto " << net::endpoint_to_string(to)
-                                     << " failed: " << errno_message(err));
+    if (scratch_->log_debug) {
+      DAT_LOG_DEBUG("netio", "sendto " << net::endpoint_to_string(to)
+                                       << " failed: " << errno_message(err));
+    }
     return false;
   }
   return true;
@@ -417,6 +463,9 @@ void Reactor::flush_transport(NetioTransport& t) {
     stats.frames_out.fetch_add(dg.frames, std::memory_order_relaxed);
     if (dg.frames > 1) {
       stats.coalesced_datagrams_out.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (frames_per_datagram_ != nullptr) {
+      frames_per_datagram_->observe(dg.frames);
     }
   };
 
@@ -450,10 +499,12 @@ void Reactor::flush_transport(NetioTransport& t) {
         // The head datagram was refused; drop it and keep the rest moving.
         const int err = errno;
         stats.send_errors.fetch_add(1, std::memory_order_relaxed);
-        DAT_LOG_DEBUG("netio",
-                      "sendmmsg to "
-                          << net::endpoint_to_string(t.outq_[next].to)
-                          << " failed: " << errno_message(err));
+        if (s.log_debug) {
+          DAT_LOG_DEBUG("netio",
+                        "sendmmsg to "
+                            << net::endpoint_to_string(t.outq_[next].to)
+                            << " failed: " << errno_message(err));
+        }
         next += 1;
         continue;
       }
@@ -493,7 +544,9 @@ void Reactor::handle_inbound(std::uint64_t reg_id, const sockaddr_in& from,
   if (it == sockets_.end()) return;
   NetioTransport& t = *it->second;
   if (name_len < sizeof(sockaddr_in) || from.sin_family != AF_INET) {
-    DAT_LOG_WARN("netio", "dropping datagram with non-IPv4 source address");
+    if (scratch_->log_warn) {
+      DAT_LOG_WARN("netio", "dropping datagram with non-IPv4 source address");
+    }
     return;
   }
   const net::Endpoint src = net::make_udp_endpoint(
@@ -504,11 +557,13 @@ void Reactor::handle_inbound(std::uint64_t reg_id, const sockaddr_in& from,
   if (kernel_truncated || msg_len > options_.max_datagram) {
     ++t.counters_.truncated_datagrams;
     stats.truncated_in.fetch_add(1, std::memory_order_relaxed);
-    DAT_LOG_WARN("netio", "dropping truncated "
-                              << msg_len << "-byte datagram from "
-                              << net::endpoint_to_string(src)
-                              << " (buffer is " << options_.max_datagram
-                              << " bytes)");
+    if (scratch_->log_warn) {
+      DAT_LOG_WARN("netio", "dropping truncated "
+                                << msg_len << "-byte datagram from "
+                                << net::endpoint_to_string(src)
+                                << " (buffer is " << options_.max_datagram
+                                << " bytes)");
+    }
     return;
   }
   dispatch_datagram(reg_id, src, std::span<const std::uint8_t>(data, msg_len));
@@ -527,9 +582,11 @@ void Reactor::dispatch_datagram(std::uint64_t reg_id, net::Endpoint src,
     net::Message::DecodeResult decoded = net::Message::try_decode(frame);
     if (!decoded.ok()) {
       ++t.counters_.decode_errors;
-      DAT_LOG_WARN("netio", "dropping malformed frame from "
-                                << net::endpoint_to_string(src) << ": "
-                                << decoded.error.to_string());
+      if (scratch_->log_warn) {
+        DAT_LOG_WARN("netio", "dropping malformed frame from "
+                                  << net::endpoint_to_string(src) << ": "
+                                  << decoded.error.to_string());
+      }
       return;
     }
     ++t.counters_.messages_received;
@@ -543,9 +600,11 @@ void Reactor::dispatch_datagram(std::uint64_t reg_id, net::Endpoint src,
     if (container_error) {
       const auto it = sockets_.find(reg_id);
       if (it != sockets_.end()) ++it->second->counters_.decode_errors;
-      DAT_LOG_WARN("netio", "dropping malformed batch tail from "
-                                << net::endpoint_to_string(src) << ": "
-                                << container_error->to_string());
+      if (scratch_->log_warn) {
+        DAT_LOG_WARN("netio", "dropping malformed batch tail from "
+                                  << net::endpoint_to_string(src) << ": "
+                                  << container_error->to_string());
+      }
     }
     return;
   }
@@ -583,7 +642,9 @@ void Reactor::drain_fd(std::uint64_t reg_id) {
           // peer; it does not affect this socket's ability to receive.
           continue;
         }
-        DAT_LOG_WARN("netio", "recvmmsg failed: " << errno_message(err));
+        if (scratch_->log_warn) {
+          DAT_LOG_WARN("netio", "recvmmsg failed: " << errno_message(err));
+        }
         return;
       }
       for (int i = 0; i < n; ++i) {
@@ -608,7 +669,9 @@ void Reactor::drain_fd(std::uint64_t reg_id) {
       const int err = errno;
       if (err == EAGAIN || err == EWOULDBLOCK) return;
       if (err == EINTR || err == ECONNREFUSED) continue;
-      DAT_LOG_WARN("netio", "recvfrom failed: " << errno_message(err));
+      if (scratch_->log_warn) {
+        DAT_LOG_WARN("netio", "recvfrom failed: " << errno_message(err));
+      }
       return;
     }
     handle_inbound(reg_id, from, from_len, static_cast<std::size_t>(n),
@@ -620,6 +683,9 @@ void Reactor::drain_fd(std::uint64_t reg_id) {
 // -------------------------------------------------------------- event loop
 
 void Reactor::iterate(std::uint64_t max_wait_us) {
+  // Refresh the cached log gates once per iteration instead of per datagram.
+  scratch_->log_debug = Logger::instance().enabled(LogLevel::kDebug);
+  scratch_->log_warn = Logger::instance().enabled(LogLevel::kWarn);
   run_tasks();
   wheel_.advance(now_us());
   flush_all();

@@ -13,6 +13,7 @@
 #include "net/transport.hpp"
 #include "netio/buffer_arena.hpp"
 #include "netio/timer_wheel.hpp"
+#include "obs/metrics.hpp"
 
 struct sockaddr_in;  // <netinet/in.h>, included by reactor.cpp only
 
@@ -44,6 +45,12 @@ struct ReactorOptions {
   /// Timer wheel granularity and size.
   std::uint64_t timer_tick_us = 1024;
   std::size_t timer_slots = 256;
+  /// Optional shared metrics registry (one per cluster/pool). When set, the
+  /// reactor publishes its I/O counters as a snapshot-time collector and
+  /// feeds a per-shard coalescer batch-size histogram — all series labeled
+  /// {shard=metrics_shard}. The registry must outlive the reactor.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_shard = "0";
 };
 
 /// Whether this build selected the recvmmsg/sendmmsg batched-syscall paths
@@ -218,6 +225,10 @@ class Reactor {
 
   ReactorOptions options_;
   std::uint64_t t0_us_;
+  /// Coalescer batch-size histogram (frames per outbound datagram) when a
+  /// metrics registry is attached; observed on the flush path.
+  obs::Histogram* frames_per_datagram_ = nullptr;
+  std::uint64_t metrics_collector_ = 0;
   int epoll_fd_ = -1;
   int event_fd_ = -1;
   TimerWheel wheel_;

@@ -21,7 +21,13 @@ ReactorPool::ReactorPool(const ReactorPoolOptions& options) {
   const std::uint64_t t0 = steady_now_us();
   shards_.reserve(options.shards);
   for (std::size_t i = 0; i < options.shards; ++i) {
-    shards_.push_back(std::make_unique<Reactor>(options.reactor, t0));
+    ReactorOptions shard_options = options.reactor;
+    // Give each shard its own metric series (shard=0, shard=1, ...) when a
+    // registry is attached; a single-shard pool keeps the caller's label.
+    if (shard_options.metrics != nullptr && options.shards > 1) {
+      shard_options.metrics_shard = std::to_string(i);
+    }
+    shards_.push_back(std::make_unique<Reactor>(shard_options, t0));
   }
 }
 

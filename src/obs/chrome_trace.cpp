@@ -1,0 +1,81 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/export.hpp"
+
+namespace dat::obs {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Shared fields of one trace event: phase, name, pid and timestamp (the
+/// Chrome trace format counts ts/dur in microseconds, matching ours).
+std::string event_head(const char* ph, const std::string& name,
+                       std::uint64_t pid, std::uint64_t ts) {
+  return std::string("{\"ph\":\"") + ph + "\",\"name\":\"" +
+         json_escape(name) + "\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"ts\":" + std::to_string(ts);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<NodeSpans>& nodes,
+                            std::uint64_t trace_id) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](std::string event) {
+    if (!first) out += ',';
+    first = false;
+    out += event;
+  };
+
+  for (const NodeSpans& node : nodes) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+         std::to_string(node.pid) + ",\"args\":{\"name\":\"" +
+         json_escape(node.node_name) + "\"}}");
+  }
+
+  for (const NodeSpans& node : nodes) {
+    for (const Span& s : node.spans) {
+      if (trace_id != 0 && s.trace_id != trace_id) continue;
+      // Chrome drops zero-duration complete events in some views; clamp to
+      // a visible 1us.
+      const std::uint64_t dur = std::max<std::uint64_t>(
+          1, s.end_us >= s.start_us ? s.end_us - s.start_us : 0);
+      std::string ev = event_head("X", s.name, node.pid, s.start_us) +
+                       ",\"dur\":" + std::to_string(dur) +
+                       ",\"cat\":\"dat\",\"args\":{\"trace\":\"" +
+                       hex_u64(s.trace_id) + "\",\"span\":\"" +
+                       hex_u64(s.span_id) + "\",\"parent\":\"" +
+                       hex_u64(s.parent_span_id) + "\"";
+      if (s.key != 0) ev += ",\"key\":\"" + hex_u64(s.key) + "\"";
+      if (s.epoch != 0) ev += ",\"epoch\":" + std::to_string(s.epoch);
+      if (s.peer != 0) ev += ",\"peer\":\"" + hex_u64(s.peer) + "\"";
+      ev += "}}";
+      emit(std::move(ev));
+
+      // Flow arrows: every span opens a flow under its own span id when it
+      // ends, and binds to its parent's flow when it starts — chaining
+      // leaf send -> parent receive -> parent send -> ... -> root.
+      emit(event_head("s", "wave", node.pid, s.end_us) +
+           ",\"cat\":\"dat\",\"id\":\"" + hex_u64(s.span_id) + "\"}");
+      if (s.parent_span_id != 0) {
+        emit(event_head("f", "wave", node.pid, s.start_us) +
+             ",\"cat\":\"dat\",\"bp\":\"e\",\"id\":\"" +
+             hex_u64(s.parent_span_id) + "\"}");
+      }
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dat::obs

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dat::obs {
+
+/// Spans recorded by one node's flight recorder, tagged with the display
+/// identity Chrome should show for that node.
+struct NodeSpans {
+  std::string node_name;  ///< e.g. "node-3 (id 0x1a2b3c4d)"
+  std::uint64_t pid = 0;  ///< Chrome process id; use the node's slot index
+  std::vector<Span> spans;
+};
+
+/// Renders spans from many flight recorders as a Chrome trace-event JSON
+/// document (load in chrome://tracing or https://ui.perfetto.dev). Each
+/// node becomes a "process"; spans are complete ("X") events; cross-node
+/// parent links become flow arrows, so one aggregation wave renders as a
+/// chain of arrows climbing the DAT tree from the leaves to the root.
+/// Pass trace_id to restrict the document to one wave, or 0 for all spans.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<NodeSpans>& nodes,
+                                          std::uint64_t trace_id = 0);
+
+}  // namespace dat::obs

@@ -1,0 +1,181 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace dat::obs {
+
+namespace {
+
+/// Formats a double the way Prometheus expects: integers without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string format_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` (empty string for no labels); `extra` appends one
+/// more pair, used for the histogram `le` label.
+std::string prom_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+/// Index of the last bucket worth emitting: the highest non-empty one
+/// (everything above it adds nothing to the cumulative counts).
+std::size_t last_used_bucket(const std::vector<std::uint64_t>& buckets) {
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] != 0) last = i;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::set<std::string> typed;  // one # TYPE line per family
+  for (const Sample& s : snapshot.samples) {
+    if (typed.insert(s.name).second) {
+      out += "# TYPE " + s.name + " " + to_string(s.type) + "\n";
+    }
+    if (s.type != MetricType::kHistogram) {
+      out += s.name + prom_labels(s.labels) + " " + format_value(s.value) +
+             "\n";
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    const std::size_t last = last_used_bucket(s.buckets);
+    for (std::size_t i = 0; i <= last && i < s.buckets.size(); ++i) {
+      cumulative += s.buckets[i];
+      out += s.name + "_bucket" +
+             prom_labels(s.labels, "le=\"" +
+                                       std::to_string(Histogram::bucket_upper(
+                                           i)) +
+                                       "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += s.name + "_bucket" + prom_labels(s.labels, "le=\"+Inf\"") + " " +
+           std::to_string(s.count) + "\n";
+    out += s.name + "_sum" + prom_labels(s.labels) + " " +
+           std::to_string(s.sum) + "\n";
+    out += s.name + "_count" + prom_labels(s.labels) + " " +
+           std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"schema\":\"dat.metrics.v1\",\"metrics\":[";
+  bool first_metric = true;
+  for (const Sample& s : snapshot.samples) {
+    if (!first_metric) out += ',';
+    first_metric = false;
+    out += "{\"name\":\"" + json_escape(s.name) + "\",\"type\":\"" +
+           to_string(s.type) + "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += "\"" + json_escape(k) + "\":\"" + json_escape(v) + "\"";
+    }
+    out += '}';
+    if (s.type != MetricType::kHistogram) {
+      out += ",\"value\":" + format_value(s.value);
+    } else {
+      out += ",\"count\":" + std::to_string(s.count) +
+             ",\"sum\":" + std::to_string(s.sum) + ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      const std::size_t last = last_used_bucket(s.buckets);
+      for (std::size_t i = 0; i <= last && i < s.buckets.size(); ++i) {
+        cumulative += s.buckets[i];
+        if (i != 0) out += ',';
+        out += "{\"le\":" + std::to_string(Histogram::bucket_upper(i)) +
+               ",\"count\":" + std::to_string(cumulative) + "}";
+      }
+      out += "]";
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render(const MetricsSnapshot& snapshot, ExportFormat format) {
+  return format == ExportFormat::kPrometheus ? to_prometheus(snapshot)
+                                             : to_json(snapshot);
+}
+
+}  // namespace dat::obs

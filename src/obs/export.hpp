@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace dat::obs {
+
+/// Renders a snapshot in the Prometheus text exposition format (0.0.4):
+/// one `# TYPE` line per metric family, `{label="value"}` series, and
+/// histograms expanded into cumulative `_bucket{le=...}` plus `_sum` and
+/// `_count` series. Ready to serve on /metrics or feed promtool.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Renders a snapshot as a self-describing JSON document
+/// (`"schema": "dat.metrics.v1"`), the format the periodic dump writes and
+/// the CI metrics-smoke job validates with jq.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Serialization format selector for dump options and CLI flags.
+enum class ExportFormat : std::uint8_t { kJson = 0, kPrometheus = 1 };
+
+[[nodiscard]] std::string render(const MetricsSnapshot& snapshot,
+                                 ExportFormat format);
+
+/// JSON string escaping per RFC 8259 (shared by the exporters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace dat::obs

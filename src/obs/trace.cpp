@@ -1,0 +1,80 @@
+#include "obs/trace.hpp"
+
+namespace dat::obs {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit mixer; one step per generated id gives
+/// a deterministic, well-spread stream per node.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z = z ^ (z >> 31);
+  return z;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::uint64_t id_seed, std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      // Mix the seed once so consecutive node seeds (0, 1, 2, ...) still
+      // yield unrelated id streams; never generate id 0 (0 = "no trace").
+      id_state_(id_seed ^ 0x6a09e667f3bcc909ULL) {
+  ring_.reserve(capacity_);
+}
+
+std::uint64_t FlightRecorder::new_trace_id() {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t id = 0;
+  while (id == 0) id = splitmix64(id_state_);
+  return id;
+}
+
+std::uint64_t FlightRecorder::new_span_id() { return new_trace_id(); }
+
+void FlightRecorder::record(const Span& span) {
+  const std::scoped_lock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[recorded_ % capacity_] = span;
+  }
+  ++recorded_;
+}
+
+std::vector<Span> FlightRecorder::spans() const {
+  const std::scoped_lock lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring is full: the oldest span sits at the next write position.
+    const std::size_t head = recorded_ % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<Span> FlightRecorder::spans_for(std::uint64_t trace_id) const {
+  std::vector<Span> out = spans();
+  std::erase_if(out, [&](const Span& s) { return s.trace_id != trace_id; });
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::scoped_lock lock(mutex_);
+  return recorded_;
+}
+
+void FlightRecorder::clear() {
+  const std::scoped_lock lock(mutex_);
+  ring_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace dat::obs

@@ -4,6 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
 namespace {
 
 using namespace dat;
@@ -70,6 +77,32 @@ TEST(UdpClusterTest, ContinuousAggregationOverRealSockets) {
         EXPECT_EQ(value->state.count, cluster.size());
       });
   EXPECT_TRUE(cluster.run_until([&] { return done; }, 5'000'000));
+}
+
+TEST(UdpClusterTest, PeriodicMetricsDumpWritesValidJson) {
+  const std::string path =
+      ::testing::TempDir() + "udp_cluster_metrics_dump.json";
+  std::remove(path.c_str());
+  {
+    UdpClusterOptions options;
+    options.seed = 45;
+    options.node.stabilize_interval_us = 30'000;
+    options.node.fix_fingers_interval_us = 10'000;
+    options.node.rpc.timeout_us = 150'000;
+    options.metrics_dump_path = path;
+    options.metrics_dump_period_us = 100'000;
+    options.metrics_dump_format = obs::ExportFormat::kJson;
+    UdpCluster cluster(4, std::move(options));
+    ASSERT_TRUE(cluster.wait_converged());
+    cluster.run_for(300'000);  // at least one period elapses
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no dump written to " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"schema\":\"dat.metrics.v1\""), std::string::npos);
+  EXPECT_NE(text.str().find("dat_chord_lookups_total"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(UdpClusterTest, ShutdownIsIdempotent) {

@@ -19,6 +19,7 @@
 #include "chaos/plan.hpp"
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -57,6 +58,21 @@ int run_campaign(const dat::CliFlags& flags) {
 
   chaos::Campaign campaign(cluster, plan, options);
   const chaos::CampaignReport report = campaign.run();
+
+  const std::string metrics_path = flags.get_string("metrics-out");
+  if (!metrics_path.empty()) {
+    // Campaign-level recovery metrics (phase timings, fault counts) merged
+    // with the cluster-wide per-node roll-up, as one JSON document.
+    obs::MetricsSnapshot snap =
+        campaign.metrics().snapshot().with_label("node", "campaign");
+    snap.merge(cluster.telemetry_snapshot());
+    std::ofstream out(metrics_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "dat_chaos: cannot open %s\n", metrics_path.c_str());
+      return 2;
+    }
+    out << obs::to_json(snap);
+  }
 
   if (flags.get_bool("print-events")) {
     for (const std::string& line : report.event_log) {
@@ -111,6 +127,8 @@ int main(int argc, char** argv) {
       .flag("max-epochs", std::int64_t{10},
             "recovery SLO: epochs allowed until coverage re-converges")
       .flag("print-events", false, "print the deterministic event log")
+      .flag("metrics-out", std::string{},
+            "write campaign + cluster telemetry JSON to this path")
       .flag("verbose", false, "chaos events to stderr as they happen");
 
   if (!flags.parse(argc - 1, argv + 1)) {

@@ -6,10 +6,14 @@
 //   datctl monitor --n 128 --minutes 10 --epoch 1.0             trace-driven monitoring run
 //   datctl churn   --n 96 --events 12                           churn scenario
 //   datctl inspect --n 32 --slot 5                               dump a node's tables
+//   datctl metrics --n 8 --run 2.0 --format prom                 live telemetry dump
+//   datctl trace   --n 32 --epochs 8 --out wave.json             Chrome trace of a wave
 //
 // Every subcommand prints a compact table on stdout; --help lists flags.
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +23,9 @@
 #include "common/stats.hpp"
 #include "harness/live_tree.hpp"
 #include "harness/sim_cluster.hpp"
+#include "harness/udp_cluster.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
 #include "trace/cpu_trace.hpp"
 
 namespace {
@@ -256,10 +263,109 @@ int cmd_churn(CliFlags& flags) {
   return 0;
 }
 
+obs::ExportFormat parse_format(const std::string& text) {
+  if (text == "json") return obs::ExportFormat::kJson;
+  if (text == "prom" || text == "prometheus") {
+    return obs::ExportFormat::kPrometheus;
+  }
+  throw std::invalid_argument("unknown format: " + text + " (use json|prom)");
+}
+
+int cmd_metrics(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto run_us =
+      static_cast<std::uint64_t>(flags.get_double("run") * 1e6);
+  const obs::ExportFormat format = parse_format(flags.get_string("format"));
+
+  // A real cluster on loopback UDP: its telemetry covers every layer
+  // (chord, rpc, transport, DAT, and — with DAT_NET_BACKEND=netio — the
+  // reactor shards via the cluster registry).
+  harness::UdpClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  harness::UdpCluster cluster(n, options);
+  cluster.inject_d0_hints();
+  if (!cluster.wait_converged()) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  cluster.start_aggregate_everywhere(
+      "cpu-usage", core::AggregateKind::kAvg, chord::RoutingScheme::kBalanced,
+      [](std::size_t slot) -> core::DatNode::LocalValueFn {
+        return [slot] { return static_cast<double>(slot); };
+      });
+  cluster.run_for(run_us);
+  obs::MetricsSnapshot snap = cluster.telemetry_snapshot();
+  if (flags.get_bool("rollup")) snap = snap.rollup("node");
+  std::fputs(obs::render(snap, format).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto epochs = static_cast<std::uint64_t>(flags.get_int("epochs"));
+  const std::string out_path = flags.get_string("out");
+
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+  const Id key = cluster.start_aggregate_everywhere(
+      "cpu-usage", core::AggregateKind::kAvg, chord::RoutingScheme::kBalanced,
+      [](std::size_t slot) -> core::DatNode::LocalValueFn {
+        return [slot] { return static_cast<double>(slot); };
+      });
+  cluster.run_for((epochs + 2) * cluster.dat(0).options().epoch_us);
+
+  // The wave to export: the most recent completed aggregation at the root.
+  const Id root_id = cluster.ring_view().successor(key);
+  std::uint64_t trace_id = 0;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    if (!cluster.is_live(i) || cluster.node(i).id() != root_id) continue;
+    for (const obs::Span& span : cluster.node(i).telemetry().recorder.spans()) {
+      if (span.key == key && std::strcmp(span.name, "dat.aggregate") == 0) {
+        trace_id = span.trace_id;  // keep the latest
+      }
+    }
+  }
+  if (trace_id == 0) {
+    std::fprintf(stderr, "no completed aggregation wave recorded at the root\n");
+    return 1;
+  }
+
+  std::vector<obs::NodeSpans> nodes;
+  for (std::size_t i = 0; i < cluster.slot_count(); ++i) {
+    if (!cluster.is_live(i)) continue;
+    char name[64];
+    std::snprintf(name, sizeof(name), "node-%zu (id 0x%llx)", i,
+                  static_cast<unsigned long long>(cluster.node(i).id()));
+    nodes.push_back(obs::NodeSpans{
+        name, i, cluster.node(i).telemetry().recorder.spans()});
+  }
+  const std::string doc = obs::to_chrome_trace(nodes, trace_id);
+  if (out_path.empty()) {
+    std::fputs(doc.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << doc;
+    std::fprintf(stderr, "wave trace (trace id 0x%llx) written to %s\n",
+                 static_cast<unsigned long long>(trace_id), out_path.c_str());
+  }
+  return 0;
+}
+
 void print_usage() {
-  std::fprintf(stderr,
-               "usage: datctl <tree|load|lookup|monitor|churn|inspect> [flags]\n"
-               "       datctl <subcommand> --help\n");
+  std::fprintf(
+      stderr,
+      "usage: datctl <tree|load|lookup|monitor|churn|inspect|metrics|trace>"
+      " [flags]\n"
+      "       datctl <subcommand> --help\n");
 }
 
 }  // namespace
@@ -291,6 +397,13 @@ int main(int argc, char** argv) {
     flags.flag("events", std::int64_t{12}, "churn events");
   } else if (command == "inspect") {
     flags.flag("slot", std::int64_t{0}, "node slot to dump");
+  } else if (command == "metrics") {
+    flags.flag("run", 2.0, "wall-clock seconds to run before sampling");
+    flags.flag("format", std::string("prom"), "json|prom");
+    flags.flag("rollup", false, "collapse per-node series into cluster totals");
+  } else if (command == "trace") {
+    flags.flag("epochs", std::int64_t{8}, "aggregation epochs to record");
+    flags.flag("out", std::string(), "output file (stdout when empty)");
   } else if (command != "load") {
     print_usage();
     return 2;
@@ -314,6 +427,8 @@ int main(int argc, char** argv) {
     if (command == "monitor") return cmd_monitor(flags);
     if (command == "churn") return cmd_churn(flags);
     if (command == "inspect") return cmd_inspect(flags);
+    if (command == "metrics") return cmd_metrics(flags);
+    if (command == "trace") return cmd_trace(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
