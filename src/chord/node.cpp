@@ -267,14 +267,22 @@ void Node::deliver_upcall(const std::string& topic, Id key,
                           std::span<const std::uint8_t> payload) {
   const auto it = upcalls_.find(topic);
   if (it == upcalls_.end()) {
-    DAT_LOG_DEBUG("chord", "no upcall registered for topic " << topic);
+    // Per-delivery drop path; gate computed in-branch so registered-topic
+    // deliveries pay nothing.
+    const bool log_debug = Logger::instance().enabled(LogLevel::kDebug);
+    if (log_debug) {
+      DAT_LOG_DEBUG("chord", "no upcall registered for topic " << topic);
+    }
     return;
   }
   net::Reader reader(payload);
   try {
     it->second(key, reader);
   } catch (const std::exception& e) {
-    DAT_LOG_WARN("chord", "upcall " << topic << " threw: " << e.what());
+    const bool log_warn = Logger::instance().enabled(LogLevel::kWarn);
+    if (log_warn) {
+      DAT_LOG_WARN("chord", "upcall " << topic << " threw: " << e.what());
+    }
   }
 }
 

@@ -64,8 +64,17 @@ class CodecError : public std::runtime_error {
 /// Append-only binary writer, little-endian fixed-width integers plus
 /// length-prefixed byte strings. This is the wire format of the paper's
 /// "RPC manager ... at the socket-level to send and receive UDP packets".
+///
+/// Two modes: the default constructor owns its buffer (retrieve with
+/// take()); the reference constructor appends into a caller-provided
+/// vector whose capacity survives across messages, which is how the send
+/// paths encode without a per-datagram allocation (Message::encode_into).
 class Writer {
  public:
+  Writer() : buf_(owned_) {}
+  explicit Writer(std::vector<std::uint8_t>& out) : buf_(out) {}
+
+  // datlint:allow(hot-path): appends into a capacity-retained buffer
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) { put_le(v); }
   void u32(std::uint32_t v) { put_le(v); }
@@ -88,6 +97,7 @@ class Writer {
                        "Writer::str");
     }
     u32(static_cast<std::uint32_t>(s.size()));
+    // datlint:allow(hot-path): appends into a capacity-retained buffer
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
@@ -97,14 +107,17 @@ class Writer {
                        "Writer::bytes");
     }
     u32(static_cast<std::uint32_t>(s.size()));
+    // datlint:allow(hot-path): appends into a capacity-retained buffer
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept {
     return buf_;
   }
+  /// Owning mode only: moves the internal buffer out. Meaningless (returns
+  /// an empty vector) when constructed over an external buffer.
   [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
-    return std::move(buf_);
+    return std::move(owned_);
   }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
@@ -112,11 +125,13 @@ class Writer {
   template <typename T>
   void put_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
+      // datlint:allow(hot-path): appends into a capacity-retained buffer
       buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> owned_;
+  std::vector<std::uint8_t>& buf_;
 };
 
 /// Sequential binary reader over a borrowed buffer; the mirror of Writer.

@@ -3,7 +3,14 @@
 namespace dat::net {
 
 std::vector<std::uint8_t> Message::encode() const {
-  Writer w;
+  std::vector<std::uint8_t> out;
+  encode_into(out);
+  return out;
+}
+
+void Message::encode_into(std::vector<std::uint8_t>& out) const {
+  out.clear();
+  Writer w(out);
   w.u8(static_cast<std::uint8_t>(kind));
   w.u64(request_id);
   w.str(method);
@@ -15,7 +22,6 @@ std::vector<std::uint8_t> Message::encode() const {
     w.u64(trace->trace_id);
     w.u64(trace->span_id);
   }
-  return w.take();
 }
 
 Message Message::decode(std::span<const std::uint8_t> wire) {

@@ -236,7 +236,12 @@ void RpcManager::on_message(Endpoint from, const Message& msg) {
     case MessageKind::kOneWay: {
       const auto it = one_ways_.find(msg.method);
       if (it == one_ways_.end()) {
-        DAT_LOG_DEBUG("rpc", "unknown one-way method " << msg.method);
+        // Unknown methods are attacker-reachable per datagram; the level
+        // gate is computed in-branch so the dispatch happy path pays nothing.
+        const bool log_debug = Logger::instance().enabled(LogLevel::kDebug);
+        if (log_debug) {
+          DAT_LOG_DEBUG("rpc", "unknown one-way method " << msg.method);
+        }
         return;
       }
       ++served_[msg.method];
@@ -244,8 +249,11 @@ void RpcManager::on_message(Endpoint from, const Message& msg) {
       try {
         it->second(from, r);
       } catch (const std::exception& e) {
-        DAT_LOG_WARN("rpc", "one-way handler " << msg.method
-                                               << " threw: " << e.what());
+        const bool log_warn = Logger::instance().enabled(LogLevel::kWarn);
+        if (log_warn) {
+          DAT_LOG_WARN("rpc", "one-way handler " << msg.method
+                                                 << " threw: " << e.what());
+        }
       }
       return;
     }

@@ -60,6 +60,11 @@ struct Message {
   /// Flat wire encoding of the whole message.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
+  /// Encodes into `out` (cleared first), reusing its capacity: the
+  /// allocation-free variant for per-datagram send paths, where `out` is a
+  /// scratch or arena buffer that lives across messages.
+  void encode_into(std::vector<std::uint8_t>& out) const;
+
   /// Parses a datagram; throws CodecError on malformed input.
   [[nodiscard]] static Message decode(std::span<const std::uint8_t> wire);
 

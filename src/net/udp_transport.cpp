@@ -116,7 +116,8 @@ void UdpNetwork::fire_due_timers() {
 }
 
 void UdpNetwork::deliver_datagram(Endpoint ep, Endpoint src,
-                                  std::span<const std::uint8_t> dgram) {
+                                  std::span<const std::uint8_t> dgram,
+                                  bool warn_logging) {
   // A coalesced batch (netio's write coalescer) carries several sub-frames;
   // anything else is a single Message. Between frames the transport is
   // re-looked up: a handler may have removed this node (or any other), and
@@ -129,9 +130,11 @@ void UdpNetwork::deliver_datagram(Endpoint ep, Endpoint src,
     Message::DecodeResult decoded = Message::try_decode(frame);
     if (!decoded.ok()) {
       ++transport.counters_.decode_errors;
-      DAT_LOG_WARN("udp", "dropping malformed datagram from "
-                              << endpoint_to_string(src) << ": "
-                              << decoded.error.to_string());
+      if (warn_logging) {
+        DAT_LOG_WARN("udp", "dropping malformed datagram from "
+                                << endpoint_to_string(src) << ": "
+                                << decoded.error.to_string());
+      }
       return;
     }
     ++transport.counters_.messages_received;
@@ -143,9 +146,11 @@ void UdpNetwork::deliver_datagram(Endpoint ep, Endpoint src,
     if (container_error) {
       const auto it = nodes_.find(ep);
       if (it != nodes_.end()) ++it->second->counters_.decode_errors;
-      DAT_LOG_WARN("udp", "dropping malformed batch tail from "
-                              << endpoint_to_string(src) << ": "
-                              << container_error->to_string());
+      if (warn_logging) {
+        DAT_LOG_WARN("udp", "dropping malformed batch tail from "
+                                << endpoint_to_string(src) << ": "
+                                << container_error->to_string());
+      }
     }
     return;
   }
@@ -154,9 +159,12 @@ void UdpNetwork::deliver_datagram(Endpoint ep, Endpoint src,
 
 void UdpNetwork::drain_socket(int fd, Endpoint ep) {
   // Hot path: one level check per drain, not per datagram, so disabled
-  // debug logging costs nothing on the receive path.
+  // debug (and warn — every drop path below is attacker-reachable at line
+  // rate) logging costs nothing on the receive path.
   const bool debug_logging =
       Logger::instance().enabled(LogLevel::kDebug);
+  const bool warn_logging =
+      Logger::instance().enabled(LogLevel::kWarn);
   for (;;) {
     const auto node_it = nodes_.find(ep);
     if (node_it == nodes_.end()) return;  // removed by a handler mid-drain
@@ -179,11 +187,15 @@ void UdpNetwork::drain_socket(int fd, Endpoint ep) {
         // peer; it does not affect this socket's ability to receive.
         continue;
       }
-      DAT_LOG_WARN("udp", "recvfrom failed: " << errno_message(err));
+      if (warn_logging) {
+        DAT_LOG_WARN("udp", "recvfrom failed: " << errno_message(err));
+      }
       return;
     }
     if (from_len < sizeof(sockaddr_in) || from.sin_family != AF_INET) {
-      DAT_LOG_WARN("udp", "dropping datagram with non-IPv4 source address");
+      if (warn_logging) {
+        DAT_LOG_WARN("udp", "dropping datagram with non-IPv4 source address");
+      }
       continue;
     }
     const Endpoint src =
@@ -192,10 +204,12 @@ void UdpNetwork::drain_socket(int fd, Endpoint ep) {
     transport.counters_.bytes_received += static_cast<std::uint64_t>(n);
     if (static_cast<std::size_t>(n) > recv_buf_.size()) {
       ++transport.counters_.truncated_datagrams;
-      DAT_LOG_WARN("udp", "dropping truncated "
-                              << n << "-byte datagram from "
-                              << endpoint_to_string(src) << " (buffer is "
-                              << recv_buf_.size() << " bytes)");
+      if (warn_logging) {
+        DAT_LOG_WARN("udp", "dropping truncated "
+                                << n << "-byte datagram from "
+                                << endpoint_to_string(src) << " (buffer is "
+                                << recv_buf_.size() << " bytes)");
+      }
       continue;
     }
     if (debug_logging) {
@@ -204,7 +218,8 @@ void UdpNetwork::drain_socket(int fd, Endpoint ep) {
     }
     deliver_datagram(ep, src,
                      std::span<const std::uint8_t>(
-                         recv_buf_.data(), static_cast<std::size_t>(n)));
+                         recv_buf_.data(), static_cast<std::size_t>(n)),
+                     warn_logging);
   }
 }
 
@@ -290,7 +305,8 @@ UdpTransport::~UdpTransport() {
 }
 
 void UdpTransport::send(Endpoint to, const Message& msg) {
-  const std::vector<std::uint8_t> wire = msg.encode();
+  std::vector<std::uint8_t>& wire = send_buf_;
+  msg.encode_into(wire);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(endpoint_ipv4(to));
@@ -304,15 +320,24 @@ void UdpTransport::send(Endpoint to, const Message& msg) {
     ++net_.loop_counters_.send_syscalls;
   } while (n < 0 && errno == EINTR);
   if (n < 0) {
-    // UDP is fire-and-forget; log and move on (RpcManager retries).
+    // UDP is fire-and-forget; log and move on (RpcManager retries). The
+    // gate lives inside the failure branch: free on the happy path, one
+    // check per failure (ENOBUFS can fire at line rate under send floods).
     const int err = errno;
-    DAT_LOG_DEBUG("udp", "sendto " << endpoint_to_string(to)
-                                   << " failed: " << errno_message(err));
+    const bool debug_logging = Logger::instance().enabled(LogLevel::kDebug);
+    if (debug_logging) {
+      DAT_LOG_DEBUG("udp", "sendto " << endpoint_to_string(to)
+                                     << " failed: " << errno_message(err));
+    }
   } else if (static_cast<std::size_t>(n) != wire.size()) {
     // A datagram socket never splits a message, so a short write here means
     // the message could not have been sent intact; surface it loudly.
-    DAT_LOG_WARN("udp", "short sendto " << endpoint_to_string(to) << ": " << n
-                                        << " of " << wire.size() << " bytes");
+    const bool warn_logging = Logger::instance().enabled(LogLevel::kWarn);
+    if (warn_logging) {
+      DAT_LOG_WARN("udp", "short sendto " << endpoint_to_string(to) << ": "
+                                          << n << " of " << wire.size()
+                                          << " bytes");
+    }
   }
 }
 

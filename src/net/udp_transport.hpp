@@ -53,6 +53,10 @@ class UdpTransport final : public Transport {
   int fd_;
   Endpoint self_;
   ReceiveHandler handler_;
+  /// Wire-encoding scratch for send(); capacity persists across messages so
+  /// steady-state sends do not allocate. The loop is single-threaded, so
+  /// one buffer per transport suffices.
+  std::vector<std::uint8_t> send_buf_;
 };
 
 /// Single-threaded UDP event loop hosting any number of node sockets in one
@@ -118,8 +122,12 @@ class UdpNetwork final : public NodeHostNetwork {
   void pump_once(std::uint64_t max_wait_us);
   void fire_due_timers();
   void drain_socket(int fd, Endpoint ep);
+  /// `warn_logging` is the caller's cached warn-level gate (one Logger
+  /// check per drain, not per datagram — the drop paths below can fire at
+  /// line rate under a malformed-datagram flood).
   void deliver_datagram(Endpoint ep, Endpoint src,
-                        std::span<const std::uint8_t> dgram);
+                        std::span<const std::uint8_t> dgram,
+                        bool warn_logging);
   void rebuild_pollfds();
   void reap_graveyard();
 

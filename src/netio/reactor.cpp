@@ -97,6 +97,16 @@ struct Reactor::Scratch {
   bool log_debug = false;
   bool log_warn = true;
 
+  /// Wire encoding of the message being sent (enqueue_send). Loop-thread
+  /// confined; capacity sticks at the largest frame seen, so steady-state
+  /// sends never allocate.
+  std::vector<std::uint8_t> encode_buf;
+
+  /// Drained tasks_ batch (run_tasks), swapped under the mutex and run
+  /// outside it; reused so the control path stops allocating per loop
+  /// iteration.
+  std::vector<std::function<void()>> task_batch;
+
   /// Receive slots, one datagram each; slot 0 doubles as the buffer of the
   /// portable single-datagram path.
   std::vector<std::vector<std::uint8_t>> bufs;
@@ -325,7 +335,8 @@ void Reactor::post(std::function<void()> fn) {
 }
 
 void Reactor::run_tasks() {
-  std::vector<std::function<void()>> tasks;
+  std::vector<std::function<void()>>& tasks = scratch_->task_batch;
+  tasks.clear();
   {
     const std::lock_guard<std::mutex> lock(tasks_mutex_);
     tasks.swap(tasks_);
@@ -334,6 +345,9 @@ void Reactor::run_tasks() {
     fn();
     scratch_->stats.tasks_run.fetch_add(1, std::memory_order_relaxed);
   }
+  // Destroy the drained closures now (they may pin captured resources)
+  // while keeping the vector's capacity for the next batch.
+  tasks.clear();
 }
 
 net::TimerId Reactor::set_timer(std::uint64_t delay_us,
@@ -354,7 +368,8 @@ void Reactor::cancel_timer(net::TimerId id) { wheel_.cancel(id); }
 
 void Reactor::enqueue_send(NetioTransport& t, net::Endpoint to,
                            const net::Message& msg) {
-  const std::vector<std::uint8_t> frame = msg.encode();
+  std::vector<std::uint8_t>& frame = scratch_->encode_buf;
+  msg.encode_into(frame);
   ++t.counters_.messages_sent;
   t.counters_.bytes_sent += frame.size();
 

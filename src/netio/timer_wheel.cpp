@@ -36,6 +36,10 @@ void TimerWheel::cancel(net::TimerId id) {
 void TimerWheel::advance(std::uint64_t now_us) {
   std::vector<Entry> due;
   {
+    // The wheel accepts schedule()/cancel() from any thread, so advance must
+    // take the mutex; the critical section is short and uncontended in the
+    // common single-shard case, and runs at tick rate, not line rate.
+    // datlint:allow(hot-path): cross-thread wheel; tick-rate, short section
     const std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t tick_now = now_us / tick_us_;
     if (tick_now <= last_tick_) return;
@@ -50,6 +54,7 @@ void TimerWheel::advance(std::uint64_t now_us) {
         std::vector<Entry>& slot = slots_[(first + t) % slots_.size()];
         for (std::size_t i = 0; i < slot.size();) {
           if (slot[i].deadline_us <= now_us) {
+            // datlint:allow(hot-path): expiry batch, sized by due timers
             due.push_back(std::move(slot[i]));
             slot[i] = std::move(slot.back());
             slot.pop_back();
@@ -58,6 +63,7 @@ void TimerWheel::advance(std::uint64_t now_us) {
             // elapsed within it (advance runs at tick granularity). Left
             // here it would wait out a whole revolution; re-park it one
             // tick ahead instead.
+            // datlint:allow(hot-path): re-park batch, sized by due timers
             repark.push_back(std::move(slot[i]));
             slot[i] = std::move(slot.back());
             slot.pop_back();
@@ -68,6 +74,7 @@ void TimerWheel::advance(std::uint64_t now_us) {
         }
       }
       for (Entry& entry : repark) {
+        // datlint:allow(hot-path): slot vectors retain capacity across ticks
         slots_[(tick_now + 1) % slots_.size()].push_back(std::move(entry));
       }
       count_ -= due.size();
@@ -83,6 +90,7 @@ void TimerWheel::advance(std::uint64_t now_us) {
     {
       // Re-checked per callback: an earlier callback in this batch may have
       // cancelled a later entry.
+      // datlint:allow(hot-path): cross-thread wheel; tick-rate, short section
       const std::lock_guard<std::mutex> lock(mutex_);
       if (cancelled_.erase(entry.id) > 0) continue;
     }

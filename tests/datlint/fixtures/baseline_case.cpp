@@ -1,0 +1,15 @@
+// datlint fixture: baseline behavior (lint-only).
+//
+// This file's single finding is listed in ../baseline_fixture.txt. Run
+// without --baseline it fails the lint (the `datlint_baseline_gate` test,
+// WILL_FAIL); run with the baseline it is reported as baselined and the
+// lint exits 0 (`datlint_baseline_accepts`).
+
+struct Backlog {
+  void push_back(int);
+};
+
+// datlint:hot
+void hot_queue(Backlog& b) {
+  b.push_back(42);  // expect-diagnostic(hot-path): container growth
+}

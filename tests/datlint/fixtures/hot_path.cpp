@@ -1,0 +1,53 @@
+// datlint fixture: hot-path discipline (lint-only, never compiled).
+//
+// Functions annotated `// datlint:hot` are analysis roots. The checker must
+// flag heap allocation, container growth, mutex acquisition, banned blocking
+// calls and ungated logging — including findings reached transitively
+// through the static call graph (helper_allocates below).
+
+struct Queue {
+  void push_back(int);
+};
+
+struct Mutexish {
+  void lock();
+  void unlock();
+};
+
+void helper_allocates() {
+  int* p = new int[16];  // expect-diagnostic(hot-path): heap allocation
+  (void)p;
+}
+
+// datlint:hot
+void hot_receive(Queue& q) {
+  q.push_back(1);        // expect-diagnostic(hot-path): container growth
+  void* m = malloc(32);  // expect-diagnostic(hot-path): heap allocation
+  (void)m;
+  usleep(10);            // expect-diagnostic(hot-path): blocking/banned call
+  helper_allocates();    // the diagnostic lands inside helper_allocates
+}
+
+// datlint:hot
+void hot_lock(Mutexish& mu) {
+  mu.lock();  // expect-diagnostic(hot-path): mutex acquisition
+  mu.unlock();
+}
+
+// datlint:hot
+void hot_guard(Mutexish& mu) {
+  // expect-diagnostic(hot-path): mutex acquisition
+  const std::lock_guard<Mutexish> lk(mu);
+}
+
+// datlint:hot
+void hot_log_ungated() {
+  DAT_LOG_DEBUG("fix", "per-datagram chatter");  // expect-diagnostic(hot-path): ungated DAT_LOG_DEBUG
+}
+
+// datlint:hot
+void hot_log_gated(bool log_debug) {
+  if (log_debug) {
+    DAT_LOG_DEBUG("fix", "behind a cached gate — no diagnostic");
+  }
+}

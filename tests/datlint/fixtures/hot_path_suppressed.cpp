@@ -1,0 +1,14 @@
+// datlint fixture: inline `datlint:allow` silences hot-path findings when
+// carried on the offending line or the line above (lint-only).
+// expect-clean
+
+struct Ring {
+  void push_back(int);
+};
+
+// datlint:hot
+void hot_but_vetted(Ring& r) {
+  // datlint:allow(hot-path): bounded ring, capacity preallocated at setup
+  r.push_back(7);
+  r.push_back(8);  // datlint:allow(hot-path): same-line form
+}

@@ -1,0 +1,42 @@
+// datlint fixture: lock-order cycle through two classes (lint-only).
+//
+// Leader::step locks a_mutex_ and calls Follower::poke (locks b_mutex_);
+// Follower::drain locks b_mutex_ and calls Leader::touch (locks a_mutex_).
+// The static lock graph therefore contains
+//   Leader::a_mutex_ -> Follower::b_mutex_ -> Leader::a_mutex_
+// which the checker must report as a cycle.
+// expect-diagnostic(lock-order): lock-order cycle
+
+struct Follower;
+
+struct Leader {
+  void step();
+  void touch();
+  std::mutex a_mutex_;
+  Follower* follower_;
+};
+
+struct Follower {
+  void drain();
+  void poke();
+  std::mutex b_mutex_;
+  Leader* leader_;
+};
+
+void Leader::step() {
+  const std::lock_guard<std::mutex> lk(a_mutex_);
+  follower_->poke();
+}
+
+void Leader::touch() {
+  const std::lock_guard<std::mutex> lk(a_mutex_);
+}
+
+void Follower::drain() {
+  const std::lock_guard<std::mutex> lk(b_mutex_);
+  leader_->touch();
+}
+
+void Follower::poke() {
+  const std::lock_guard<std::mutex> lk(b_mutex_);
+}

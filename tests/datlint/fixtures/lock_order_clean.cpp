@@ -1,0 +1,31 @@
+// datlint fixture: consistent lock ordering — no cycle, no diagnostics
+// (lint-only).
+// expect-clean
+
+struct Inner {
+  void tick();
+  std::mutex inner_mutex_;
+};
+
+struct Outer {
+  void pump();
+  void flush();
+  std::mutex outer_mutex_;
+  Inner* inner_;
+};
+
+// Both paths acquire outer before inner: the graph has a single edge
+// Outer::outer_mutex_ -> Inner::inner_mutex_ and stays acyclic.
+void Outer::pump() {
+  const std::lock_guard<std::mutex> lk(outer_mutex_);
+  inner_->tick();
+}
+
+void Outer::flush() {
+  const std::lock_guard<std::mutex> lk(outer_mutex_);
+  inner_->tick();
+}
+
+void Inner::tick() {
+  const std::lock_guard<std::mutex> lk(inner_mutex_);
+}

@@ -1,0 +1,16 @@
+// datlint fixture: self-deadlock — re-acquiring a held (non-recursive)
+// mutex through a call chain (lint-only).
+// expect-diagnostic(lock-order): lock-order cycle
+
+struct Gadget {
+  void outer() {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    refresh();  // re-locks mutex_ while outer still holds it
+  }
+
+  void refresh() {
+    const std::lock_guard<std::mutex> lk(mutex_);
+  }
+
+  std::mutex mutex_;
+};

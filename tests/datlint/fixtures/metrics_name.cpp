@@ -1,0 +1,28 @@
+// datlint fixture: metrics-name grammar and kind uniqueness (lint-only).
+
+struct Registry {
+  int& counter(const char* name);
+  int& gauge(const char* name);
+  int& histogram(const char* name);
+};
+
+struct SampleSink {
+  void add(const char* name, double v);
+};
+
+void register_metrics(Registry& r, SampleSink& s) {
+  r.counter("dat_fixture_messages_total");  // well-formed: no diagnostic
+
+  // expect-diagnostic(metrics-name): violates the dat_<subsystem>_<name> grammar
+  r.counter("fixtureMessages");
+
+  // expect-diagnostic(metrics-name): registered as gauge here but as counter
+  r.gauge("dat_fixture_messages_total");
+
+  // Collector samples are held to the same grammar (uppercase is invalid).
+  // expect-diagnostic(metrics-name): violates the dat_<subsystem>_<name> grammar
+  s.add("dat_Fixture_Bad", 1.0);
+
+  // datlint:allow(metrics-name): legacy dashboard name, renamed in v2
+  r.histogram("dat_fixture");
+}

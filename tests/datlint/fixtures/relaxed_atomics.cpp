@@ -1,0 +1,42 @@
+// datlint fixture: relaxed-atomics audit (lint-only).
+//
+// A memory_order_relaxed load may not steer control flow unless the
+// enclosing function is on the approved list (fixtures.yaml approves
+// StatGate::enabled) or the site carries an inline allow.
+
+struct Flags {
+  std::atomic<bool> ready;
+  std::atomic<unsigned> count;
+};
+
+bool poll_ready(const Flags& f) {
+  // expect-diagnostic(relaxed-atomics): relaxed atomic load steering control flow
+  if (f.ready.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return false;
+}
+
+unsigned snapshot(const Flags& f) {
+  // Reporting read, not control flow: no diagnostic.
+  return f.count.load(std::memory_order_relaxed);
+}
+
+struct StatGate {
+  std::atomic<int> level_;
+  bool enabled(int want) const {
+    // Approved function (fixtures.yaml): monotonic config, stale reads OK.
+    while (level_.load(std::memory_order_relaxed) < want) {
+      return false;
+    }
+    return true;
+  }
+};
+
+bool poll_suppressed(const Flags& f) {
+  // datlint:allow(relaxed-atomics): monotonic latch, a stale false is safe
+  if (f.ready.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return false;
+}

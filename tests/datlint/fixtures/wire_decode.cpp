@@ -1,0 +1,50 @@
+// datlint fixture: wire-decode bounds discipline (lint-only).
+//
+// Any function taking wire bytes (std::span<const std::uint8_t> or a
+// `const std::uint8_t*` buffer) must consume them through the bounded
+// helpers; raw memcpy, non-literal indexing, pointer arithmetic and
+// reinterpret_cast on the buffer are flagged.
+
+struct Header {
+  unsigned magic;
+};
+
+void parse_frame(std::span<const std::uint8_t> wire, std::size_t at) {
+  unsigned len = 0;
+  // expect-diagnostic(wire-decode): raw memcpy
+  std::memcpy(&len, wire.data(), sizeof len);
+  // expect-diagnostic(wire-decode): index arithmetic
+  const auto b = wire[at];
+  (void)b;
+  // expect-diagnostic(wire-decode): reinterpret_cast
+  const auto* h = reinterpret_cast<const Header*>(wire.data());
+  (void)h;
+}
+
+void parse_raw(const std::uint8_t* buf, std::size_t n) {
+  // expect-diagnostic(wire-decode): pointer arithmetic
+  const std::uint8_t* tail = buf + 4;
+  (void)tail;
+  (void)n;
+}
+
+void decode_throwing(std::span<const std::uint8_t> wire) {
+  // expect-diagnostic(wire-decode): throwing Message::decode
+  auto m = net::Message::decode(wire);
+  (void)m;
+}
+
+void decode_properly(std::span<const std::uint8_t> wire) {
+  // Literal indexing (a fixed-offset magic check) and the non-throwing
+  // helper are both fine: no diagnostics here.
+  if (wire[0] != 0xB7) return;
+  auto r = net::Message::try_decode(wire);
+  (void)r;
+}
+
+void copy_suppressed(std::span<const std::uint8_t> wire) {
+  unsigned magic = 0;
+  // datlint:allow(wire-decode): fixed-size prefix, length checked by caller
+  std::memcpy(&magic, wire.data(), sizeof magic);
+  (void)magic;
+}

@@ -1,0 +1,637 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace datlint {
+
+namespace {
+
+bool check_enabled(const Config& cfg, const std::string& check) {
+  return std::find(cfg.disabled_checks.begin(), cfg.disabled_checks.end(),
+                   check) == cfg.disabled_checks.end();
+}
+
+bool path_matches(const std::string& file,
+                  const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (file.find(p) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool list_contains(const std::vector<std::string>& list,
+                   const std::string& name) {
+  return std::find(list.begin(), list.end(), name) != list.end();
+}
+
+/// Matches a call against an allow/ban entry: "push_back" matches any
+/// callee of that name; "arena_.acquire" additionally requires the textual
+/// qualifier chain to end with "arena_".
+bool call_matches(const CallSite& c, const std::string& entry) {
+  const std::size_t dot = entry.rfind('.');
+  if (dot == std::string::npos) return c.callee == entry;
+  const std::string want_callee = entry.substr(dot + 1);
+  const std::string want_recv = entry.substr(0, dot);
+  if (c.callee != want_callee) return false;
+  return c.qualifier.size() >= want_recv.size() &&
+         c.qualifier.compare(c.qualifier.size() - want_recv.size(),
+                             want_recv.size(), want_recv) == 0;
+}
+
+/// Method names that, reached through `.`/`->`, are overwhelmingly STL
+/// container / smart-pointer / atomic operations. Resolving them by simple
+/// name to same-named project functions produces wild call edges
+/// (`ring_.clear()` is not FlightRecorder::clear; `due.size()` is not
+/// TimerWheel::size). Such calls stay opaque to interprocedural analysis —
+/// the direct-call checks (growth, bans) still see them by name.
+bool opaque_member_call(const CallSite& c) {
+  static const std::set<std::string> kStlMethods = {
+      "clear",    "empty",       "size",      "begin",     "end",
+      "rbegin",   "rend",        "find",      "count",     "erase",
+      "insert",   "emplace",     "emplace_back", "push_back", "pop_back",
+      "front",    "back",        "data",      "at",        "swap",
+      "reserve",  "resize",      "push",      "pop",       "top",
+      "str",      "c_str",       "substr",    "append",    "length",
+      "get",      "reset",       "release",   "load",      "store",
+      "exchange", "fetch_add",   "fetch_sub", "contains",  "assign",
+      "lower_bound", "upper_bound"};
+  return c.member_call && kStlMethods.count(c.callee) > 0;
+}
+
+bool call_in_list(const CallSite& c, const std::vector<std::string>& list) {
+  for (const std::string& e : list) {
+    if (call_matches(c, e)) return true;
+  }
+  return false;
+}
+
+struct FunctionRef {
+  const FileModel* file = nullptr;
+  const FunctionInfo* fn = nullptr;
+};
+
+struct Index {
+  std::vector<FunctionRef> all;
+  std::map<std::string, std::vector<std::size_t>> by_simple;  // name -> idx
+};
+
+Index build_index(const std::vector<FileModel>& files) {
+  Index ix;
+  for (const FileModel& fm : files) {
+    for (const FunctionInfo& fn : fm.functions) {
+      ix.by_simple[fn.simple_name].push_back(ix.all.size());
+      ix.all.push_back({&fm, &fn});
+    }
+  }
+  return ix;
+}
+
+bool is_suppressed(const FileModel& fm, const std::string& check, int line) {
+  const auto it = fm.allow_lines.find(check);
+  return it != fm.allow_lines.end() && it->second.count(line) > 0;
+}
+
+void emit(std::vector<Diagnostic>& out, const FileModel& fm,
+          const std::string& check, int line, const std::string& function,
+          std::string message, std::string detail) {
+  Diagnostic d;
+  d.check = check;
+  d.file = fm.lexed.path;
+  d.line = line;
+  d.function = function;
+  d.message = std::move(message);
+  d.detail = std::move(detail);
+  d.suppressed = is_suppressed(fm, check, line);
+  out.push_back(std::move(d));
+}
+
+// ------------------------------------------------------------- hot-path ----
+
+void check_hot_path(const Index& ix, const Config& cfg,
+                    std::vector<Diagnostic>& out) {
+  static const std::vector<std::string> kAllocCalls = {
+      "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc"};
+  static const std::vector<std::string> kGrowthCalls = {
+      "push_back", "emplace_back", "emplace", "insert",
+      "resize",    "reserve",      "try_emplace"};
+
+  // Seed set: configured roots plus `// datlint:hot`-annotated definitions.
+  std::vector<std::size_t> work;
+  std::map<std::size_t, std::string> via;  // function idx -> chain label
+  for (std::size_t i = 0; i < ix.all.size(); ++i) {
+    const FunctionInfo& fn = *ix.all[i].fn;
+    bool is_root = false;
+    for (const std::string& r : cfg.hot_roots) {
+      if (suffix_match(fn.qualified_name, r)) is_root = true;
+    }
+    const auto hot_it = ix.all[i].file->allow_lines.find("__hot__");
+    if (hot_it != ix.all[i].file->allow_lines.end() &&
+        hot_it->second.count(fn.line) > 0) {
+      is_root = true;
+    }
+    if (is_root) {
+      via[i] = fn.qualified_name;
+      work.push_back(i);
+    }
+  }
+
+  // BFS over the static call graph. Callees matching allowed-calls are
+  // vetted seams: neither flagged nor traversed.
+  std::set<std::size_t> hot(work.begin(), work.end());
+  std::deque<std::size_t> queue(work.begin(), work.end());
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    const FunctionInfo& fn = *ix.all[cur].fn;
+    for (const CallSite& c : fn.calls) {
+      if (call_in_list(c, cfg.hot_allowed_calls)) continue;
+      if (opaque_member_call(c)) continue;
+      const auto it = ix.by_simple.find(c.callee);
+      if (it == ix.by_simple.end()) continue;
+      for (const std::size_t callee_ix : it->second) {
+        if (callee_ix == cur || hot.count(callee_ix) > 0) continue;
+        hot.insert(callee_ix);
+        via[callee_ix] =
+            via[cur] + " -> " + ix.all[callee_ix].fn->qualified_name;
+        queue.push_back(callee_ix);
+      }
+    }
+  }
+
+  for (const std::size_t i : hot) {
+    const FunctionInfo& fn = *ix.all[i].fn;
+    const FileModel& fm = *ix.all[i].file;
+    const std::string& chain = via[i];
+
+    for (const CallSite& c : fn.calls) {
+      if (call_in_list(c, cfg.hot_allowed_calls)) continue;
+      std::string what;
+      if (c.callee == "new") {
+        what = "heap allocation (`new`)";
+      } else if (list_contains(kAllocCalls, c.callee)) {
+        what = "heap allocation (`" + c.callee + "`)";
+      } else if (list_contains(kGrowthCalls, c.callee)) {
+        what = "container growth (`" +
+               (c.qualifier.empty() ? c.callee
+                                    : c.qualifier + "." + c.callee) +
+               "`)";
+      } else if (call_in_list(c, cfg.hot_banned_calls)) {
+        what = "blocking/banned call (`" + c.callee + "`)";
+      } else if (c.callee.rfind("DAT_LOG", 0) == 0) {
+        // Logging in a hot body must sit behind a cached level gate: one of
+        // the configured gate identifiers within the preceding tokens.
+        bool gated = false;
+        const auto& toks = fm.lexed.tokens;
+        const std::size_t lo =
+            c.token_index > 16 ? c.token_index - 16 : fn.body_begin;
+        for (std::size_t t = lo; t < c.token_index && !gated; ++t) {
+          if (toks[t].kind != TokenKind::kIdentifier) continue;
+          for (const std::string& g : cfg.hot_log_gates) {
+            if (toks[t].text.find(g) != std::string::npos) gated = true;
+          }
+        }
+        if (!gated) {
+          emit(out, fm, "hot-path", c.line, fn.qualified_name,
+               "ungated " + c.callee +
+                   " in hot path (wrap in a cached log-level gate) [via " +
+                   chain + "]",
+               "log:" + c.callee);
+        }
+        continue;
+      }
+      if (!what.empty()) {
+        emit(out, fm, "hot-path", c.line, fn.qualified_name,
+             what + " in reactor hot path [via " + chain + "]",
+             "call:" + c.callee);
+      }
+    }
+
+    for (const LockAcquisition& l : fn.locks) {
+      emit(out, fm, "hot-path", l.line, fn.qualified_name,
+           "mutex acquisition (`" + l.lock_expr + "`) in reactor hot path "
+           "[via " + chain + "]",
+           "lock:" + l.lock_expr);
+    }
+  }
+}
+
+// ----------------------------------------------------------- wire-decode ---
+
+void check_wire_decode(const std::vector<FileModel>& files, const Config& cfg,
+                       std::vector<Diagnostic>& out) {
+  for (const FileModel& fm : files) {
+    if (!path_matches(fm.lexed.path, cfg.wire_paths)) continue;
+    const auto& toks = fm.lexed.tokens;
+    for (const FunctionInfo& fn : fm.functions) {
+      if (!fn.has_wire_param) continue;
+      bool helper = false;
+      for (const std::string& h : cfg.wire_bounded_helpers) {
+        if (suffix_match(fn.qualified_name, h)) helper = true;
+      }
+      if (helper) continue;
+
+      const auto mentions_wire_param = [&](std::size_t b, std::size_t e) {
+        for (std::size_t t = b; t < e && t < toks.size(); ++t) {
+          if (toks[t].kind == TokenKind::kIdentifier &&
+              list_contains(fn.wire_params, toks[t].text)) {
+            return true;
+          }
+        }
+        return false;
+      };
+
+      // Raw memcpy/memmove where an argument involves the wire buffer, and
+      // direct Message::decode (the throwing path) instead of try_decode.
+      for (const CallSite& c : fn.calls) {
+        if (c.callee == "memcpy" || c.callee == "memmove") {
+          // Argument window: scan forward to the end of the call's line
+          // worth of tokens (the matcher is not retained here; a bounded
+          // window is enough for an argument list).
+          const std::size_t end =
+              std::min(c.token_index + 40, toks.size());
+          if (mentions_wire_param(c.token_index, end)) {
+            emit(out, fm, "wire-decode", c.line, fn.qualified_name,
+                 "raw " + c.callee +
+                     " on wire bytes — use Message::try_decode / the "
+                     "bounds-checked Reader",
+                 "call:" + c.callee);
+          }
+        } else if (c.callee == "decode" && !c.qualifier.empty() &&
+                   c.qualifier.find("Message") != std::string::npos) {
+          emit(out, fm, "wire-decode", c.line, fn.qualified_name,
+               "throwing Message::decode on a transport path — use "
+               "Message::try_decode",
+               "call:decode");
+        }
+      }
+
+      // reinterpret_cast of the wire buffer, and non-literal index
+      // arithmetic / pointer arithmetic on a wire parameter.
+      for (std::size_t t = fn.body_begin; t < fn.body_end; ++t) {
+        const Token& tok = toks[t];
+        if (tok.kind != TokenKind::kIdentifier) continue;
+        if (tok.text == "reinterpret_cast") {
+          // reinterpret_cast < T > ( expr ) — flag when expr names a wire
+          // parameter.
+          std::size_t p = t;
+          while (p < fn.body_end && toks[p].text != "(") ++p;
+          const std::size_t end = std::min(p + 12, toks.size());
+          if (mentions_wire_param(p, end)) {
+            emit(out, fm, "wire-decode", tok.line, fn.qualified_name,
+                 "reinterpret_cast on wire bytes — decode through the "
+                 "bounds-checked Reader",
+                 "cast:reinterpret");
+          }
+          continue;
+        }
+        if (!list_contains(fn.wire_params, tok.text)) continue;
+        // param [ expr ] with a non-literal expr.
+        if (t + 1 < fn.body_end && toks[t + 1].text == "[") {
+          const bool literal_index =
+              t + 3 < fn.body_end &&
+              toks[t + 2].kind == TokenKind::kNumber &&
+              toks[t + 3].text == "]";
+          if (!literal_index) {
+            emit(out, fm, "wire-decode", tok.line, fn.qualified_name,
+                 "index arithmetic on wire buffer `" + tok.text +
+                     "` — use the bounds-checked Reader",
+                 "index:" + tok.text);
+          }
+        }
+        // param .data() + ...  /  param + n pointer arithmetic.
+        if (t + 1 < fn.body_end && toks[t + 1].kind == TokenKind::kPunct &&
+            toks[t + 1].text == "+") {
+          emit(out, fm, "wire-decode", tok.line, fn.qualified_name,
+               "pointer arithmetic on wire buffer `" + tok.text +
+                   "` — use the bounds-checked Reader",
+               "arith:" + tok.text);
+        }
+        if (t + 5 < fn.body_end && toks[t + 1].text == "." &&
+            toks[t + 2].text == "data" && toks[t + 3].text == "(" &&
+            toks[t + 4].text == ")" && toks[t + 5].text == "+") {
+          emit(out, fm, "wire-decode", tok.line, fn.qualified_name,
+               "pointer arithmetic on wire buffer `" + tok.text +
+                   ".data()` — use the bounds-checked Reader",
+               "arith:" + tok.text);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- relaxed-atomics ---
+
+void check_relaxed_atomics(const std::vector<FileModel>& files,
+                           const Config& cfg, std::vector<Diagnostic>& out) {
+  for (const FileModel& fm : files) {
+    if (path_matches(fm.lexed.path, cfg.relaxed_approved_paths)) continue;
+    const auto& toks = fm.lexed.tokens;
+    for (std::size_t t = 0; t < toks.size(); ++t) {
+      if (toks[t].kind != TokenKind::kIdentifier ||
+          toks[t].text != "memory_order_relaxed") {
+        continue;
+      }
+      // Must be an argument of .load( ... ): walk back to the nearest
+      // unmatched '(' and require the preceding identifier to be `load`.
+      int depth = 0;
+      std::size_t open = 0;
+      bool found_open = false;
+      for (std::size_t k = t; k-- > 0;) {
+        if (toks[k].kind != TokenKind::kPunct) continue;
+        if (toks[k].text == ")") ++depth;
+        if (toks[k].text == "(") {
+          if (depth == 0) {
+            open = k;
+            found_open = true;
+            break;
+          }
+          --depth;
+        }
+      }
+      if (!found_open || open == 0) continue;
+      if (toks[open - 1].kind != TokenKind::kIdentifier ||
+          toks[open - 1].text != "load") {
+        continue;
+      }
+      // Control-flow context: any enclosing unmatched '(' preceded by
+      // if / while / for.
+      bool control = false;
+      depth = 0;
+      for (std::size_t k = open; k-- > 0;) {
+        if (toks[k].kind == TokenKind::kPunct) {
+          if (toks[k].text == ")") ++depth;
+          if (toks[k].text == "(") {
+            if (depth == 0) {
+              if (k > 0 && toks[k - 1].kind == TokenKind::kIdentifier &&
+                  (toks[k - 1].text == "if" || toks[k - 1].text == "while" ||
+                   toks[k - 1].text == "for")) {
+                control = true;
+              }
+              // keep walking outwards
+              continue;
+            }
+            --depth;
+          }
+          if (toks[k].text == ";" || toks[k].text == "{") break;
+        }
+      }
+      if (!control) continue;
+
+      const FunctionInfo* fn = enclosing_function(fm, t);
+      bool approved = false;
+      if (fn != nullptr) {
+        for (const std::string& a : cfg.relaxed_approved_functions) {
+          if (suffix_match(fn->qualified_name, a)) approved = true;
+        }
+      }
+      if (approved) continue;
+      emit(out, fm, "relaxed-atomics", toks[t].line,
+           fn != nullptr ? fn->qualified_name : "",
+           "relaxed atomic load steering control flow — use acquire (or an "
+           "approved stat type)",
+           "relaxed-load");
+    }
+  }
+}
+
+// ------------------------------------------------------------ lock-order ---
+
+void check_lock_order(const std::vector<FileModel>& files, const Index& ix,
+                      const Config& cfg, std::vector<Diagnostic>& out) {
+  // Normalized lock node: ClassPrefix::last_identifier(lock_expr).
+  const auto lock_node = [](const FunctionInfo& fn,
+                            const LockAcquisition& l) {
+    std::string expr = l.lock_expr;
+    const std::size_t arrow = expr.rfind("->");
+    const std::size_t dot = expr.rfind('.');
+    std::size_t cut = std::string::npos;
+    if (arrow != std::string::npos) cut = arrow + 2;
+    if (dot != std::string::npos && (cut == std::string::npos || dot + 1 > cut))
+      cut = dot + 1;
+    const std::string member =
+        cut == std::string::npos ? expr : expr.substr(cut);
+    const std::size_t sep = fn.qualified_name.rfind("::");
+    const std::string cls =
+        sep == std::string::npos ? "" : fn.qualified_name.substr(0, sep);
+    return cls.empty() ? member : cls + "::" + member;
+  };
+
+  struct Acq {
+    std::string node;
+    const FunctionInfo* fn;
+    const FileModel* fm;
+    const LockAcquisition* lock;
+  };
+
+  // Per-function acquisition lists (lock_paths only).
+  std::map<const FunctionInfo*, std::vector<Acq>> acqs;
+  std::map<const FunctionInfo*, const FileModel*> file_of;
+  for (const FileModel& fm : files) {
+    if (!path_matches(fm.lexed.path, cfg.lock_paths)) continue;
+    for (const FunctionInfo& fn : fm.functions) {
+      file_of[&fn] = &fm;
+      for (const LockAcquisition& l : fn.locks) {
+        acqs[&fn].push_back({lock_node(fn, l), &fn, &fm, &l});
+      }
+    }
+  }
+
+  // Closure: locks eventually acquired by calling a function (depth-capped).
+  std::map<const FunctionInfo*, std::set<std::string>> eventually;
+  std::function<void(const FunctionInfo*, std::set<const FunctionInfo*>&)>
+      collect = [&](const FunctionInfo* fn,
+                    std::set<const FunctionInfo*>& seen) {
+        if (!seen.insert(fn).second) return;
+        for (const auto& a : acqs[fn]) eventually[fn].insert(a.node);
+        for (const CallSite& c : fn->calls) {
+          if (opaque_member_call(c)) continue;
+          const auto it = ix.by_simple.find(c.callee);
+          if (it == ix.by_simple.end()) continue;
+          for (const std::size_t callee_ix : it->second) {
+            const FunctionInfo* callee = ix.all[callee_ix].fn;
+            if (file_of.count(callee) == 0) continue;
+            collect(callee, seen);
+            eventually[fn].insert(eventually[callee].begin(),
+                                  eventually[callee].end());
+          }
+        }
+      };
+  for (const auto& [fn, list] : acqs) {
+    std::set<const FunctionInfo*> seen;
+    collect(fn, seen);
+  }
+
+  // Edges held -> acquired. A guard's scope runs to the end of its
+  // enclosing block; re-derive block extents from the token stream.
+  struct Edge {
+    std::string from, to;
+    const FileModel* fm;
+    int line;
+    std::string via;
+  };
+  std::vector<Edge> edges;
+  std::map<std::string, std::set<std::string>> graph;
+
+  for (const auto& [fn, list] : acqs) {
+    const FileModel& fm = *file_of[fn];
+    const auto& toks = fm.lexed.tokens;
+    for (const Acq& held : list) {
+      // Scope end: the '}' closing the innermost block open at the guard.
+      std::size_t scope_end = fn->body_end;
+      int depth = 0;
+      for (std::size_t t = held.lock->token_index; t < fn->body_end; ++t) {
+        if (toks[t].kind != TokenKind::kPunct) continue;
+        if (toks[t].text == "{") ++depth;
+        if (toks[t].text == "}") {
+          if (depth == 0) {
+            scope_end = t;
+            break;
+          }
+          --depth;
+        }
+      }
+      // Later acquisitions inside the scope.
+      for (const Acq& later : list) {
+        if (later.lock->token_index <= held.lock->token_index) continue;
+        if (later.lock->token_index > scope_end) continue;
+        graph[held.node].insert(later.node);
+        edges.push_back({held.node, later.node, &fm, later.lock->line,
+                         fn->qualified_name});
+      }
+      // Calls inside the scope that eventually acquire locks.
+      for (const CallSite& c : fn->calls) {
+        if (c.token_index <= held.lock->token_index ||
+            c.token_index > scope_end) {
+          continue;
+        }
+        if (opaque_member_call(c)) continue;
+        const auto it = ix.by_simple.find(c.callee);
+        if (it == ix.by_simple.end()) continue;
+        for (const std::size_t callee_ix : it->second) {
+          const FunctionInfo* callee = ix.all[callee_ix].fn;
+          if (file_of.count(callee) == 0) continue;
+          // node == held.node means the same lock is re-acquired through a
+          // call while held — a self-cycle, i.e. deadlock on a
+          // non-recursive mutex.
+          for (const std::string& node : eventually[callee]) {
+            graph[held.node].insert(node);
+            edges.push_back({held.node, node, &fm, c.line,
+                             fn->qualified_name + " -> " +
+                                 callee->qualified_name});
+          }
+        }
+      }
+    }
+  }
+
+  // Cycle detection (DFS, colored).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> cycles;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const std::string& v : graph[u]) {
+      if (color[v] == 1) {
+        std::vector<std::string> cyc;
+        auto it = std::find(stack.begin(), stack.end(), v);
+        for (; it != stack.end(); ++it) cyc.push_back(*it);
+        cyc.push_back(v);
+        cycles.push_back(std::move(cyc));
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [node, _] : graph) {
+    if (color[node] == 0) dfs(node);
+  }
+
+  for (const auto& cyc : cycles) {
+    std::string path;
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      if (i != 0) path += " -> ";
+      path += cyc[i];
+    }
+    // Anchor the diagnostic at an edge participating in the cycle.
+    for (const Edge& e : edges) {
+      const auto pos = std::find(cyc.begin(), cyc.end(), e.from);
+      if (pos != cyc.end() && pos + 1 != cyc.end() && *(pos + 1) == e.to) {
+        emit(out, *e.fm, "lock-order", e.line, e.via,
+             "lock-order cycle: " + path, "cycle:" + path);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- metrics-name ---
+
+void check_metrics_name(const std::vector<FileModel>& files,
+                        const Config& cfg, std::vector<Diagnostic>& out) {
+  const std::regex grammar(cfg.metrics_pattern);
+  struct Seen {
+    std::string instrument;
+    std::string file;
+    int line;
+  };
+  std::map<std::string, Seen> registry;
+
+  for (const FileModel& fm : files) {
+    for (const MetricLiteral& ml : fm.metric_literals) {
+      if (!std::regex_match(ml.name, grammar)) {
+        emit(out, fm, "metrics-name", ml.line, "",
+             "metric name `" + ml.name +
+                 "` violates the dat_<subsystem>_<name> grammar (" +
+                 cfg.metrics_pattern + ")",
+             "grammar:" + ml.name);
+        continue;
+      }
+      const auto it = registry.find(ml.name);
+      if (it == registry.end()) {
+        registry[ml.name] = {ml.instrument, fm.lexed.path, ml.line};
+      } else if (it->second.instrument != ml.instrument) {
+        emit(out, fm, "metrics-name", ml.line, "",
+             "metric name `" + ml.name + "` registered as " + ml.instrument +
+                 " here but as " + it->second.instrument + " at " +
+                 it->second.file + ":" + std::to_string(it->second.line),
+             "conflict:" + ml.name);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string baseline_key(const Diagnostic& d) {
+  return d.check + "|" + d.file + "|" + d.function + "|" + d.detail;
+}
+
+std::vector<Diagnostic> run_checks(const std::vector<FileModel>& files,
+                                   const Config& cfg) {
+  std::vector<Diagnostic> out;
+  const Index ix = build_index(files);
+  if (check_enabled(cfg, "hot-path")) check_hot_path(ix, cfg, out);
+  if (check_enabled(cfg, "wire-decode")) check_wire_decode(files, cfg, out);
+  if (check_enabled(cfg, "relaxed-atomics"))
+    check_relaxed_atomics(files, cfg, out);
+  if (check_enabled(cfg, "lock-order")) check_lock_order(files, ix, cfg, out);
+  if (check_enabled(cfg, "metrics-name")) check_metrics_name(files, cfg, out);
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+}  // namespace datlint

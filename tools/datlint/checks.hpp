@@ -1,0 +1,32 @@
+#pragma once
+
+// The five datlint checks, run over the whole set of analyzed files at once
+// (hot-path reachability and the lock graph are cross-file properties).
+
+#include <string>
+#include <vector>
+
+#include "config.hpp"
+#include "model.hpp"
+
+namespace datlint {
+
+struct Diagnostic {
+  std::string check;     // "hot-path" | "wire-decode" | "relaxed-atomics" |
+                         // "lock-order" | "metrics-name"
+  std::string file;      // as analyzed (relative when --root is given)
+  int line = 0;
+  std::string function;  // enclosing function, may be empty
+  std::string message;   // human-readable, includes the via-chain for hot-path
+  std::string detail;    // stable slug used as the baseline key component
+  bool suppressed = false;  // hit a `// datlint:allow(check)` comment
+};
+
+/// Baseline key: line numbers are deliberately excluded so the baseline
+/// survives unrelated edits to the same file.
+std::string baseline_key(const Diagnostic& d);
+
+std::vector<Diagnostic> run_checks(const std::vector<FileModel>& files,
+                                   const Config& cfg);
+
+}  // namespace datlint

@@ -1,0 +1,104 @@
+#include "config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace datlint {
+
+namespace {
+
+std::string trim(std::string s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.erase(0, 1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string unquote(std::string s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\''))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+}  // namespace
+
+bool suffix_match(const std::string& name, const std::string& suffix) {
+  if (suffix.empty()) return false;
+  if (name == suffix) return true;
+  if (name.size() > suffix.size() + 2 &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+      name.compare(name.size() - suffix.size() - 2, 2, "::") == 0) {
+    return true;
+  }
+  return false;
+}
+
+Config load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "datlint: cannot open config %s\n", path.c_str());
+    std::exit(2);
+  }
+  Config cfg;
+  std::string section;  // top-level key (check name or top-level list)
+  std::string subkey;   // second-level key inside a section
+
+  const auto store = [&](const std::string& raw) {
+    const std::string v = unquote(raw);
+    if (v.empty()) return;
+    if (section == "disabled-checks") {
+      cfg.disabled_checks.push_back(v);
+      return;
+    }
+    const std::string key = section + "." + subkey;
+    if (key == "hot-path.roots") cfg.hot_roots.push_back(v);
+    else if (key == "hot-path.banned-calls") cfg.hot_banned_calls.push_back(v);
+    else if (key == "hot-path.allowed-calls") cfg.hot_allowed_calls.push_back(v);
+    else if (key == "hot-path.log-gates") cfg.hot_log_gates.push_back(v);
+    else if (key == "wire-decode.paths") cfg.wire_paths.push_back(v);
+    else if (key == "wire-decode.bounded-helpers") cfg.wire_bounded_helpers.push_back(v);
+    else if (key == "relaxed-atomics.approved-paths") cfg.relaxed_approved_paths.push_back(v);
+    else if (key == "relaxed-atomics.approved-functions") cfg.relaxed_approved_functions.push_back(v);
+    else if (key == "lock-order.paths") cfg.lock_paths.push_back(v);
+    else if (key == "metrics-name.pattern") cfg.metrics_pattern = v;
+    else if (key == "metrics-name.collector-calls") cfg.metrics_collector_calls.push_back(v);
+    // unknown keys: ignored (forward compatibility)
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (trim(line).empty()) continue;
+
+    const std::size_t indent = line.find_first_not_of(' ');
+    const std::string body = trim(line);
+
+    if (body.rfind("-", 0) == 0) {
+      store(trim(body.substr(1)));
+      continue;
+    }
+    const std::size_t colon = body.find(':');
+    if (colon == std::string::npos) continue;
+    const std::string key = trim(body.substr(0, colon));
+    const std::string value = trim(body.substr(colon + 1));
+    if (indent == 0 || indent == std::string::npos) {
+      section = key;
+      subkey.clear();
+      if (!value.empty() && section == "metrics-name") {
+        cfg.metrics_pattern = unquote(value);
+      }
+    } else {
+      subkey = key;
+      if (!value.empty()) store(value);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace datlint

@@ -1,0 +1,58 @@
+#pragma once
+
+// datlint.yaml — configuration for the project-specific checks. The format
+// is a small YAML subset (two levels of nesting, string scalars and `- item`
+// lists) parsed by config.cpp so the tool stays dependency-free.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace datlint {
+
+struct Config {
+  /// hot-path: functions whose bodies (and everything they reach through the
+  /// static call graph) must stay free of allocation, mutex locks, and
+  /// blocking calls. Names are suffix-matched against qualified names.
+  std::vector<std::string> hot_roots;
+  /// Callee names banned inside hot functions beyond the built-in
+  /// allocation/lock set (blocking syscalls etc.).
+  std::vector<std::string> hot_banned_calls;
+  /// Callee names exempt even though they look like growth/alloc (e.g.
+  /// arena-pooled acquire/release).
+  std::vector<std::string> hot_allowed_calls;
+  /// Hot functions may call DAT_LOG_* only behind a cached level gate; an
+  /// identifier matching one of these prefixes within the preceding tokens
+  /// counts as the gate (`log_debug`, `log_warn`, ...).
+  std::vector<std::string> hot_log_gates;
+
+  /// wire-decode: directories whose span/pointer-consuming functions must
+  /// use the bounded helpers; helper functions themselves are exempt.
+  std::vector<std::string> wire_paths;
+  std::vector<std::string> wire_bounded_helpers;
+
+  /// relaxed-atomics: paths and functions where relaxed loads may steer
+  /// control flow (metrics/stat types, the log-level gate).
+  std::vector<std::string> relaxed_approved_paths;
+  std::vector<std::string> relaxed_approved_functions;
+
+  /// lock-order: directories included in the static lock graph.
+  std::vector<std::string> lock_paths;
+
+  /// metrics-name: grammar prefix + calls whose first literal argument is a
+  /// metric name contributed by a snapshot collector.
+  std::string metrics_pattern = "dat_[a-z0-9]+(_[a-z0-9]+)+";
+  std::vector<std::string> metrics_collector_calls;
+
+  /// Checks disabled wholesale (fixture configs enable one at a time).
+  std::vector<std::string> disabled_checks;
+};
+
+/// Parses the config file; exits with a message on I/O failure. Unknown
+/// keys are ignored (forward compatibility).
+Config load_config(const std::string& path);
+
+/// True if `name` ends with `suffix` at a `::` boundary (or equals it).
+bool suffix_match(const std::string& name, const std::string& suffix);
+
+}  // namespace datlint

@@ -1,0 +1,351 @@
+// datlint — project-specific static analysis for the DAT codebase.
+//
+// Checks (see tools/datlint/datlint.yaml and CONTRIBUTING.md):
+//   hot-path         no allocation / container growth / mutex locks /
+//                    blocking calls / ungated logging reachable from the
+//                    netio reactor's receive-send-timer bodies
+//   wire-decode      wire-byte-consuming functions go through the hardened
+//                    Message::try_decode / Reader helpers — no raw memcpy,
+//                    index arithmetic or reinterpret_cast on frame buffers
+//   relaxed-atomics  no memory_order_relaxed load steering control flow
+//                    outside the approved metrics/stat types
+//   lock-order       the static mutex-acquisition graph across src/netio,
+//                    src/net, src/obs stays cycle-free
+//   metrics-name     every registered instrument literal matches the
+//                    dat_<subsystem>_<name> grammar, one instrument kind
+//                    per name
+//
+// Findings are suppressed inline with `// datlint:allow(<check>): reason`
+// (same line or the line above) or recorded in the committed baseline
+// (tools/datlint/baseline.txt) for intentional exceptions. Exit status is
+// non-zero iff un-suppressed, un-baselined findings remain.
+//
+// Fixture mode (`--verify file...`) mirrors clang's -verify: fixtures carry
+// `// expect-diagnostic(<check>): <substring>` comments (or
+// `// expect-clean`), and the tool fails on any mismatch in either
+// direction. See tests/datlint/.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "config.hpp"
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::string baseline_path;
+  std::string root;
+  bool write_baseline = false;
+  bool verify = false;
+  bool verbose = false;
+  std::vector<std::string> paths;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: datlint [--config datlint.yaml] [--baseline baseline.txt]\n"
+      "               [--root DIR] [--write-baseline] [--verify]\n"
+      "               [--verbose] path...\n"
+      "\n"
+      "Paths may be files or directories (recursed for .cpp/.hpp/.cc/.h).\n"
+      "--verify runs fixture mode: expectations come from\n"
+      "  // expect-diagnostic(<check>): <substring>   and\n"
+      "  // expect-clean\n"
+      "comments inside the given files.\n");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "datlint: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx" || ext == ".hh";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths) {
+  std::vector<std::string> out;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && is_source_file(it->path())) {
+          out.push_back(it->path().string());
+        }
+      }
+    } else {
+      out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Makes `path` relative to `root` when it lies underneath it, so baseline
+/// keys and diagnostics are machine-independent.
+std::string relativize(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec || rel.empty()) return path;
+  const std::string s = rel.string();
+  if (s.rfind("..", 0) == 0) return path;
+  return s;
+}
+
+// ------------------------------------------------------------- baseline ----
+
+std::set<std::string> load_baseline(const std::string& path) {
+  std::set<std::string> keys;
+  std::ifstream in(path);
+  if (!in) return keys;  // a missing baseline means "no exceptions"
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.insert(line);
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------- verify mode ----
+
+struct Expectation {
+  std::string check;
+  std::string substring;
+  std::string file;
+  int line = 0;
+  bool matched = false;
+};
+
+void parse_expectations(const datlint::FileModel& fm,
+                        std::vector<Expectation>& expectations,
+                        std::set<std::string>& clean_files) {
+  for (const datlint::Comment& cm : fm.lexed.comments) {
+    if (cm.text.find("expect-clean") != std::string::npos) {
+      clean_files.insert(fm.lexed.path);
+    }
+    std::size_t pos = 0;
+    while ((pos = cm.text.find("expect-diagnostic(", pos)) !=
+           std::string::npos) {
+      const std::size_t open = pos + std::strlen("expect-diagnostic(");
+      const std::size_t close = cm.text.find(')', open);
+      if (close == std::string::npos) break;
+      Expectation e;
+      e.check = cm.text.substr(open, close - open);
+      std::size_t after = close + 1;
+      if (after < cm.text.size() && cm.text[after] == ':') {
+        ++after;
+        while (after < cm.text.size() && cm.text[after] == ' ') ++after;
+        e.substring = cm.text.substr(after);
+        while (!e.substring.empty() &&
+               (e.substring.back() == ' ' || e.substring.back() == '\r')) {
+          e.substring.pop_back();
+        }
+      }
+      e.file = fm.lexed.path;
+      e.line = cm.line;
+      expectations.push_back(std::move(e));
+      pos = close;
+    }
+  }
+}
+
+int run_verify(const std::vector<datlint::FileModel>& models,
+               std::vector<datlint::Diagnostic> diags) {
+  std::vector<Expectation> expectations;
+  std::set<std::string> clean_files;
+  for (const auto& fm : models) {
+    parse_expectations(fm, expectations, clean_files);
+  }
+
+  int failures = 0;
+
+  // Active (un-suppressed) findings must each match one expectation.
+  for (const datlint::Diagnostic& d : diags) {
+    if (d.suppressed) continue;
+    bool matched = false;
+    for (Expectation& e : expectations) {
+      if (e.matched || e.check != d.check || e.file != d.file) continue;
+      if (!e.substring.empty() &&
+          d.message.find(e.substring) == std::string::npos) {
+        continue;
+      }
+      e.matched = true;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      if (clean_files.count(d.file) > 0) {
+        std::fprintf(stderr,
+                     "verify: %s:%d: unexpected diagnostic in expect-clean "
+                     "file: [%s] %s\n",
+                     d.file.c_str(), d.line, d.check.c_str(),
+                     d.message.c_str());
+      } else {
+        std::fprintf(stderr, "verify: %s:%d: unexpected diagnostic: [%s] %s\n",
+                     d.file.c_str(), d.line, d.check.c_str(),
+                     d.message.c_str());
+      }
+      ++failures;
+    }
+  }
+  for (const Expectation& e : expectations) {
+    if (!e.matched) {
+      std::fprintf(stderr,
+                   "verify: %s:%d: expected diagnostic never emitted: "
+                   "[%s] ...%s...\n",
+                   e.file.c_str(), e.line, e.check.c_str(),
+                   e.substring.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("datlint --verify: %zu expectation(s) satisfied, no "
+                "unexpected diagnostics\n",
+                expectations.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "datlint: %s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--config") opt.config_path = need_value("--config");
+    else if (a == "--baseline") opt.baseline_path = need_value("--baseline");
+    else if (a == "--root") opt.root = need_value("--root");
+    else if (a == "--write-baseline") opt.write_baseline = true;
+    else if (a == "--verify") opt.verify = true;
+    else if (a == "--verbose") opt.verbose = true;
+    else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "datlint: unknown flag %s\n", a.c_str());
+      usage();
+      return 2;
+    } else {
+      opt.paths.push_back(a);
+    }
+  }
+  if (opt.paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  datlint::Config cfg;
+  if (!opt.config_path.empty()) cfg = datlint::load_config(opt.config_path);
+
+  const std::vector<std::string> files = collect_files(opt.paths);
+  if (files.empty()) {
+    std::fprintf(stderr, "datlint: no source files found\n");
+    return 2;
+  }
+
+  std::vector<datlint::FileModel> models;
+  models.reserve(files.size());
+  for (const std::string& f : files) {
+    datlint::LexedFile lexed =
+        datlint::lex_file(relativize(f, opt.root), read_file(f));
+    models.push_back(
+        datlint::build_model(std::move(lexed), cfg.metrics_collector_calls));
+  }
+
+  std::vector<datlint::Diagnostic> diags = datlint::run_checks(models, cfg);
+
+  if (opt.verify) return run_verify(models, std::move(diags));
+
+  if (opt.write_baseline) {
+    if (opt.baseline_path.empty()) {
+      std::fprintf(stderr, "datlint: --write-baseline requires --baseline\n");
+      return 2;
+    }
+    std::ofstream out(opt.baseline_path);
+    out << "# datlint baseline — intentional exceptions, one key per line:\n"
+           "#   check|file|function|detail\n"
+           "# Regenerate with:  datlint --config ... --baseline this-file "
+           "--write-baseline <paths>\n"
+           "# Prefer inline `// datlint:allow(check): reason` for new code; "
+           "baseline entries\n"
+           "# are for pre-existing, reviewed exceptions.\n";
+    std::set<std::string> keys;
+    for (const datlint::Diagnostic& d : diags) {
+      if (!d.suppressed) keys.insert(datlint::baseline_key(d));
+    }
+    for (const std::string& k : keys) out << k << "\n";
+    std::printf("datlint: wrote %zu baseline entr%s to %s\n", keys.size(),
+                keys.size() == 1 ? "y" : "ies", opt.baseline_path.c_str());
+    return 0;
+  }
+
+  const std::set<std::string> baseline = load_baseline(opt.baseline_path);
+  std::size_t active = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  for (const datlint::Diagnostic& d : diags) {
+    if (d.suppressed) {
+      ++suppressed;
+      if (opt.verbose) {
+        std::printf("%s:%d: suppressed [%s] %s\n", d.file.c_str(), d.line,
+                    d.check.c_str(), d.message.c_str());
+      }
+      continue;
+    }
+    if (baseline.count(datlint::baseline_key(d)) > 0) {
+      ++baselined;
+      if (opt.verbose) {
+        std::printf("%s:%d: baselined [%s] %s\n", d.file.c_str(), d.line,
+                    d.check.c_str(), d.message.c_str());
+      }
+      continue;
+    }
+    ++active;
+    std::printf("%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                d.check.c_str(), d.message.c_str());
+    if (opt.verbose) {
+      std::printf("    baseline key: %s\n",
+                  datlint::baseline_key(d).c_str());
+    }
+  }
+
+  std::printf(
+      "datlint: %zu file(s), %zu finding(s): %zu active, %zu baselined, "
+      "%zu suppressed\n",
+      files.size(), diags.size(), active, baselined, suppressed);
+  return active == 0 ? 0 : 1;
+}

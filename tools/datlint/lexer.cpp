@@ -1,0 +1,221 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace datlint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators that checks care about being fused. Longest
+/// match first within each leading character.
+bool fuse_punct(const std::string& src, std::size_t i, std::string& out) {
+  const auto starts = [&](const char* p) {
+    return src.compare(i, std::char_traits<char>::length(p), p) == 0;
+  };
+  static const char* kThree[] = {"<=>", "->*", "...", "<<=", ">>="};
+  static const char* kTwo[] = {"::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+                               "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+                               "%=", "&=", "|=", "^=", ".*"};
+  for (const char* p : kThree) {
+    if (starts(p)) {
+      out = p;
+      return true;
+    }
+  }
+  for (const char* p : kTwo) {
+    if (starts(p)) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LexedFile lex_file(const std::string& path, const std::string& source) {
+  LexedFile out;
+  out.path = path;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  const auto push = [&](TokenKind kind, std::string text, int tline,
+                        int tcol) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = tline;
+    t.col = tcol;
+    out.tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    const int tline = line;
+    const int tcol = col;
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && source[j] != '\n') ++j;
+      Comment cm;
+      cm.text = source.substr(i + 2, j - (i + 2));
+      cm.line = tline;
+      cm.end_line = tline;
+      out.comments.push_back(std::move(cm));
+      advance(j - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(source[j] == '*' && source[j + 1] == '/')) ++j;
+      const std::size_t close = (j + 1 < n) ? j + 2 : n;
+      Comment cm;
+      cm.text = source.substr(i + 2, j - (i + 2));
+      cm.line = tline;
+      advance(close - i);
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+
+    // Preprocessor directive: skip to end of line, honouring continuations.
+    // Only when '#' opens a line (modulo whitespace) — otherwise it is a
+    // stray punctuator.
+    if (c == '#' && (out.tokens.empty() || col == 1 ||
+                     source.find_last_not_of(" \t", i - 1) == std::string::npos ||
+                     source[source.find_last_not_of(" \t", i - 1)] == '\n')) {
+      std::size_t j = i;
+      while (j < n) {
+        if (source[j] == '\n') {
+          // Continuation?
+          std::size_t back = j;
+          while (back > i && (source[back - 1] == '\r')) --back;
+          if (back > i && source[back - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      advance(j - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && delim.size() < 16) {
+        delim.push_back(source[j]);
+        ++j;
+      }
+      if (j < n && source[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t body_start = j + 1;
+        const std::size_t end = source.find(closer, body_start);
+        const std::size_t body_end = (end == std::string::npos) ? n : end;
+        push(TokenKind::kString,
+             source.substr(body_start, body_end - body_start), tline, tcol);
+        const std::size_t after =
+            (end == std::string::npos) ? n : end + closer.size();
+        advance(after - i);
+        continue;
+      }
+      // Not actually a raw string ("R" identifier handled below).
+    }
+
+    // String / char literal (with escapes).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::string text;
+      std::size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) {
+          text.push_back(source[j]);
+          text.push_back(source[j + 1]);
+          j += 2;
+        } else if (source[j] == '\n') {
+          break;  // unterminated; close at end of line
+        } else {
+          text.push_back(source[j]);
+          ++j;
+        }
+      }
+      const std::size_t after = (j < n && source[j] == quote) ? j + 1 : j;
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+           std::move(text), tline, tcol);
+      advance(after - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(source[j])) ++j;
+      push(TokenKind::kIdentifier, source.substr(i, j - i), tline, tcol);
+      advance(j - i);
+      continue;
+    }
+
+    // Number (decimal, hex, binary, floats, digit separators, suffixes).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t j = i + 1;
+      while (j < n && (is_ident_char(source[j]) || source[j] == '.' ||
+                       source[j] == '\'' ||
+                       ((source[j] == '+' || source[j] == '-') &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                         source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(TokenKind::kNumber, source.substr(i, j - i), tline, tcol);
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuator.
+    std::string fused;
+    if (fuse_punct(source, i, fused)) {
+      push(TokenKind::kPunct, fused, tline, tcol);
+      advance(fused.size());
+    } else {
+      push(TokenKind::kPunct, std::string(1, c), tline, tcol);
+      advance(1);
+    }
+  }
+
+  return out;
+}
+
+}  // namespace datlint

@@ -1,0 +1,55 @@
+#pragma once
+
+// datlint — project-specific static analysis for the DAT codebase.
+//
+// This header defines the token model produced by the built-in C++ lexer.
+// datlint is structured like a Clang LibTooling tool (a token/AST-lite model,
+// matcher-style checks, -verify fixture mode), but carries its own lexer so
+// the analysis runs on any build machine: the container toolchain ships LLVM
+// without the clang development headers, and datlint must not require
+// anything that is not already installed (see tools/datlint/CMakeLists.txt,
+// which upgrades to a real LibTooling build when a Clang package is found).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace datlint {
+
+enum class TokenKind {
+  kIdentifier,   // identifiers and keywords (checks match on spelling)
+  kNumber,       // integer / floating literals, including suffixes
+  kString,       // "..." / R"(...)" — text holds the *contents*, unescaped-ish
+  kChar,         // '...'
+  kPunct,        // one operator/punctuator per token ("::" and "->" fused)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;   // spelling (string tokens: the literal's contents)
+  int line = 0;       // 1-based
+  int col = 0;        // 1-based
+};
+
+/// One `//` or `/* */` comment, kept out of the token stream but retained so
+/// checks can find `datlint:allow(...)` suppressions and fixture
+/// `expect-diagnostic(...)` annotations.
+struct Comment {
+  std::string text;
+  int line = 0;       // line the comment starts on
+  int end_line = 0;   // last line the comment covers (block comments span)
+};
+
+struct LexedFile {
+  std::string path;           // as given on the command line
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes C++ source. Preprocessor directives are skipped to end of line
+/// (continuations honoured) — datlint analyses one configuration, the same
+/// posture as running clang-tidy on a single compile command. Never throws
+/// on malformed input; unterminated constructs are closed at end of file.
+LexedFile lex_file(const std::string& path, const std::string& source);
+
+}  // namespace datlint

@@ -1,0 +1,593 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace datlint {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "for",     "while",    "switch",        "return",
+      "sizeof",   "alignof", "decltype", "static_assert", "catch",
+      "noexcept", "assert",  "defined",  "throw",         "co_return",
+      "co_await", "co_yield"};
+  return kw;
+}
+
+bool is_decl_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "const",   "constexpr", "consteval", "constinit", "static", "inline",
+      "virtual", "explicit",  "friend",    "typename",  "class",  "struct",
+      "union",   "unsigned",  "signed",    "long",      "short",  "auto",
+      "void",    "bool",      "char",      "int",       "float",  "double",
+      "mutable", "volatile",  "extern",    "register",  "thread_local"};
+  return kw.count(s) > 0;
+}
+
+struct Matcher {
+  std::vector<std::size_t> match;  // match[i] = index of partner, or npos
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit Matcher(const std::vector<Token>& toks)
+      : match(toks.size(), npos) {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kPunct) continue;
+      const std::string& t = toks[i].text;
+      if (t == "(" || t == "{" || t == "[") {
+        stack.push_back(i);
+      } else if (t == ")" || t == "}" || t == "]") {
+        // Pop to the nearest opener of the matching shape; tolerate
+        // imbalance from macro tricks by discarding mismatched openers.
+        const char want = (t == ")") ? '(' : (t == "}") ? '{' : '[';
+        while (!stack.empty() && toks[stack.back()].text[0] != want) {
+          stack.pop_back();
+        }
+        if (!stack.empty()) {
+          match[stack.back()] = i;
+          match[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+};
+
+/// Collects the textual qualifier chain ending just before token `ti`
+/// (exclusive): e.g. for `t.outq_.push_back(` with ti at `push_back`,
+/// returns "t.outq_".
+std::string qualifier_chain(const std::vector<Token>& toks, std::size_t ti) {
+  if (ti == 0) return {};
+  std::size_t i = ti - 1;
+  const auto is_link = [&](std::size_t k) {
+    return toks[k].kind == TokenKind::kPunct &&
+           (toks[k].text == "." || toks[k].text == "->" ||
+            toks[k].text == "::");
+  };
+  if (!is_link(i)) return {};
+  // Collect (link, ident) pairs right-to-left; parts.front() is the link
+  // that joins the chain to the callee and is dropped from the result.
+  std::vector<std::string> parts;
+  while (true) {
+    if (!is_link(i)) break;
+    const std::string link = toks[i].text;
+    if (i == 0) break;
+    --i;
+    if (toks[i].kind == TokenKind::kIdentifier) {
+      parts.push_back(link);
+      parts.push_back(toks[i].text);
+      if (i == 0) break;
+      --i;
+    } else if (toks[i].kind == TokenKind::kPunct &&
+               (toks[i].text == ")" || toks[i].text == "]")) {
+      // A call/index result as receiver: keep it opaque.
+      parts.push_back(link);
+      parts.push_back("()");
+      break;
+    } else {
+      break;
+    }
+  }
+  if (parts.empty()) return {};
+  std::string out;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) out += *it;
+  // Drop the trailing link ('.', '->', '::') before the callee.
+  out.resize(out.size() - parts.front().size());
+  return out;
+}
+
+/// Last identifier of a token range — used to name a parameter.
+std::string last_identifier(const std::vector<Token>& toks, std::size_t b,
+                            std::size_t e) {
+  std::string name;
+  for (std::size_t i = b; i < e; ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier) name = toks[i].text;
+    if (toks[i].kind == TokenKind::kPunct && toks[i].text == "=") break;
+  }
+  return name;
+}
+
+bool range_contains(const std::vector<Token>& toks, std::size_t b,
+                    std::size_t e, const char* word) {
+  for (std::size_t i = b; i < e; ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier && toks[i].text == word) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FileModel build_model(LexedFile lexed,
+                      const std::vector<std::string>& collector_calls) {
+  FileModel model;
+  model.lexed = std::move(lexed);
+  const std::vector<Token>& toks = model.lexed.tokens;
+  const Matcher m(toks);
+  const std::size_t n = toks.size();
+
+  // ---- suppressions -------------------------------------------------------
+  for (const Comment& cm : model.lexed.comments) {
+    std::size_t pos = 0;
+    while ((pos = cm.text.find("datlint:", pos)) != std::string::npos) {
+      std::size_t p = pos + 8;
+      while (p < cm.text.size() && cm.text[p] == ' ') ++p;
+      if (cm.text.compare(p, 3, "hot") == 0 &&
+          (p + 3 == cm.text.size() || !std::isalnum(static_cast<unsigned char>(
+                                          cm.text[p + 3])))) {
+        // `// datlint:hot` annotates the next function definition as a
+        // hot-path root (covers the declarator up to two lines below).
+        for (int l = cm.line; l <= cm.end_line + 2; ++l) {
+          model.allow_lines["__hot__"].insert(l);
+        }
+        pos = p + 3;
+        continue;
+      }
+      if (cm.text.compare(p, 6, "allow(") != 0) {
+        ++pos;
+        continue;
+      }
+      p += 6;
+      const std::size_t close = cm.text.find(')', p);
+      if (close == std::string::npos) break;
+      std::string list = cm.text.substr(p, close - p);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        std::string check = list.substr(start, comma - start);
+        // trim
+        while (!check.empty() && check.front() == ' ') check.erase(0, 1);
+        while (!check.empty() && check.back() == ' ') check.pop_back();
+        if (!check.empty()) {
+          for (int l = cm.line; l <= cm.end_line + 1; ++l) {
+            model.allow_lines[check].insert(l);
+          }
+        }
+        start = comma + 1;
+      }
+      pos = close;
+    }
+  }
+
+  // ---- function definitions ----------------------------------------------
+  // Scope stack of namespace / class names; only pushed while walking at
+  // declaration scope (function bodies are skipped wholesale below).
+  struct Scope {
+    std::string name;      // may be empty (anonymous namespace)
+    std::size_t close;     // token index of the matching '}'
+  };
+  std::vector<Scope> scopes;
+
+  const auto scope_prefix = [&]() {
+    std::string p;
+    for (const Scope& s : scopes) {
+      if (s.name.empty()) continue;
+      p += s.name;
+      p += "::";
+    }
+    return p;
+  };
+
+  const auto scan_body = [&](FunctionInfo& fn) {
+    const std::size_t b = fn.body_begin;
+    const std::size_t e = fn.body_end;
+    int depth = 0;
+    for (std::size_t i = b; i < e && i < n; ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{") ++depth;
+        if (t.text == "}") --depth;
+        continue;
+      }
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // `new` expressions.
+      if (t.text == "new") {
+        CallSite c;
+        c.callee = "new";
+        c.token_index = i;
+        c.line = t.line;
+        fn.calls.push_back(std::move(c));
+        continue;
+      }
+
+      // Lock guard declarations: lock_guard/unique_lock/scoped_lock <...>
+      // var(expr).
+      if (t.text == "lock_guard" || t.text == "unique_lock" ||
+          t.text == "scoped_lock") {
+        std::size_t j = i + 1;
+        if (j < n && toks[j].kind == TokenKind::kPunct &&
+            toks[j].text == "<") {
+          int angle = 1;
+          ++j;
+          while (j < n && angle > 0) {
+            if (toks[j].kind == TokenKind::kPunct) {
+              if (toks[j].text == "<") ++angle;
+              if (toks[j].text == ">") --angle;
+              if (toks[j].text == ">>") angle -= 2;
+            }
+            ++j;
+          }
+        }
+        // variable name, then parenthesized or braced operand(s)
+        if (j < n && toks[j].kind == TokenKind::kIdentifier) ++j;
+        if (j < n && toks[j].kind == TokenKind::kPunct &&
+            (toks[j].text == "(" || toks[j].text == "{") &&
+            m.match[j] != Matcher::npos) {
+          const std::size_t close = m.match[j];
+          std::size_t arg_start = j + 1;
+          int inner = 0;
+          for (std::size_t k = j + 1; k <= close; ++k) {
+            const bool at_end = (k == close);
+            const bool top_comma = !at_end && inner == 0 &&
+                                   toks[k].kind == TokenKind::kPunct &&
+                                   toks[k].text == ",";
+            if (!at_end && !top_comma) {
+              if (toks[k].kind == TokenKind::kPunct) {
+                if (toks[k].text == "(" || toks[k].text == "[") ++inner;
+                if (toks[k].text == ")" || toks[k].text == "]") --inner;
+              }
+              continue;
+            }
+            std::string expr;
+            for (std::size_t q = arg_start; q < k; ++q) expr += toks[q].text;
+            if (!expr.empty()) {
+              LockAcquisition a;
+              a.lock_expr = expr;
+              a.token_index = i;
+              a.line = t.line;
+              a.brace_depth = depth;
+              fn.locks.push_back(std::move(a));
+            }
+            arg_start = k + 1;
+          }
+        }
+        continue;
+      }
+
+      // Call sites.
+      if (i + 1 < n && toks[i + 1].kind == TokenKind::kPunct &&
+          toks[i + 1].text == "(") {
+        if (control_keywords().count(t.text) > 0 || is_decl_keyword(t.text)) {
+          continue;
+        }
+        CallSite c;
+        c.callee = t.text;
+        c.qualifier = qualifier_chain(toks, i);
+        c.token_index = i;
+        c.line = t.line;
+        c.member_call = i > 0 && toks[i - 1].kind == TokenKind::kPunct &&
+                        (toks[i - 1].text == "." || toks[i - 1].text == "->");
+
+        // Explicit .lock() on something mutex-like.
+        if (c.callee == "lock" && !c.qualifier.empty()) {
+          LockAcquisition a;
+          a.lock_expr = c.qualifier;
+          a.token_index = i;
+          a.line = t.line;
+          a.brace_depth = depth;
+          fn.locks.push_back(std::move(a));
+        }
+
+        // Metric instrument registrations with a literal name.
+        const bool is_instrument = c.callee == "counter" ||
+                                   c.callee == "gauge" ||
+                                   c.callee == "histogram";
+        const bool is_collector =
+            std::find(collector_calls.begin(), collector_calls.end(),
+                      c.callee) != collector_calls.end();
+        if ((is_instrument || is_collector) && i + 2 < n &&
+            toks[i + 2].kind == TokenKind::kString) {
+          const std::string& lit = toks[i + 2].text;
+          if (is_instrument || lit.rfind("dat_", 0) == 0) {
+            MetricLiteral ml;
+            ml.name = lit;
+            ml.instrument = is_instrument ? c.callee : "collector";
+            ml.line = toks[i + 2].line;
+            model.metric_literals.push_back(std::move(ml));
+          }
+        }
+
+        fn.calls.push_back(std::move(c));
+        continue;
+      }
+
+      // `sample.name = "dat_..."` style collector names.
+      if (t.text == "name" && i + 2 < n &&
+          toks[i + 1].kind == TokenKind::kPunct && toks[i + 1].text == "=" &&
+          toks[i + 2].kind == TokenKind::kString &&
+          toks[i + 2].text.rfind("dat_", 0) == 0) {
+        MetricLiteral ml;
+        ml.name = toks[i + 2].text;
+        ml.instrument = "collector";
+        ml.line = toks[i + 2].line;
+        model.metric_literals.push_back(std::move(ml));
+      }
+    }
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    const Token& t = toks[i];
+
+    if (t.kind == TokenKind::kPunct && t.text == "}") {
+      while (!scopes.empty() && scopes.back().close <= i) scopes.pop_back();
+      ++i;
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier && t.text == "namespace" &&
+        (i == 0 || toks[i - 1].text != "using")) {
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < n && (toks[j].kind == TokenKind::kIdentifier ||
+                       toks[j].text == "::")) {
+        name += toks[j].text;
+        ++j;
+      }
+      if (j < n && toks[j].kind == TokenKind::kPunct && toks[j].text == "{" &&
+          m.match[j] != Matcher::npos) {
+        scopes.push_back({name, m.match[j]});
+        i = j + 1;
+        continue;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier &&
+        (t.text == "class" || t.text == "struct") &&
+        (i == 0 || toks[i - 1].text != "enum")) {
+      // Find the body '{' or a terminating ';' (forward declaration).
+      std::size_t j = i + 1;
+      std::string name;
+      while (j < n) {
+        if (toks[j].kind == TokenKind::kPunct &&
+            (toks[j].text == "{" || toks[j].text == ";")) {
+          break;
+        }
+        if (name.empty() && toks[j].kind == TokenKind::kIdentifier &&
+            toks[j].text != "final" && toks[j].text != "alignas") {
+          name = toks[j].text;
+        }
+        ++j;
+      }
+      if (j < n && toks[j].text == "{" && m.match[j] != Matcher::npos) {
+        scopes.push_back({name, m.match[j]});
+        i = j + 1;
+        continue;
+      }
+      i = j + 1;
+      continue;
+    }
+
+    if (t.kind == TokenKind::kIdentifier && t.text == "enum") {
+      std::size_t j = i + 1;
+      while (j < n && toks[j].text != "{" && toks[j].text != ";") ++j;
+      if (j < n && toks[j].text == "{" && m.match[j] != Matcher::npos) {
+        i = m.match[j] + 1;
+      } else {
+        i = j + 1;
+      }
+      continue;
+    }
+
+    // Candidate function definition: declarator chain ending in ident '('.
+    if (t.kind == TokenKind::kPunct && t.text == "(" &&
+        m.match[i] != Matcher::npos && i > 0) {
+      // Collect the declarator chain leftwards: ident (:: ident)* / ~ident /
+      // operator<punct>.
+      std::vector<std::string> chain;
+      std::size_t k = i - 1;
+      bool valid = false;
+      if (toks[k].kind == TokenKind::kIdentifier) {
+        valid = control_keywords().count(toks[k].text) == 0 &&
+                !is_decl_keyword(toks[k].text);
+      } else if (toks[k].kind == TokenKind::kPunct && k > 0 &&
+                 toks[k - 1].kind == TokenKind::kIdentifier &&
+                 toks[k - 1].text == "operator") {
+        valid = true;
+      }
+      if (valid) {
+        // Build the qualified declarator name.
+        std::string declarator;
+        if (toks[k].kind == TokenKind::kPunct) {
+          declarator = "operator" + toks[k].text;
+          k = (k >= 1) ? k - 1 : 0;
+          if (k > 0) --k;  // move before 'operator'
+        } else {
+          declarator = toks[k].text;
+          while (k >= 2 && toks[k - 1].kind == TokenKind::kPunct &&
+                 toks[k - 1].text == "::" &&
+                 toks[k - 2].kind == TokenKind::kIdentifier) {
+            declarator = toks[k - 2].text + "::" + declarator;
+            k -= 2;
+          }
+          if (k >= 1 && toks[k - 1].kind == TokenKind::kPunct &&
+              toks[k - 1].text == "~") {
+            declarator = "~" + declarator;
+          }
+        }
+
+        // Scan after the parameter list for the body.
+        const std::size_t params_close = m.match[i];
+        std::size_t j = params_close + 1;
+        bool is_definition = false;
+        std::size_t body = 0;
+        int angle = 0;
+        while (j < n) {
+          const Token& u = toks[j];
+          if (u.kind == TokenKind::kPunct) {
+            if (u.text == "<") ++angle;
+            if (u.text == ">") angle = std::max(0, angle - 1);
+            if (u.text == ";" || u.text == "=" || u.text == ",") break;
+            if (u.text == "{" && angle == 0) {
+              is_definition = true;
+              body = j;
+              break;
+            }
+            if (u.text == "(" && m.match[j] != Matcher::npos) {
+              j = m.match[j] + 1;  // noexcept(...), attribute args
+              continue;
+            }
+            if (u.text == ":") {
+              // Constructor init list: items `name (args)` / `name {args}`
+              // separated by commas; the body '{' follows the last item.
+              ++j;
+              bool found = false;
+              while (j < n) {
+                // skip to the item's '(' or '{'
+                while (j < n && toks[j].text != "(" && toks[j].text != "{" &&
+                       toks[j].text != ";") {
+                  ++j;
+                }
+                if (j >= n || toks[j].text == ";") break;
+                if (toks[j].text == "{") {
+                  // Either a brace-init item or the body. An item's '}' is
+                  // followed by ',' or '{'; the body's is not preceded by an
+                  // identifier... disambiguate via the previous token: a
+                  // brace-init follows an identifier or '>'.
+                  const Token& prev = toks[j - 1];
+                  const bool brace_init =
+                      prev.kind == TokenKind::kIdentifier ||
+                      prev.text == ">";
+                  if (!brace_init) {
+                    found = true;
+                    body = j;
+                    break;
+                  }
+                }
+                if (m.match[j] == Matcher::npos) break;
+                j = m.match[j] + 1;
+                if (j < n && toks[j].text == ",") {
+                  ++j;
+                  continue;
+                }
+                if (j < n && toks[j].text == "{") {
+                  found = true;
+                  body = j;
+                }
+                break;
+              }
+              is_definition = found;
+              break;
+            }
+            ++j;
+            continue;
+          }
+          // identifiers: const, noexcept, override, final, trailing types
+          ++j;
+        }
+
+        if (is_definition && body != 0 && m.match[body] != Matcher::npos) {
+          FunctionInfo fn;
+          fn.qualified_name = scope_prefix() + declarator;
+          const std::size_t sep = declarator.rfind("::");
+          fn.simple_name = (sep == std::string::npos)
+                               ? declarator
+                               : declarator.substr(sep + 2);
+          fn.file = model.lexed.path;
+          fn.line = t.line;
+          fn.params_begin = i;
+          fn.params_end = params_close + 1;
+          fn.body_begin = body;
+          fn.body_end = m.match[body];
+
+          // Wire-byte parameters: std::span<const std::uint8_t> or
+          // `const std::uint8_t*` / `const char*` buffers.
+          std::size_t arg_start = i + 1;
+          int inner = 0;
+          for (std::size_t q = i + 1; q <= params_close; ++q) {
+            const bool at_end = (q == params_close);
+            const bool top_comma = !at_end && inner == 0 &&
+                                   toks[q].kind == TokenKind::kPunct &&
+                                   toks[q].text == ",";
+            if (!at_end && !top_comma) {
+              if (toks[q].kind == TokenKind::kPunct) {
+                if (toks[q].text == "(" || toks[q].text == "[" ||
+                    toks[q].text == "<") {
+                  ++inner;
+                }
+                if (toks[q].text == ")" || toks[q].text == "]" ||
+                    toks[q].text == ">") {
+                  --inner;
+                }
+              }
+              continue;
+            }
+            const bool span_bytes =
+                range_contains(toks, arg_start, q, "span") &&
+                (range_contains(toks, arg_start, q, "uint8_t") ||
+                 range_contains(toks, arg_start, q, "byte"));
+            bool ptr_bytes = false;
+            if (!span_bytes &&
+                (range_contains(toks, arg_start, q, "uint8_t") ||
+                 range_contains(toks, arg_start, q, "char"))) {
+              for (std::size_t w = arg_start; w < q; ++w) {
+                if (toks[w].kind == TokenKind::kPunct &&
+                    toks[w].text == "*") {
+                  ptr_bytes = range_contains(toks, arg_start, q, "const");
+                  break;
+                }
+              }
+            }
+            if (span_bytes || ptr_bytes) {
+              const std::string pname = last_identifier(toks, arg_start, q);
+              if (!pname.empty()) {
+                fn.has_wire_param = true;
+                fn.wire_params.push_back(pname);
+              }
+            }
+            arg_start = q + 1;
+          }
+
+          scan_body(fn);
+          model.functions.push_back(std::move(fn));
+          i = m.match[body] + 1;
+          continue;
+        }
+      }
+    }
+
+    ++i;
+  }
+
+  return model;
+}
+
+const FunctionInfo* enclosing_function(const FileModel& model,
+                                       std::size_t ti) {
+  const FunctionInfo* best = nullptr;
+  for (const FunctionInfo& fn : model.functions) {
+    if (fn.body_begin <= ti && ti <= fn.body_end) {
+      if (best == nullptr || fn.body_begin > best->body_begin) best = &fn;
+    }
+  }
+  return best;
+}
+
+}  // namespace datlint

@@ -1,0 +1,85 @@
+#pragma once
+
+// datlint source model: an AST-lite view of one translation unit, built from
+// the token stream. It is deliberately coarser than a real Clang AST — the
+// checks only need (a) function definitions with qualified names and body
+// ranges, (b) call sites with receiver chains, (c) lock acquisitions, and
+// (d) string literals in instrument-registration position.
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace datlint {
+
+/// One call site inside a function body. `callee` is the unqualified name
+/// (`push_back`, `try_decode`); `qualifier` is the textual receiver /
+/// qualifier chain when present (`t.outq_`, `net::Message`, `arena_`).
+struct CallSite {
+  std::string callee;
+  std::string qualifier;
+  std::size_t token_index = 0;  // index of the callee token in file.tokens
+  int line = 0;
+  bool member_call = false;  // reached through `.` or `->` (not `::`)
+};
+
+/// One mutex acquisition: a lock_guard/unique_lock/scoped_lock declaration
+/// or an explicit `.lock()` call. `lock_expr` is the normalized operand
+/// (`tasks_mutex_`, `other.mutex_`); `lock_key` qualifies it with the
+/// enclosing class for cross-file identity (`Reactor::tasks_mutex_`).
+struct LockAcquisition {
+  std::string lock_expr;
+  std::string lock_key;
+  std::size_t token_index = 0;
+  int line = 0;
+  int brace_depth = 0;  // depth relative to the function body's open brace
+};
+
+/// A string literal registering (or naming) a metrics instrument.
+struct MetricLiteral {
+  std::string name;        // the literal's contents
+  std::string instrument;  // "counter" | "gauge" | "histogram" | "collector"
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string qualified_name;  // e.g. dat::netio::Reactor::drain_fd
+  std::string simple_name;     // last component
+  std::string file;
+  int line = 0;                // line of the declarator
+  std::size_t params_begin = 0;  // token range of the parameter list (...)
+  std::size_t params_end = 0;    // one past the closing paren
+  std::size_t body_begin = 0;    // index of '{'
+  std::size_t body_end = 0;      // index of matching '}'
+  std::vector<CallSite> calls;
+  std::vector<LockAcquisition> locks;
+  bool has_wire_param = false;   // a std::span<const uint8_t> / const uint8_t*
+  std::vector<std::string> wire_params;  // names of those parameters
+};
+
+struct FileModel {
+  LexedFile lexed;
+  std::vector<FunctionInfo> functions;
+  std::vector<MetricLiteral> metric_literals;
+  /// check name -> set of source lines carrying `datlint:allow(check)`.
+  /// A suppression on line L covers findings on L and L+1 (same-line and
+  /// preceding-line placement).
+  std::map<std::string, std::set<int>> allow_lines;
+};
+
+/// Builds the model for one lexed file. `collector_calls` lists extra call
+/// names whose first string-literal argument is treated as a metric name
+/// (e.g. the reactor's collector `add` helper), per datlint.yaml.
+FileModel build_model(LexedFile lexed,
+                      const std::vector<std::string>& collector_calls);
+
+/// The function (if any) whose body contains token index `ti`. Inner-most
+/// match wins (lambdas are part of their enclosing function).
+const FunctionInfo* enclosing_function(const FileModel& model,
+                                       std::size_t ti);
+
+}  // namespace datlint
