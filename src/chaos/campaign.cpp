@@ -21,6 +21,7 @@ const char* fault_kind_label(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kHeal: return "heal";
     case FaultKind::kVerify: return "verify";
+    case FaultKind::kRebalance: return "rebalance";
   }
   return "unknown";
 }
@@ -51,6 +52,23 @@ Campaign::Campaign(harness::SimCluster& cluster, ChaosPlan plan,
     keys_.push_back(cluster_.start_aggregate_everywhere(
         options_.aggregate + "#" + std::to_string(i), options_.kind,
         options_.scheme, local));
+  }
+  all_keys_ = keys_;
+  // The skewed workload: hot trees push at a fraction of the base period,
+  // concentrating update volume on a few keys (90/10 with the defaults of
+  // the rebalance-skew campaign). Registered cluster-wide like the
+  // replicas, so churned slots keep contributing to the skew.
+  if (options_.rebalance.hot_aggregates > 0) {
+    const std::uint64_t base_epoch_us =
+        cluster_.dat(probe_slot()).options().epoch_us;
+    const std::uint64_t hot_epoch_us = options_.rebalance.hot_epoch_us != 0
+                                           ? options_.rebalance.hot_epoch_us
+                                           : base_epoch_us / 10;
+    for (unsigned i = 0; i < options_.rebalance.hot_aggregates; ++i) {
+      all_keys_.push_back(cluster_.start_aggregate_everywhere(
+          options_.aggregate + "-hot#" + std::to_string(i), options_.kind,
+          options_.scheme, local, hot_epoch_us));
+    }
   }
 }
 
@@ -134,7 +152,65 @@ void Campaign::apply(const FaultEvent& event) {
     case FaultKind::kVerify:
       report_.phases.push_back(run_verify(event));
       break;
+    case FaultKind::kRebalance:
+      run_rebalance(event);
+      break;
   }
+}
+
+std::size_t Campaign::measured_max_branching() {
+  std::size_t max_children = 0;
+  for (std::size_t i = 0; i < cluster_.slot_count(); ++i) {
+    if (!cluster_.is_live(i)) continue;
+    for (const Id key : all_keys_) {
+      max_children = std::max(max_children, cluster_.dat(i).child_count(key));
+    }
+  }
+  return max_children;
+}
+
+void Campaign::run_rebalance(const FaultEvent& event) {
+  const std::uint64_t epoch_us =
+      cluster_.dat(probe_slot()).options().epoch_us;
+  if (!rebalancer_) {
+    lb_port_ = std::make_unique<lb::SimClusterPort>(cluster_);
+    lb::RebalancerOptions lb_options;
+    lb_options.policy = options_.rebalance.policy;
+    lb_options.epoch_us = epoch_us;
+    rebalancer_ = std::make_unique<lb::Rebalancer>(*lb_port_, all_keys_,
+                                                   lb_options, &metrics_);
+  }
+  lb_.ran = true;
+  lb_.epochs = 0;
+  lb_.initial_max_branching = measured_max_branching();
+  lb_.final_max_branching = lb_.initial_max_branching;
+  lb_.converged =
+      lb_.initial_max_branching <= options_.rebalance.slo_max_branching;
+  note("t=" + std::to_string(event.at_us / 1000) +
+       "ms rebalance start branching=" +
+       std::to_string(lb_.initial_max_branching) +
+       " slo=" + std::to_string(options_.rebalance.slo_max_branching));
+  // One measured round per epoch: measure -> decide -> apply, then run the
+  // cluster one push period so handoffs re-home and soft state expires
+  // before the next measurement.
+  while (!lb_.converged && lb_.epochs < options_.rebalance.slo_max_epochs) {
+    const lb::RoundReport round = rebalancer_->run_round();
+    lb_.migrations += round.migrations;
+    lb_.sheds += round.sheds;
+    cluster_.run_for(epoch_us);
+    ++lb_.epochs;
+    lb_.final_max_branching = measured_max_branching();
+    lb_.converged =
+        lb_.final_max_branching <= options_.rebalance.slo_max_branching;
+    note("t=" + std::to_string(event.at_us / 1000) + "ms rebalance epoch=" +
+         std::to_string(lb_.epochs) + " " + round.to_string() +
+         " -> branching=" + std::to_string(lb_.final_max_branching));
+  }
+  note("t=" + std::to_string(event.at_us / 1000) + "ms rebalance " +
+       (lb_.converged ? "converged" : "FAILED to converge") + " epochs=" +
+       std::to_string(lb_.epochs) +
+       " branching=" + std::to_string(lb_.final_max_branching));
+  lb_pending_report_ = true;
 }
 
 Campaign::Probe Campaign::probe_coverage() {
@@ -234,6 +310,24 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
   phase.query_ok = probe.roots_answered >= 1;
   phase.rpc = live_rpc_stats();
 
+  // A rebalance event ran since the previous verify: this phase carries its
+  // SLO verdict.
+  if (lb_pending_report_) {
+    lb_pending_report_ = false;
+    phase.rebalance_checked = true;
+    phase.rebalance_ok = lb_.converged;
+    phase.lb_epochs = lb_.epochs;
+    phase.lb_max_branching = lb_.final_max_branching;
+    if (!lb_.converged) {
+      report_.violations.push_back(
+          "phase " + std::to_string(phase.phase) +
+          ": rebalancer missed the branching SLO (" +
+          std::to_string(lb_.final_max_branching) + " > " +
+          std::to_string(options_.rebalance.slo_max_branching) + " after " +
+          std::to_string(lb_.epochs) + " epochs)");
+    }
+  }
+
   m_phases_->inc();
   if (!phase.ok()) m_phase_failures_->inc();
   m_recovery_epochs_->observe(phase.epochs_to_recover);
@@ -244,8 +338,12 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
       << " live=" << phase.live << " expected=" << phase.expected_coverage
       << " coverage=" << phase.observed_coverage
       << " epochs=" << phase.epochs_to_recover
-      << " roots=" << phase.roots_answered
-      << (phase.ok() ? " OK" : " FAIL");
+      << " roots=" << phase.roots_answered;
+  if (phase.rebalance_checked) {
+    oss << " lb_epochs=" << phase.lb_epochs
+        << " lb_branching=" << phase.lb_max_branching;
+  }
+  oss << (phase.ok() ? " OK" : " FAIL");
   note(oss.str());
   return phase;
 }

@@ -5,12 +5,34 @@
 #include <unordered_map>
 #include <vector>
 
+#include <memory>
+
 #include "chaos/plan.hpp"
 #include "harness/sim_cluster.hpp"
+#include "lb/ports.hpp"
+#include "lb/rebalancer.hpp"
 #include "net/rpc.hpp"
 #include "obs/metrics.hpp"
 
 namespace dat::chaos {
+
+/// Knobs of the kRebalance event: the SLO it drives towards and the skewed
+/// workload it is exercised under.
+struct RebalanceOptions {
+  /// Branching SLO: max fresh children of any tracked tree on any node.
+  std::size_t slo_max_branching = 4;
+  /// Epoch budget to reach the SLO after the rebalancer activates.
+  unsigned slo_max_epochs = 20;
+  /// Extra hot replica trees registered alongside the base replicas, pushed
+  /// at hot_epoch_us. With 2 hot trees at a 10x faster period next to 2
+  /// base trees, ~91% of update volume lands on the hot keys — the 90/10
+  /// skew of the headline campaign. 0 keeps the base replicas only.
+  unsigned hot_aggregates = 0;
+  /// Push period of the hot trees; 0 derives base epoch / 10.
+  std::uint64_t hot_epoch_us = 0;
+  /// Decision-policy knobs forwarded to lb::plan_rebalance.
+  lb::PolicyOptions policy{};
+};
 
 struct CampaignOptions {
   /// Base name of the campaign aggregate; replica tree i uses the key
@@ -35,6 +57,8 @@ struct CampaignOptions {
   /// Refresh d0 hints after membership changes (matches clusters built
   /// with inject_d0_hint; set false when exercising the estimator).
   bool refresh_hints = true;
+  /// Rebalancer SLO and workload skew, used by kRebalance events.
+  RebalanceOptions rebalance{};
 };
 
 /// Outcome of one verification phase (one kVerify event).
@@ -55,12 +79,20 @@ struct PhaseReport {
   bool invariants_ok = false;  ///< structural checks passed
   bool ring_checked = false;   ///< convergence awaited (no partition active)
   bool ring_converged = false;
+  /// This phase closes a rebalance event; the SLO outcome gates ok().
+  bool rebalance_checked = false;
+  bool rebalance_ok = false;
+  /// Epochs the rebalancer ran before meeting the SLO (or the full budget
+  /// when it never did), and the branching it ended at.
+  unsigned lb_epochs = 0;
+  std::size_t lb_max_branching = 0;
   /// Cumulative RPC counters summed over live nodes at phase end.
   net::RpcStats rpc;
 
   [[nodiscard]] bool ok() const {
     return coverage_ok && query_ok && invariants_ok &&
-           (!ring_checked || ring_converged);
+           (!ring_checked || ring_converged) &&
+           (!rebalance_checked || rebalance_ok);
   }
 };
 
@@ -100,6 +132,18 @@ class Campaign {
 
   [[nodiscard]] const std::vector<Id>& keys() const noexcept { return keys_; }
 
+  /// What the rebalancer did, if the plan had a kRebalance event.
+  struct LbSummary {
+    bool ran = false;
+    bool converged = false;  ///< branching SLO met within the epoch budget
+    unsigned epochs = 0;
+    std::size_t initial_max_branching = 0;
+    std::size_t final_max_branching = 0;
+    std::size_t migrations = 0;
+    std::size_t sheds = 0;
+  };
+  [[nodiscard]] const LbSummary& lb_summary() const noexcept { return lb_; }
+
   /// Campaign-level telemetry: fault counts by kind, phases run/failed,
   /// and per-phase recovery timing histograms (epochs to meet the
   /// coverage SLO, virtual-time duration of quiesce + recovery). Populated
@@ -114,6 +158,10 @@ class Campaign {
 
   void apply(const FaultEvent& event);
   PhaseReport run_verify(const FaultEvent& event);
+  void run_rebalance(const FaultEvent& event);
+  /// Max fresh child count over live slots x tracked keys (the branching
+  /// the SLO bounds).
+  [[nodiscard]] std::size_t measured_max_branching();
   [[nodiscard]] Probe probe_coverage();
   [[nodiscard]] std::size_t probe_slot() const;
   [[nodiscard]] net::RpcStats live_rpc_stats() const;
@@ -123,6 +171,13 @@ class Campaign {
   ChaosPlan plan_;
   CampaignOptions options_;
   std::vector<Id> keys_;
+  /// keys_ plus the hot skewed trees — the set the rebalancer tracks.
+  std::vector<Id> all_keys_;
+  std::unique_ptr<lb::SimClusterPort> lb_port_;
+  std::unique_ptr<lb::Rebalancer> rebalancer_;
+  LbSummary lb_;
+  /// A rebalance event ran and its outcome awaits the closing verify.
+  bool lb_pending_report_ = false;
   /// Slot -> endpoint for currently partitioned slots (the endpoint is
   /// needed to heal after the chord::Node object is unreachable).
   std::unordered_map<std::size_t, net::Endpoint> partitioned_;

@@ -26,6 +26,8 @@ const char* to_string(FaultKind k) noexcept {
       return "heal";
     case FaultKind::kVerify:
       return "verify";
+    case FaultKind::kRebalance:
+      return "rebalance";
   }
   return "?";
 }
@@ -46,6 +48,7 @@ std::string FaultEvent::describe() const {
       oss << " x=" << magnitude << " for=" << duration_us / 1000 << "ms";
       break;
     case FaultKind::kVerify:
+    case FaultKind::kRebalance:
       break;
   }
   return oss.str();
@@ -94,6 +97,11 @@ ChaosPlan& ChaosPlan::verify(std::uint64_t at_us) {
   return *this;
 }
 
+ChaosPlan& ChaosPlan::rebalance(std::uint64_t at_us) {
+  events.push_back({at_us, FaultKind::kRebalance, 0, 0.0, 0});
+  return *this;
+}
+
 void ChaosPlan::sort_events() {
   std::stable_sort(events.begin(), events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -113,6 +121,9 @@ std::string ChaosPlan::to_spec() const {
   std::ostringstream oss;
   oss << "seed " << seed << "\n";
   oss << "nodes " << nodes << "\n";
+  // Only non-default assignment is spelled out, keeping legacy plans'
+  // parse -> to_spec round trips byte-identical.
+  if (random_ids) oss << "assign random\n";
   for (const FaultEvent& e : events) {
     oss << e.at_us / 1000 << " " << to_string(e.kind);
     switch (e.kind) {
@@ -128,6 +139,7 @@ std::string ChaosPlan::to_spec() const {
         oss << " " << e.magnitude << " " << e.duration_us / 1000;
         break;
       case FaultKind::kVerify:
+      case FaultKind::kRebalance:
         break;
     }
     oss << "\n";
@@ -149,6 +161,9 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
   plan.events.clear();
   std::istringstream input{std::string(spec)};
   std::string line;
+  bool seen_seed = false;
+  bool seen_nodes = false;
+  bool seen_assign = false;
   while (std::getline(input, line)) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
@@ -157,11 +172,26 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
     std::string head;
     fields >> head;
     if (head == "seed") {
+      if (seen_seed) bad_line(line, "duplicate seed");
+      seen_seed = true;
       if (!(fields >> plan.seed)) bad_line(line, "bad seed");
       continue;
     }
     if (head == "nodes") {
+      if (seen_nodes) bad_line(line, "duplicate nodes");
+      seen_nodes = true;
       if (!(fields >> plan.nodes)) bad_line(line, "bad node count");
+      if (plan.nodes == 0) bad_line(line, "node count must be positive");
+      continue;
+    }
+    if (head == "assign") {
+      if (seen_assign) bad_line(line, "duplicate assign");
+      seen_assign = true;
+      std::string mode;
+      if (!(fields >> mode)) bad_line(line, "missing assignment mode");
+      if (mode == "random") plan.random_ids = true;
+      else if (mode == "probed") plan.random_ids = false;
+      else bad_line(line, "unknown assignment mode");
       continue;
     }
 
@@ -194,8 +224,33 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
       else plan.latency_burst(at_us, magnitude, duration_ms * 1000);
     } else if (verb == "verify") {
       plan.verify(at_us);
+    } else if (verb == "rebalance") {
+      plan.rebalance(at_us);
     } else {
       bad_line(line, "unknown event verb");
+    }
+  }
+  // Victim slots can only be range-checked once the node count is final
+  // (the `nodes` line may legally follow the events it governs).
+  for (const FaultEvent& e : plan.events) {
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kLeave:
+      case FaultKind::kRestart:
+      case FaultKind::kPartition:
+      case FaultKind::kHeal:
+        if (e.slot >= plan.nodes) {
+          throw std::invalid_argument(
+              "ChaosPlan::parse: slot " + std::to_string(e.slot) +
+              " out of range for " + std::to_string(plan.nodes) +
+              " nodes in event: \"" + e.describe() + "\"");
+        }
+        break;
+      case FaultKind::kLossBurst:
+      case FaultKind::kLatencyBurst:
+      case FaultKind::kVerify:
+      case FaultKind::kRebalance:
+        break;
     }
   }
   plan.sort_events();
@@ -245,6 +300,26 @@ ChaosPlan ChaosPlan::canonical(std::uint64_t seed, std::size_t nodes) {
   // Phase 5: 8x latency spike.
   plan.latency_burst(20'000'000, 8.0, 2'000'000);
   plan.verify(23'000'000);
+  return plan;
+}
+
+ChaosPlan ChaosPlan::rebalance_skew(std::uint64_t seed, std::size_t nodes) {
+  if (nodes < 8) {
+    throw std::invalid_argument("ChaosPlan::rebalance_skew: need >= 8 nodes");
+  }
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.nodes = nodes;
+  plan.random_ids = true;  // deploy unbalanced on purpose
+  // Phase 1: baseline. The skewed deployment must still aggregate correctly
+  // — and this is where the campaign measures the unbalanced branching the
+  // rebalancer is about to repair.
+  plan.verify(2'000'000);
+  // Phase 2: activate the rebalancer (it consumes virtual time itself, one
+  // measured round per epoch, up to the SLO budget), then verify that the
+  // repaired deployment still meets every recovery check plus the SLO.
+  plan.rebalance(4'000'000);
+  plan.verify(4'100'000);
   return plan;
 }
 

@@ -17,6 +17,7 @@ enum class FaultKind : std::uint8_t {
   kPartition = 5,    ///< slot becomes unreachable (stays alive)
   kHeal = 6,         ///< partition on slot is lifted
   kVerify = 7,       ///< quiesce, then run the recovery verifier
+  kRebalance = 8,    ///< run the measurement-driven rebalancer to its SLO
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -42,6 +43,11 @@ struct FaultEvent {
 struct ChaosPlan {
   std::uint64_t seed = 1;
   std::size_t nodes = 16;
+  /// Deployment directive for the campaign runner: build the cluster with
+  /// random identifier assignment instead of probing joins. Random ids give
+  /// the unbalanced trees (max branching 7+ at n >= 16, Fig. 7a) that the
+  /// rebalance event is then expected to repair.
+  bool random_ids = false;
   std::vector<FaultEvent> events;
 
   // Builder-style helpers; times are virtual microseconds from campaign
@@ -56,6 +62,7 @@ struct ChaosPlan {
   ChaosPlan& partition(std::uint64_t at_us, std::size_t slot);
   ChaosPlan& heal(std::uint64_t at_us, std::size_t slot);
   ChaosPlan& verify(std::uint64_t at_us);
+  ChaosPlan& rebalance(std::uint64_t at_us);
 
   /// Orders events by at_us (stable: simultaneous events keep the order
   /// they were added in). Campaign calls this before executing.
@@ -72,6 +79,7 @@ struct ChaosPlan {
   ///   # comment / blank lines ignored
   ///   seed <n>
   ///   nodes <n>
+  ///   assign random|probed
   ///   <at_ms> crash <slot>
   ///   <at_ms> leave <slot>
   ///   <at_ms> restart <slot>
@@ -80,8 +88,12 @@ struct ChaosPlan {
   ///   <at_ms> partition <slot>
   ///   <at_ms> heal <slot>
   ///   <at_ms> verify
+  ///   <at_ms> rebalance
   ///
-  /// Throws std::invalid_argument with the offending line on bad input.
+  /// Throws std::invalid_argument with the offending line on bad input:
+  /// malformed fields, unknown verbs, duplicate seed/nodes/assign lines, a
+  /// zero node count, or a slot-bearing event whose victim is outside
+  /// [0, nodes).
   [[nodiscard]] static ChaosPlan parse(std::string_view spec);
 
   /// The canonical seeded campaign used by tests and the CI soak: a mix of
@@ -91,6 +103,15 @@ struct ChaosPlan {
   /// of (seed, nodes).
   [[nodiscard]] static ChaosPlan canonical(std::uint64_t seed,
                                            std::size_t nodes);
+
+  /// The rebalancing SLO campaign: the cluster deploys with random ids
+  /// (unbalanced trees), a verify phase measures the skewed baseline, then
+  /// a rebalance event activates the measurement-driven rebalancer, and a
+  /// closing verify phase asserts both the usual recovery checks and the
+  /// branching SLO (see CampaignOptions::rebalance). Timeline is a pure
+  /// function of (seed, nodes).
+  [[nodiscard]] static ChaosPlan rebalance_skew(std::uint64_t seed,
+                                                std::size_t nodes);
 };
 
 }  // namespace dat::chaos

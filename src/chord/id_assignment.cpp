@@ -116,6 +116,41 @@ std::vector<Id> probed_ids(const IdSpace& space, std::size_t n, Rng& rng,
   return ids;
 }
 
+double gap_ratio(const IdSpace& space, std::vector<Id> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() < 2) return 1.0;
+  Id min_gap = space.size() ? space.size() - 1 : ~Id{0};
+  Id max_gap = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Id gap = space.clockwise(ids[i], ids[(i + 1) % ids.size()]);
+    min_gap = std::min(min_gap, gap);
+    max_gap = std::max(max_gap, gap);
+  }
+  if (min_gap == 0) return static_cast<double>(max_gap);
+  return static_cast<double>(max_gap) / static_cast<double>(min_gap);
+}
+
+Id largest_gap_midpoint(const IdSpace& space, std::vector<Id> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty()) {
+    throw std::invalid_argument("largest_gap_midpoint: no ids");
+  }
+  Id best_start = ids.front();
+  Id best_gap = 0;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Id next = ids[(i + 1) % ids.size()];
+    const Id gap = ids.size() == 1 ? (space.size() ? space.size() - 1 : ~Id{0})
+                                   : space.clockwise(ids[i], next);
+    if (gap > best_gap) {
+      best_gap = gap;
+      best_start = ids[i];
+    }
+  }
+  return space.add(best_start, best_gap / 2);
+}
+
 std::vector<Id> make_ids(IdAssignment kind, const IdSpace& space, std::size_t n,
                          Rng& rng) {
   switch (kind) {

@@ -42,4 +42,16 @@ enum class IdAssignment : std::uint8_t {
 [[nodiscard]] std::vector<Id> make_ids(IdAssignment kind, const IdSpace& space,
                                        std::size_t n, Rng& rng);
 
+/// Max/min adjacent-gap ratio of a live id set — the imbalance measure the
+/// probing bound (Sec. 3.5) keeps constant, and the signal the runtime
+/// rebalancer watches. 1.0 for fewer than two ids.
+[[nodiscard]] double gap_ratio(const IdSpace& space, std::vector<Id> ids);
+
+/// Midpoint of the largest clockwise gap between adjacent ids — the target
+/// identifier for a rebalancing migration (the same split rule a probed
+/// join applies, computed from a global measurement instead of probes).
+/// Throws std::invalid_argument for an empty id set.
+[[nodiscard]] Id largest_gap_midpoint(const IdSpace& space,
+                                      std::vector<Id> ids);
+
 }  // namespace dat::chord

@@ -501,7 +501,20 @@ void Node::complete_join(Id chosen_id, NodeRef start, unsigned attempts_left,
       if (done) done(false);
       return;
     }
-    if (succ.id == self_.id && succ.endpoint != self_.endpoint) {
+    if (succ.endpoint == self_.endpoint) {
+      // The lookup collapsed onto our own (still empty) tables — a timeout
+      // mid-route restarted it from self before we ever joined. We cannot
+      // be our own successor when joining through a bootstrap; retry from
+      // the bootstrap, by which time its ring has purged the stale hop.
+      if (attempts_left == 0) {
+        alive_ = false;
+        if (done) done(false);
+        return;
+      }
+      complete_join(self_.id, start, attempts_left - 1, std::move(done));
+      return;
+    }
+    if (succ.id == self_.id) {
       if (attempts_left == 0) {
         alive_ = false;
         if (done) done(false);
@@ -1160,9 +1173,13 @@ void Node::purge_endpoint(net::Endpoint ep) {
       finger_pred_[j] = std::nullopt;
     }
   }
+  const bool had_successors = !successor_list_.empty();
   std::erase_if(successor_list_,
                 [ep](const NodeRef& s) { return s.endpoint == ep; });
-  if (successor_list_.empty()) {
+  // Only a list this purge actually emptied warrants promotion. A node that
+  // is still joining has no successors yet; fabricating a self-successor
+  // here would turn its in-flight join lookup into a singleton ring.
+  if (had_successors && successor_list_.empty()) {
     promote_next_successor();  // falls back to a live finger or singleton
   }
   if (predecessor_ && predecessor_->endpoint == ep) {

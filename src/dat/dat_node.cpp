@@ -17,6 +17,7 @@ constexpr const char* kSnapReq = "dat.snap_req";
 constexpr const char* kSnapResp = "dat.snap_resp";
 constexpr const char* kCollectStart = "dat.collect_start";
 constexpr const char* kCollectReq = "dat.collect_req";
+constexpr const char* kHandoff = "dat.handoff";
 
 std::string key_label(Id key) {
   char buf[19];  // "0x" + 16 hex digits + NUL
@@ -39,6 +40,8 @@ DatNode::DatNode(chord::Node& chord, DatOptions options)
   m_updates_out_ = &reg.counter("dat_tree_updates_sent_total");
   m_parent_switches_ = &reg.counter("dat_tree_parent_switches_total");
   m_relay_entries_ = &reg.counter("dat_tree_relay_entries_total");
+  m_handoffs_out_ = &reg.counter("dat_tree_handoff_children_total");
+  m_handoffs_in_ = &reg.counter("dat_tree_handoffs_accepted_total");
   m_child_staleness_ = &reg.histogram("dat_tree_child_staleness_us");
   // Per-key aggregation-table state as a registry view: sampled at snapshot
   // time, zero cost on the push path. Runs on the node's thread like every
@@ -58,6 +61,13 @@ DatNode::DatNode(chord::Node& chord, DatOptions options)
       add("dat_tree_epoch", static_cast<double>(entry.epoch));
       add("dat_tree_is_root", entry.global.has_value() ? 1.0 : 0.0);
       add("dat_tree_history_len", static_cast<double>(entry.history.size()));
+      // Per-key cumulative update counts and the effective push period: the
+      // lb load collector turns these into update rates per tree.
+      add("dat_tree_updates_in", static_cast<double>(entry.updates_received));
+      add("dat_tree_updates_out", static_cast<double>(entry.updates_sent));
+      add("dat_tree_period_us", static_cast<double>(period_of(entry)));
+      add("dat_tree_override_active",
+          entry.parent_override.valid() ? 1.0 : 0.0);
     }
   });
   register_handlers();
@@ -65,6 +75,18 @@ DatNode::DatNode(chord::Node& chord, DatOptions options)
 
 DatNode::~DatNode() {
   alive_ = false;
+  // The chord node (and its transport) can outlive this layer — e.g. a
+  // harness tearing down DAT state before the graceful leaves drain. Every
+  // handler captured `this`, so they must go before the memory does.
+  net::RpcManager& rpc = chord_.rpc();
+  rpc.unregister_one_way(kUpdate);
+  rpc.unregister_method(kGetGlobal);
+  rpc.unregister_method(kGetHistory);
+  rpc.unregister_one_way(kSnapReq);
+  rpc.unregister_one_way(kSnapResp);
+  rpc.unregister_one_way(kCollectStart);
+  rpc.unregister_one_way(kCollectReq);
+  rpc.unregister_one_way(kHandoff);
   chord_.telemetry().registry.remove_collector(collector_id_);
   for (auto& [key, entry] : table_) {
     if (entry.timer != 0) chord_.rpc().transport().cancel_timer(entry.timer);
@@ -103,6 +125,10 @@ void DatNode::register_handlers() {
   chord_.rpc().register_one_way(
       kCollectReq, [this](net::Endpoint from, net::Reader& msg) {
         handle_collect_req(from, msg);
+      });
+  chord_.rpc().register_one_way(
+      kHandoff, [this](net::Endpoint from, net::Reader& msg) {
+        handle_handoff(from, msg);
       });
 }
 
@@ -176,7 +202,7 @@ void DatNode::run_collect(Id key, net::Endpoint reply_to,
     const std::uint64_t now = chord_.rpc().transport().now_us();
     const std::uint64_t ttl =
         static_cast<std::uint64_t>(options_.child_ttl_epochs) *
-        options_.epoch_us;
+        period_of(it->second);
     for (const auto& [child_ep, record] : it->second.children) {
       if (now - record.received_at_us > ttl) continue;
       net::Writer w;
@@ -210,7 +236,8 @@ void DatNode::run_collect(Id key, net::Endpoint reply_to,
 }
 
 void DatNode::start_aggregate(Id key, AggregateKind kind,
-                              chord::RoutingScheme scheme, LocalValueFn local) {
+                              chord::RoutingScheme scheme, LocalValueFn local,
+                              std::uint64_t epoch_us) {
   key &= chord_.space().mask();
   auto [it, inserted] = table_.try_emplace(key);
   Entry& entry = it->second;
@@ -218,15 +245,17 @@ void DatNode::start_aggregate(Id key, AggregateKind kind,
   entry.kind = kind;
   entry.scheme = scheme;
   entry.local = std::move(local);
+  if (epoch_us != 0) entry.epoch_us = epoch_us;
   if (inserted) {
     arm_epoch(key);
   }
 }
 
 Id DatNode::start_aggregate(std::string_view name, AggregateKind kind,
-                            chord::RoutingScheme scheme, LocalValueFn local) {
+                            chord::RoutingScheme scheme, LocalValueFn local,
+                            std::uint64_t epoch_us) {
   const Id key = rendezvous_key(name, chord_.space());
-  start_aggregate(key, kind, scheme, std::move(local));
+  start_aggregate(key, kind, scheme, std::move(local), epoch_us);
   return key;
 }
 
@@ -249,7 +278,7 @@ void DatNode::arm_epoch(Id key) {
   auto it = table_.find(key);
   if (it == table_.end()) return;
   it->second.timer = chord_.rpc().transport().set_timer(
-      options_.epoch_us, [this, key]() {
+      period_of(it->second), [this, key]() {
         if (!alive_) return;
         run_epoch(key);
         arm_epoch(key);
@@ -263,7 +292,7 @@ AggState DatNode::collect(Entry& entry) {
   }
   const std::uint64_t now = chord_.rpc().transport().now_us();
   const std::uint64_t ttl =
-      static_cast<std::uint64_t>(options_.child_ttl_epochs) * options_.epoch_us;
+      static_cast<std::uint64_t>(options_.child_ttl_epochs) * period_of(entry);
   for (auto it = entry.children.begin(); it != entry.children.end();) {
     if (now - it->second.received_at_us > ttl) {
       it = entry.children.erase(it);  // soft-state expiry: departed child
@@ -313,11 +342,24 @@ void DatNode::run_epoch(Id key) {
     return;
   }
   entry.global.reset();  // no longer (or not) the root
+  // Load-balancing handoff: while a fresh parent override is installed the
+  // push goes to the designated relay instead of the geometric parent. An
+  // expired (or self-pointing) override falls back silently — soft state.
+  chord::NodeRef push_to = *parent;
+  if (entry.parent_override.valid()) {
+    if (now >= entry.override_until_us ||
+        entry.parent_override.endpoint == chord_.rpc().local()) {
+      entry.parent_override = {};
+      entry.override_until_us = 0;
+    } else {
+      push_to = entry.parent_override;
+    }
+  }
   if (entry.last_parent != net::kNullEndpoint &&
-      entry.last_parent != parent->endpoint) {
+      entry.last_parent != push_to.endpoint) {
     m_parent_switches_->inc();
   }
-  entry.last_parent = parent->endpoint;
+  entry.last_parent = push_to.endpoint;
 
   // Causal wave: a leaf (no traced child update seen this epoch) starts a
   // fresh trace; an interior node continues the wave stored by
@@ -339,7 +381,7 @@ void DatNode::run_epoch(Id key) {
   span.end_us = now;
   span.key = key;
   span.epoch = entry.epoch;
-  span.peer = parent->endpoint;
+  span.peer = push_to.endpoint;
   tel.recorder.record(span);
 
   net::Writer w;
@@ -351,7 +393,7 @@ void DatNode::run_epoch(Id key) {
   {
     // Scoped so RpcManager stamps {trace, send span} onto the wire frame.
     const obs::TraceContext::Scope scope(tel.trace, trace_id, span.span_id);
-    chord_.rpc().send_one_way(parent->endpoint, kUpdate, w);
+    chord_.rpc().send_one_way(push_to.endpoint, kUpdate, w);
   }
   ++entry.updates_sent;
   m_updates_out_->inc();
@@ -383,6 +425,16 @@ void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
   rec.ref = sender;
   rec.state = state;
   rec.received_at_us = chord_.rpc().transport().now_us();
+
+  // Cycle breaker for load-balancing handoffs: if our designated relay is
+  // pushing TO us, following the override would close a two-node loop and
+  // orphan both subtrees from the root. Drop the override; the geometric
+  // dat_parent takes over again next epoch.
+  if (entry.parent_override.valid() &&
+      entry.parent_override.endpoint == from) {
+    entry.parent_override = {};
+    entry.override_until_us = 0;
+  }
 
   // Causal wave: RpcManager scoped the dispatch to the sender's wire trace,
   // so the ambient context carries the child's send span. Record the
@@ -654,6 +706,74 @@ void DatNode::finish_snapshot(std::uint64_t seq) {
   snapshots_.erase(it);
 }
 
+// -- load balancing -----------------------------------------------------------
+
+std::size_t DatNode::shed_children(Id key, std::size_t keep,
+                                   std::uint64_t ttl_us) {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end() || keep == 0) return 0;
+  Entry& entry = it->second;
+
+  // Work from fresh children only (same expiry rule as collect()).
+  const std::uint64_t now = chord_.rpc().transport().now_us();
+  const std::uint64_t ttl =
+      static_cast<std::uint64_t>(options_.child_ttl_epochs) * period_of(entry);
+  for (auto c = entry.children.begin(); c != entry.children.end();) {
+    if (now - c->second.received_at_us > ttl) {
+      c = entry.children.erase(c);
+    } else {
+      ++c;
+    }
+  }
+  if (entry.children.size() <= keep) return 0;
+
+  // The relay is the kept child with the lowest endpoint — deterministic
+  // for a given child set, so same-seed runs shed identically.
+  const chord::NodeRef relay = entry.children.begin()->second.ref;
+  std::size_t moved = 0;
+  auto c = std::next(entry.children.begin(),
+                     static_cast<std::ptrdiff_t>(keep));
+  while (c != entry.children.end()) {
+    net::Writer w;
+    w.u64(key);
+    chord::write_node_ref(w, relay);
+    w.u64(ttl_us);
+    chord_.rpc().send_one_way(c->first, kHandoff, w);
+    // Drop the record now: the child's next push lands at the relay, and a
+    // lingering record here would double-count the subtree once the relay
+    // starts reporting it.
+    c = entry.children.erase(c);
+    ++moved;
+  }
+  m_handoffs_out_->inc(moved);
+  return moved;
+}
+
+void DatNode::set_parent_override(Id key, chord::NodeRef relay,
+                                  std::uint64_t ttl_us) {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return;
+  if (!relay.valid() || relay.endpoint == chord_.rpc().local()) return;
+  it->second.parent_override = relay;
+  it->second.override_until_us = chord_.rpc().transport().now_us() + ttl_us;
+  m_handoffs_in_->inc();
+}
+
+bool DatNode::has_parent_override(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return false;
+  const Entry& entry = it->second;
+  return entry.parent_override.valid() &&
+         chord_.rpc().transport().now_us() < entry.override_until_us;
+}
+
+void DatNode::handle_handoff(net::Endpoint /*from*/, net::Reader& msg) {
+  const Id key = msg.u64();
+  const chord::NodeRef relay = chord::read_node_ref(msg);
+  const std::uint64_t ttl_us = msg.u64();
+  set_parent_override(key, relay, ttl_us);
+}
+
 // -- instrumentation ----------------------------------------------------------
 
 std::uint64_t DatNode::updates_received(Id key) const {
@@ -669,6 +789,11 @@ std::uint64_t DatNode::updates_sent(Id key) const {
 std::size_t DatNode::child_count(Id key) const {
   const auto it = table_.find(key & chord_.space().mask());
   return it == table_.end() ? 0 : it->second.children.size();
+}
+
+std::uint64_t DatNode::epoch_period(Id key) const {
+  const auto it = table_.find(key & chord_.space().mask());
+  return it == table_.end() ? options_.epoch_us : period_of(it->second);
 }
 
 }  // namespace dat::core

@@ -67,12 +67,18 @@ class DatNode {
   /// Registers an aggregate in the local aggregation table and starts the
   /// continuous push loop. `local` supplies this node's x_i(t) each epoch;
   /// pass nullptr for a node that only relays (contributes no value).
+  /// `epoch_us` overrides DatOptions::epoch_us for this key alone (0 keeps
+  /// the default) — hot aggregates can push faster than the base period,
+  /// which is how skewed per-key workloads are produced. The soft-state
+  /// child TTL scales with the per-key period.
   void start_aggregate(Id key, AggregateKind kind,
-                       chord::RoutingScheme scheme, LocalValueFn local);
+                       chord::RoutingScheme scheme, LocalValueFn local,
+                       std::uint64_t epoch_us = 0);
 
   /// Convenience: aggregate named by attribute (e.g. "cpu-usage").
   Id start_aggregate(std::string_view name, AggregateKind kind,
-                     chord::RoutingScheme scheme, LocalValueFn local);
+                     chord::RoutingScheme scheme, LocalValueFn local,
+                     std::uint64_t epoch_us = 0);
 
   void stop_aggregate(Id key);
   [[nodiscard]] bool has_aggregate(Id key) const {
@@ -115,6 +121,28 @@ class DatNode {
   /// unlike snapshot() it touches only tree edges, not the whole ring.
   void collect_tree(Id key, SnapshotHandler handler);
 
+  // -- load balancing --------------------------------------------------------
+  /// Hands off excess children of `key` to one of them: prunes stale child
+  /// records, keeps the first `keep` children (endpoint order, so the pick
+  /// is deterministic), and redirects the rest to the kept child with the
+  /// lowest endpoint (the relay) via one-way dat.handoff messages carrying
+  /// a parent override valid for `ttl_us`. Moved records are dropped here
+  /// immediately — the relay reports the subtree from its next push, so
+  /// keeping them would double-count. Returns the number of children moved.
+  std::size_t shed_children(Id key, std::size_t keep, std::uint64_t ttl_us);
+
+  /// Redirects this node's continuous push for `key` to `relay` instead of
+  /// the geometric dat_parent, for `ttl_us`. Ignored when the relay is this
+  /// node itself; while this node is the root the override is dormant. An
+  /// update arriving FROM the relay clears the override (cycle breaker: the
+  /// relay considers us its parent, so following it would orphan the
+  /// subtree). Handoffs are soft state like everything else in the tree —
+  /// the rebalancer re-issues them each round to sustain a shape.
+  void set_parent_override(Id key, chord::NodeRef relay, std::uint64_t ttl_us);
+
+  /// True while an unexpired parent override is installed for `key`.
+  [[nodiscard]] bool has_parent_override(Id key) const;
+
   // -- instrumentation -------------------------------------------------------
   /// Continuous-mode child updates received per key (the per-node
   /// "aggregation messages" metric of Fig. 8).
@@ -122,6 +150,8 @@ class DatNode {
   [[nodiscard]] std::uint64_t updates_sent(Id key) const;
   /// Number of distinct live children currently known for `key`.
   [[nodiscard]] std::size_t child_count(Id key) const;
+  /// Effective push period of `key`: its override, or the global default.
+  [[nodiscard]] std::uint64_t epoch_period(Id key) const;
 
   [[nodiscard]] chord::Node& chord() noexcept { return chord_; }
   [[nodiscard]] const DatOptions& options() const noexcept { return options_; }
@@ -145,6 +175,12 @@ class DatNode {
     std::deque<GlobalValue> history;    // root-side time series
     std::uint64_t updates_received = 0;
     std::uint64_t updates_sent = 0;
+    /// Per-key push-period override; 0 means DatOptions::epoch_us.
+    std::uint64_t epoch_us = 0;
+    /// Load-balancing parent override (dat.handoff): while set and fresh,
+    /// run_epoch pushes here instead of to the geometric dat_parent.
+    chord::NodeRef parent_override{};
+    std::uint64_t override_until_us = 0;
     // Causal-wave trace state: set by handle_update when a traced child
     // update arrives (the child's send span becomes our parent span),
     // consumed and cleared by the next run_epoch so the outgoing update
@@ -173,8 +209,12 @@ class DatNode {
   void arm_epoch(Id key);
   void run_epoch(Id key);
   [[nodiscard]] AggState collect(Entry& entry);
+  [[nodiscard]] std::uint64_t period_of(const Entry& entry) const {
+    return entry.epoch_us != 0 ? entry.epoch_us : options_.epoch_us;
+  }
 
   void handle_update(net::Endpoint from, net::Reader& msg);
+  void handle_handoff(net::Endpoint from, net::Reader& msg);
   void handle_get_global(net::Endpoint from, net::Reader& req,
                          net::Writer& reply);
   void handle_get_history(net::Endpoint from, net::Reader& req,
@@ -211,6 +251,8 @@ class DatNode {
   obs::Counter* m_updates_out_ = nullptr;
   obs::Counter* m_parent_switches_ = nullptr;
   obs::Counter* m_relay_entries_ = nullptr;
+  obs::Counter* m_handoffs_out_ = nullptr;  ///< children shed to a relay
+  obs::Counter* m_handoffs_in_ = nullptr;   ///< parent overrides accepted
   obs::Histogram* m_child_staleness_ = nullptr;
   std::uint64_t collector_id_ = 0;
 };

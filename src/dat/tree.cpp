@@ -98,6 +98,16 @@ bool Tree::all_reach_root() const {
   return depth_.size() == nodes_.size();
 }
 
+std::size_t max_branching_over(const chord::RingView& ring,
+                               const std::vector<Id>& keys,
+                               chord::RoutingScheme scheme) {
+  std::size_t worst = 0;
+  for (const Id key : keys) {
+    worst = std::max(worst, Tree(ring, key, scheme).max_branching());
+  }
+  return worst;
+}
+
 unsigned basic_branching_closed_form(std::size_t n, Id d, Id d0) {
   if (n == 0 || d0 == 0) {
     throw std::invalid_argument("basic_branching_closed_form: bad arguments");

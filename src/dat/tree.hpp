@@ -74,6 +74,13 @@ class Tree {
   std::size_t internal_nodes_ = 0;
 };
 
+/// Max branching factor over the DATs of several rendezvous keys on one
+/// ring — the quantity the runtime rebalancer's SLO ("re-converges to max
+/// branching <= B") is stated over. O(k * n log n).
+[[nodiscard]] std::size_t max_branching_over(const chord::RingView& ring,
+                                             const std::vector<Id>& keys,
+                                             chord::RoutingScheme scheme);
+
 /// Closed-form branching factor of the basic DAT under perfectly even node
 /// spacing (paper Sec. 3.3): B(i,n) = log2(n) - ceil(log2(d/d0 + 1)), where
 /// d is the clockwise distance from node i to the root and d0 the adjacent

@@ -85,20 +85,22 @@ void SimCluster::register_cluster_aggregates(Slot& slot, std::size_t slot_idx) {
     slot.dat->start_aggregate(
         spec.name, spec.kind, spec.scheme,
         spec.local_for ? spec.local_for(slot_idx)
-                       : core::DatNode::LocalValueFn{});
+                       : core::DatNode::LocalValueFn{},
+        spec.epoch_us);
   }
 }
 
 Id SimCluster::start_aggregate_everywhere(std::string_view name,
                                           core::AggregateKind kind,
                                           chord::RoutingScheme scheme,
-                                          LocalValueFactory local_for) {
+                                          LocalValueFactory local_for,
+                                          std::uint64_t epoch_us) {
   if (!options_.with_dat) {
     throw std::logic_error(
         "SimCluster::start_aggregate_everywhere: DAT layer disabled");
   }
   cluster_aggregates_.push_back(
-      {std::string(name), kind, scheme, std::move(local_for)});
+      {std::string(name), kind, scheme, std::move(local_for), epoch_us});
   const AggregateSpec& spec = cluster_aggregates_.back();
   Id key = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
@@ -106,7 +108,8 @@ Id SimCluster::start_aggregate_everywhere(std::string_view name,
     if (!slot.live || !slot.dat) continue;
     key = slot.dat->start_aggregate(
         spec.name, spec.kind, spec.scheme,
-        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{});
+        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{},
+        spec.epoch_us);
   }
   return key;
 }
@@ -188,17 +191,21 @@ std::optional<std::size_t> SimCluster::add_node() {
   return std::nullopt;
 }
 
-bool SimCluster::boot_into_slot(Slot& slot, std::size_t slot_idx) {
+bool SimCluster::boot_into_slot(Slot& slot, std::size_t slot_idx,
+                                std::optional<Id> forced_id) {
   const std::size_t bootstrap = lowest_live_slot();
   slot.transport = &network_->add_node();
   slot.node = std::make_unique<chord::Node>(space_, *slot.transport,
                                             options_.node, next_seed_++);
   bool joined = false;
   bool failed = false;
-  slot.node->join(slots_[bootstrap].transport->local(), [&](bool ok) {
-    joined = ok;
-    failed = !ok;
-  });
+  slot.node->join(
+      slots_[bootstrap].transport->local(),
+      [&](bool ok) {
+        joined = ok;
+        failed = !ok;
+      },
+      forced_id);
   const std::uint64_t deadline = engine_->now() + 30'000'000;
   while (!joined && !failed && engine_->now() < deadline &&
          !engine_->idle()) {
@@ -239,6 +246,25 @@ bool SimCluster::restart_node(std::size_t slot_idx) {
   // node on a fresh transport that happens to reuse the slot index.
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (boot_into_slot(slots_[slot_idx], slot_idx)) {
+      if (options_.inject_d0_hint) refresh_d0_hints();
+      DAT_HARNESS_CHECK_LOCAL();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimCluster::migrate_node(std::size_t slot_idx, Id new_id) {
+  if (!is_live(slot_idx)) {
+    throw std::logic_error("SimCluster::migrate_node: slot not live");
+  }
+  if (live_count() < 2) {
+    throw std::logic_error("SimCluster::migrate_node: last live node");
+  }
+  remove_node(slot_idx, /*graceful=*/true);
+  new_id &= space_.mask();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (boot_into_slot(slots_[slot_idx], slot_idx, new_id)) {
       if (options_.inject_d0_hint) refresh_d0_hints();
       DAT_HARNESS_CHECK_LOCAL();
       return true;

@@ -92,6 +92,15 @@ class SimCluster {
   /// completed; the slot keeps its index.
   bool restart_node(std::size_t slot);
 
+  /// Identifier migration (the rebalancer's heavyweight action): the node
+  /// leaves gracefully, then a fresh instance rejoins through the lowest
+  /// live slot with `new_id` forced (skipping the probing handshake — the
+  /// id was computed from a global measurement instead). The slot keeps its
+  /// index and re-registers every cluster aggregate. Returns true once the
+  /// rejoin completed; on failure the slot is left dead (restart_node can
+  /// revive it).
+  bool migrate_node(std::size_t slot, Id new_id);
+
   /// Per-slot local-value factory for cluster-wide aggregates; called with
   /// the slot index, may return nullptr for relay-only slots.
   using LocalValueFactory =
@@ -100,10 +109,13 @@ class SimCluster {
   /// Registers the named aggregate on every live node and remembers the
   /// spec: nodes joining via add_node() or rejoining via restart_node()
   /// register it automatically, so churn never silently shrinks the
-  /// contributor set. Returns the rendezvous key.
+  /// contributor set. `epoch_us` overrides the per-key push period (0 keeps
+  /// DatOptions::epoch_us) — the knob skewed workloads are built from.
+  /// Returns the rendezvous key.
   Id start_aggregate_everywhere(std::string_view name, core::AggregateKind kind,
                                 chord::RoutingScheme scheme,
-                                LocalValueFactory local_for);
+                                LocalValueFactory local_for,
+                                std::uint64_t epoch_us = 0);
 
   /// Refreshes the d0 hints after churn (call when inject_d0_hint is set
   /// and the live population changed).
@@ -143,14 +155,17 @@ class SimCluster {
     core::AggregateKind kind;
     chord::RoutingScheme scheme;
     LocalValueFactory local_for;
+    std::uint64_t epoch_us = 0;  ///< per-key push period; 0 = DatOptions
   };
 
   void attach_layers(Slot& slot);
   void register_cluster_aggregates(Slot& slot, std::size_t slot_idx);
   /// Boots a node on a fresh transport and joins it via the lowest live
   /// slot; fills `slot` on success (live, layers attached, aggregates
-  /// registered).
-  bool boot_into_slot(Slot& slot, std::size_t slot_idx);
+  /// registered). With `forced_id` the join skips identifier probing and
+  /// takes exactly that id (rebalancing migrations).
+  bool boot_into_slot(Slot& slot, std::size_t slot_idx,
+                      std::optional<Id> forced_id = std::nullopt);
   std::optional<std::size_t> try_add_node();
   [[nodiscard]] std::size_t lowest_live_slot() const;
 

@@ -111,6 +111,10 @@ bool UdpCluster::restart(std::size_t i) {
   if (nodes_[i]) {
     throw std::logic_error("UdpCluster::restart: slot is live");
   }
+  return boot_slot(i, std::nullopt);
+}
+
+bool UdpCluster::boot_slot(std::size_t i, std::optional<Id> forced_id) {
   const net::Endpoint bootstrap =
       nodes_[lowest_live_slot()]->self().endpoint;
   // A crash lost all state; the restarted instance is a brand-new node on a
@@ -120,10 +124,13 @@ bool UdpCluster::restart(std::size_t i) {
                                             next_seed_++);
   bool joined = false;
   bool failed = false;
-  nodes_[i]->join(bootstrap, [&](bool ok) {
-    joined = ok;
-    failed = !ok;
-  });
+  nodes_[i]->join(
+      bootstrap,
+      [&](bool ok) {
+        joined = ok;
+        failed = !ok;
+      },
+      forced_id);
   network_->run_while([&] { return !joined && !failed; },
                      options_.join_timeout_us);
   if (!joined) {
@@ -140,33 +147,50 @@ bool UdpCluster::restart(std::size_t i) {
   return true;
 }
 
+bool UdpCluster::migrate(std::size_t i, Id new_id) {
+  if (!is_live(i)) {
+    throw std::logic_error("UdpCluster::migrate: slot not live");
+  }
+  // Graceful departure and layered teardown, then rejoin at the forced id.
+  nodes_[i]->leave();
+  const net::Endpoint ep = nodes_[i]->self().endpoint;
+  if (i < dats_.size()) dats_[i].reset();
+  nodes_[i].reset();
+  network_->remove_node(ep);
+  network_->run_for(50'000);  // let the departure notices drain
+  return boot_slot(i, new_id & space_.mask());
+}
+
 void UdpCluster::register_cluster_aggregates(std::size_t i) {
   if (i >= dats_.size() || !dats_[i]) return;
   for (const AggregateSpec& spec : cluster_aggregates_) {
     dats_[i]->start_aggregate(spec.name, spec.kind, spec.scheme,
                               spec.local_for
                                   ? spec.local_for(i)
-                                  : core::DatNode::LocalValueFn{});
+                                  : core::DatNode::LocalValueFn{},
+                              spec.epoch_us);
   }
 }
 
 Id UdpCluster::start_aggregate_everywhere(std::string_view name,
                                           core::AggregateKind kind,
                                           chord::RoutingScheme scheme,
-                                          LocalValueFactory local_for) {
+                                          LocalValueFactory local_for,
+                                          std::uint64_t epoch_us) {
   if (!options_.with_dat) {
     throw std::logic_error(
         "UdpCluster::start_aggregate_everywhere: DAT layer disabled");
   }
   cluster_aggregates_.push_back(
-      {std::string(name), kind, scheme, std::move(local_for)});
+      {std::string(name), kind, scheme, std::move(local_for), epoch_us});
   const AggregateSpec& spec = cluster_aggregates_.back();
   Id key = 0;
   for (std::size_t i = 0; i < dats_.size(); ++i) {
     if (!dats_[i]) continue;
     key = dats_[i]->start_aggregate(
         spec.name, spec.kind, spec.scheme,
-        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{});
+        spec.local_for ? spec.local_for(i) : core::DatNode::LocalValueFn{},
+        spec.epoch_us);
   }
   return key;
 }

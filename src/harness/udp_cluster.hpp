@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -73,15 +74,25 @@ class UdpCluster {
   /// the rejoin completed within the configured join timeout.
   bool restart(std::size_t i);
 
+  /// Identifier migration: node i departs gracefully, then a fresh instance
+  /// rejoins on a new socket with `new_id` forced (no probing handshake —
+  /// the id was computed from a measurement). The slot keeps its index and
+  /// re-registers every cluster aggregate. Returns true once the rejoin
+  /// completed; on failure the slot is left dead (restart() can revive it).
+  bool migrate(std::size_t i, Id new_id);
+
   /// Per-slot local-value factory for cluster-wide aggregates.
   using LocalValueFactory =
       std::function<core::DatNode::LocalValueFn(std::size_t slot)>;
 
   /// Registers the named aggregate on every live node and remembers the
-  /// spec so restarted nodes re-register it. Returns the rendezvous key.
+  /// spec so restarted nodes re-register it. `epoch_us` overrides the
+  /// per-key push period (0 keeps DatOptions::epoch_us). Returns the
+  /// rendezvous key.
   Id start_aggregate_everywhere(std::string_view name, core::AggregateKind kind,
                                 chord::RoutingScheme scheme,
-                                LocalValueFactory local_for);
+                                LocalValueFactory local_for,
+                                std::uint64_t epoch_us = 0);
 
   [[nodiscard]] chord::RingView ring_view() const;
 
@@ -132,9 +143,14 @@ class UdpCluster {
     core::AggregateKind kind;
     chord::RoutingScheme scheme;
     LocalValueFactory local_for;
+    std::uint64_t epoch_us = 0;  ///< per-key push period; 0 = DatOptions
   };
 
   void register_cluster_aggregates(std::size_t i);
+  /// Boots a fresh node into dead slot i (fresh socket, join via the lowest
+  /// live slot, DAT re-attach + aggregate re-registration). `forced_id`
+  /// skips identifier probing (migrations).
+  bool boot_slot(std::size_t i, std::optional<Id> forced_id);
   [[nodiscard]] std::size_t lowest_live_slot() const;
   void maybe_dump_metrics();
 

@@ -1,0 +1,69 @@
+#pragma once
+
+#include "harness/sim_cluster.hpp"
+#include "harness/udp_cluster.hpp"
+#include "lb/load.hpp"
+
+namespace dat::lb {
+
+/// ClusterPort over the virtual-time SimCluster harness.
+class SimClusterPort final : public ClusterPort {
+ public:
+  explicit SimClusterPort(harness::SimCluster& cluster) noexcept
+      : cluster_(cluster) {}
+
+  [[nodiscard]] const IdSpace& space() const override {
+    return cluster_.space();
+  }
+  [[nodiscard]] std::size_t slot_count() const override {
+    return cluster_.slot_count();
+  }
+  [[nodiscard]] bool is_live(std::size_t slot) const override {
+    return cluster_.is_live(slot);
+  }
+  [[nodiscard]] chord::Node& chord_node(std::size_t slot) override {
+    return cluster_.node(slot);
+  }
+  [[nodiscard]] core::DatNode& dat_node(std::size_t slot) override {
+    return cluster_.dat(slot);
+  }
+  bool migrate(std::size_t slot, Id new_id) override {
+    return cluster_.migrate_node(slot, new_id);
+  }
+  void settle(std::uint64_t us) override { cluster_.run_for(us); }
+
+ private:
+  harness::SimCluster& cluster_;
+};
+
+/// ClusterPort over the wall-clock UdpCluster harness.
+class UdpClusterPort final : public ClusterPort {
+ public:
+  explicit UdpClusterPort(harness::UdpCluster& cluster) noexcept
+      : cluster_(cluster) {}
+
+  [[nodiscard]] const IdSpace& space() const override {
+    return cluster_.space();
+  }
+  [[nodiscard]] std::size_t slot_count() const override {
+    return cluster_.size();
+  }
+  [[nodiscard]] bool is_live(std::size_t slot) const override {
+    return cluster_.is_live(slot);
+  }
+  [[nodiscard]] chord::Node& chord_node(std::size_t slot) override {
+    return cluster_.node(slot);
+  }
+  [[nodiscard]] core::DatNode& dat_node(std::size_t slot) override {
+    return cluster_.dat(slot);
+  }
+  bool migrate(std::size_t slot, Id new_id) override {
+    return cluster_.migrate(slot, new_id);
+  }
+  void settle(std::uint64_t us) override { cluster_.run_for(us); }
+
+ private:
+  harness::UdpCluster& cluster_;
+};
+
+}  // namespace dat::lb

@@ -131,6 +131,14 @@ void RpcManager::register_one_way(std::string method, OneWayHandler handler) {
   one_ways_[std::move(method)] = std::move(handler);
 }
 
+void RpcManager::unregister_method(const std::string& method) {
+  methods_.erase(method);
+}
+
+void RpcManager::unregister_one_way(const std::string& method) {
+  one_ways_.erase(method);
+}
+
 void RpcManager::call(Endpoint to, const std::string& method,
                       const Writer& body, ResponseHandler handler,
                       Options options) {

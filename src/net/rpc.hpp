@@ -136,6 +136,12 @@ class RpcManager {
   void register_method(std::string method, MethodHandler handler);
   void register_one_way(std::string method, OneWayHandler handler);
 
+  /// Drops the handler for `method`; later requests get kUnknownMethod (or
+  /// are ignored, for one-ways). A layer that dies before its transport
+  /// must unregister, or queued messages dispatch into freed memory.
+  void unregister_method(const std::string& method);
+  void unregister_one_way(const std::string& method);
+
   /// Issues a request. The handler fires exactly once, possibly re-entrantly
   /// from within the transport's event loop.
   void call(Endpoint to, const std::string& method, const Writer& body,

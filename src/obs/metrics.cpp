@@ -116,6 +116,21 @@ double MetricsSnapshot::value_or_zero(const std::string& name) const {
   return s != nullptr ? s->value : 0.0;
 }
 
+std::vector<std::pair<std::string, double>> MetricsSnapshot::values_by_label(
+    const std::string& name, const std::string& label_key) const {
+  std::map<std::string, double> by_value;
+  for (const Sample& s : samples) {
+    if (s.name != name) continue;
+    for (const auto& [k, v] : s.labels) {
+      if (k == label_key) {
+        by_value[v] += s.value;
+        break;
+      }
+    }
+  }
+  return {by_value.begin(), by_value.end()};
+}
+
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
   return find_or_create(name, std::move(labels), MetricType::kCounter).counter;
 }

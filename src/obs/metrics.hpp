@@ -139,6 +139,13 @@ struct MetricsSnapshot {
 
   /// Value of a counter/gauge sample, 0.0 when absent.
   [[nodiscard]] double value_or_zero(const std::string& name) const;
+
+  /// Values of every sample named `name`, keyed by its value of `label_key`
+  /// (samples lacking that label are skipped; duplicate label values sum).
+  /// Splits per-dimension series back out of a snapshot — e.g. the lb load
+  /// collector reading dat_tree_children{key=...} per aggregate key.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> values_by_label(
+      const std::string& name, const std::string& label_key) const;
 };
 
 /// Lock-light metrics registry: one per node (plus one per cluster for

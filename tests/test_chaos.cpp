@@ -70,6 +70,74 @@ TEST(ChaosPlanTest, ParseRejectsGarbage) {
   EXPECT_THROW(ChaosPlan::parse("1000 loss 0.5"), std::invalid_argument);
 }
 
+TEST(ChaosPlanTest, ParseRejectsMalformedPhaseLines) {
+  // Header lines with missing or non-numeric operands.
+  EXPECT_THROW(ChaosPlan::parse("seed banana\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("seed\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes eight\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes 0\n"), std::invalid_argument);
+  // Event lines with bad timestamps, verbs, or magnitudes.
+  EXPECT_THROW(ChaosPlan::parse("soon crash 1\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("1000\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("1000 loss lots 500\n"),
+               std::invalid_argument);
+  // Assignment mode must be one of the two known spellings.
+  EXPECT_THROW(ChaosPlan::parse("assign\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("assign chaotic\n"), std::invalid_argument);
+}
+
+TEST(ChaosPlanTest, ParseRejectsDuplicateHeaderLines) {
+  EXPECT_THROW(ChaosPlan::parse("seed 1\nseed 2\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes 8\nnodes 9\n"), std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("assign random\nassign probed\n"),
+               std::invalid_argument);
+  // One of each is fine, in any order relative to events.
+  const ChaosPlan plan =
+      ChaosPlan::parse("assign random\nseed 3\nnodes 8\n1000 verify\n");
+  EXPECT_TRUE(plan.random_ids);
+  EXPECT_EQ(plan.seed, 3u);
+}
+
+TEST(ChaosPlanTest, ParseRejectsOutOfRangeVictims) {
+  // Slot == node count is one past the last valid victim.
+  EXPECT_THROW(ChaosPlan::parse("nodes 8\n1000 crash 8\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes 8\n1000 leave 12\n"),
+               std::invalid_argument);
+  EXPECT_THROW(ChaosPlan::parse("nodes 8\n1000 partition 9 500\n"),
+               std::invalid_argument);
+  // The check runs after the whole spec is read, so a late nodes line
+  // still bounds earlier events.
+  EXPECT_THROW(ChaosPlan::parse("1000 crash 8\nnodes 8\n"),
+               std::invalid_argument);
+  // The last valid slot is accepted.
+  const ChaosPlan plan = ChaosPlan::parse("nodes 8\n1000 crash 7\n");
+  EXPECT_EQ(plan.events.at(0).slot, 7u);
+}
+
+TEST(ChaosPlanTest, RebalanceSkewRoundTripsAndValidates) {
+  const ChaosPlan plan = ChaosPlan::rebalance_skew(7, 24);
+  EXPECT_TRUE(plan.random_ids);
+  EXPECT_EQ(plan.phases(), 2u);
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kRebalance);
+
+  // The spec round-trips byte-identically, including the assign line.
+  const std::string spec = plan.to_spec();
+  const ChaosPlan reparsed = ChaosPlan::parse(spec);
+  EXPECT_EQ(reparsed.to_spec(), spec);
+  EXPECT_TRUE(reparsed.random_ids);
+
+  // Legacy plans without an assign line keep round-tripping without one.
+  const std::string legacy = ChaosPlan::canonical(7, 16).to_spec();
+  EXPECT_EQ(legacy.find("assign"), std::string::npos);
+  EXPECT_EQ(ChaosPlan::parse(legacy).to_spec(), legacy);
+
+  // Too small to host the skewed workload.
+  EXPECT_THROW(ChaosPlan::rebalance_skew(1, 4), std::invalid_argument);
+}
+
 TEST(ChaosPlanTest, CanonicalIsAPureFunctionOfSeed) {
   const ChaosPlan a = ChaosPlan::canonical(7, 16);
   const ChaosPlan b = ChaosPlan::canonical(7, 16);

@@ -9,7 +9,9 @@
 //
 //   dat_chaos --nodes 16 --seed 7 --print-events
 //   dat_chaos --plan myplan.txt --replicas 3
+//   dat_chaos --campaign rebalance-skew --nodes 24 --seed 7
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,6 +30,7 @@ int run_campaign(const dat::CliFlags& flags) {
 
   chaos::ChaosPlan plan;
   const std::string plan_path = flags.get_string("plan");
+  const std::string campaign_name = flags.get_string("campaign");
   if (!plan_path.empty()) {
     std::ifstream in(plan_path);
     if (!in) {
@@ -38,15 +41,26 @@ int run_campaign(const dat::CliFlags& flags) {
     std::ostringstream text;
     text << in.rdbuf();
     plan = chaos::ChaosPlan::parse(text.str());
-  } else {
+  } else if (campaign_name == "canonical") {
     plan = chaos::ChaosPlan::canonical(
         static_cast<std::uint64_t>(flags.get_int("seed")),
         static_cast<std::size_t>(flags.get_int("nodes")));
+  } else if (campaign_name == "rebalance-skew") {
+    plan = chaos::ChaosPlan::rebalance_skew(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<std::size_t>(flags.get_int("nodes")));
+  } else {
+    std::fprintf(stderr, "dat_chaos: unknown --campaign %s\n",
+                 campaign_name.c_str());
+    return 2;
   }
 
   harness::ClusterOptions cluster_options;
   cluster_options.seed = plan.seed;
   cluster_options.with_dat = true;
+  // Plans can demand an unbalanced deployment (random ids instead of
+  // identifier probing) — the shape the rebalance event then repairs.
+  cluster_options.node.probing_join = !plan.random_ids;
   harness::SimCluster cluster(plan.nodes, std::move(cluster_options));
 
   chaos::CampaignOptions options;
@@ -55,6 +69,20 @@ int run_campaign(const dat::CliFlags& flags) {
       static_cast<std::uint64_t>(flags.get_int("quiesce-ms")) * 1000;
   options.max_recovery_epochs =
       static_cast<unsigned>(flags.get_int("max-epochs"));
+  // The skewed workload only matters to plans that actually rebalance;
+  // keeping it off elsewhere leaves the canonical soak untouched.
+  const bool has_rebalance = std::any_of(
+      plan.events.begin(), plan.events.end(), [](const chaos::FaultEvent& e) {
+        return e.kind == chaos::FaultKind::kRebalance;
+      });
+  if (has_rebalance) {
+    options.rebalance.hot_aggregates =
+        static_cast<unsigned>(flags.get_int("hot-keys"));
+  }
+  options.rebalance.slo_max_branching =
+      static_cast<std::size_t>(flags.get_int("slo-branching"));
+  options.rebalance.slo_max_epochs =
+      static_cast<unsigned>(flags.get_int("slo-epochs"));
 
   chaos::Campaign campaign(cluster, plan, options);
   const chaos::CampaignReport report = campaign.run();
@@ -80,13 +108,28 @@ int run_campaign(const dat::CliFlags& flags) {
     }
   }
 
-  std::printf("\n%-6s %-8s %-6s %-9s %-9s %-7s %-6s %s\n", "phase", "t(ms)",
-              "live", "expected", "coverage", "epochs", "roots", "result");
+  std::printf("\n%-6s %-8s %-6s %-9s %-9s %-7s %-6s %-9s %s\n", "phase",
+              "t(ms)", "live", "expected", "coverage", "epochs", "roots",
+              "lb", "result");
   for (const chaos::PhaseReport& p : report.phases) {
-    std::printf("%-6zu %-8llu %-6zu %-9zu %-9zu %-7u %-6u %s\n", p.phase,
+    char lb[32] = "-";
+    if (p.rebalance_checked) {
+      std::snprintf(lb, sizeof(lb), "%u/%zu", p.lb_epochs,
+                    p.lb_max_branching);
+    }
+    std::printf("%-6zu %-8llu %-6zu %-9zu %-9zu %-7u %-6u %-9s %s\n", p.phase,
                 static_cast<unsigned long long>(p.at_us / 1000), p.live,
                 p.expected_coverage, p.observed_coverage, p.epochs_to_recover,
-                p.roots_answered, p.ok() ? "OK" : "FAIL");
+                p.roots_answered, lb, p.ok() ? "OK" : "FAIL");
+  }
+
+  const chaos::Campaign::LbSummary& lb = campaign.lb_summary();
+  if (lb.ran) {
+    std::printf("\nrebalancer: %s in %u epochs, branching %zu -> %zu, "
+                "%zu migrations, %zu sheds\n",
+                lb.converged ? "converged" : "did NOT converge", lb.epochs,
+                lb.initial_max_branching, lb.final_max_branching,
+                lb.migrations, lb.sheds);
   }
 
   if (!report.phases.empty()) {
@@ -121,6 +164,14 @@ int main(int argc, char** argv) {
       .flag("seed", std::int64_t{7}, "campaign seed (canonical plan)")
       .flag("plan", std::string{},
             "path to a text plan spec (overrides --nodes/--seed)")
+      .flag("campaign", std::string{"canonical"},
+            "built-in campaign: canonical | rebalance-skew")
+      .flag("hot-keys", std::int64_t{2},
+            "extra hot trees pushed 10x faster (workload skew)")
+      .flag("slo-branching", std::int64_t{4},
+            "rebalance SLO: max branching to re-converge to")
+      .flag("slo-epochs", std::int64_t{20},
+            "rebalance SLO: epoch budget after activation")
       .flag("replicas", std::int64_t{3}, "replica trees for the aggregate")
       .flag("quiesce-ms", std::int64_t{2000},
             "settle window before each verification")

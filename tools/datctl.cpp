@@ -8,6 +8,7 @@
 //   datctl inspect --n 32 --slot 5                               dump a node's tables
 //   datctl metrics --n 8 --run 2.0 --format prom                 live telemetry dump
 //   datctl trace   --n 32 --epochs 8 --out wave.json             Chrome trace of a wave
+//   datctl rebalance --n 24 --assign random --rounds 20          runtime rebalancer rounds
 //
 // Every subcommand prints a compact table on stdout; --help lists flags.
 
@@ -24,6 +25,8 @@
 #include "harness/live_tree.hpp"
 #include "harness/sim_cluster.hpp"
 #include "harness/udp_cluster.hpp"
+#include "lb/ports.hpp"
+#include "lb/rebalancer.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
 #include "trace/cpu_trace.hpp"
@@ -360,10 +363,68 @@ int cmd_trace(CliFlags& flags) {
   return 0;
 }
 
+int cmd_rebalance(CliFlags& flags) {
+  const auto n = static_cast<std::size_t>(flags.get_int("n"));
+  const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+
+  harness::ClusterOptions options;
+  options.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  // Random ids on purpose: the interesting runs start from the unbalanced
+  // trees that identifier probing would have prevented.
+  options.node.probing_join = flags.get_string("assign") != "random";
+  harness::SimCluster cluster(n, std::move(options));
+  if (!cluster.wait_converged(600'000'000)) {
+    std::fprintf(stderr, "overlay failed to converge\n");
+    return 1;
+  }
+
+  std::vector<Id> keys;
+  const std::uint64_t base_epoch_us = cluster.dat(0).options().epoch_us;
+  for (int i = 0; i < 2; ++i) {
+    keys.push_back(cluster.start_aggregate_everywhere(
+        "cpu-usage#" + std::to_string(i), core::AggregateKind::kAvg,
+        chord::RoutingScheme::kBalanced,
+        [](std::size_t slot) -> core::DatNode::LocalValueFn {
+          return [slot] { return static_cast<double>(slot); };
+        }));
+  }
+  for (int i = 0; i < 2; ++i) {
+    keys.push_back(cluster.start_aggregate_everywhere(
+        "cpu-usage-hot#" + std::to_string(i), core::AggregateKind::kAvg,
+        chord::RoutingScheme::kBalanced,
+        [](std::size_t slot) -> core::DatNode::LocalValueFn {
+          return [slot] { return static_cast<double>(slot); };
+        },
+        base_epoch_us / 10));
+  }
+  cluster.run_for(4 * base_epoch_us);  // let the trees form
+
+  lb::SimClusterPort port(cluster);
+  lb::RebalancerOptions lb_options;
+  lb_options.epoch_us = base_epoch_us;
+  lb::Rebalancer rebalancer(port, keys, lb_options);
+
+  std::printf("n=%zu assign=%s rounds=%zu\n", n,
+              flags.get_string("assign").c_str(), rounds);
+  std::printf("%-6s %-10s %-9s %-11s %-6s %-6s %s\n", "round", "gap_ratio",
+              "branching", "migrations", "sheds", "moved", "state");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const lb::RoundReport report = rebalancer.run_round();
+    std::printf("%-6zu %-10.2f %-9zu %-11zu %-6zu %-6zu %s\n", report.round,
+                report.gap_ratio, report.max_children, report.migrations,
+                report.sheds, report.children_moved,
+                report.balanced ? "balanced" : "rebalancing");
+    cluster.run_for(base_epoch_us);
+    if (report.balanced) break;
+  }
+  return 0;
+}
+
 void print_usage() {
   std::fprintf(
       stderr,
-      "usage: datctl <tree|load|lookup|monitor|churn|inspect|metrics|trace>"
+      "usage: datctl "
+      "<tree|load|lookup|monitor|churn|inspect|metrics|trace|rebalance>"
       " [flags]\n"
       "       datctl <subcommand> --help\n");
 }
@@ -404,6 +465,10 @@ int main(int argc, char** argv) {
   } else if (command == "trace") {
     flags.flag("epochs", std::int64_t{8}, "aggregation epochs to record");
     flags.flag("out", std::string(), "output file (stdout when empty)");
+  } else if (command == "rebalance") {
+    flags.flag("assign", std::string("random"),
+               "id assignment at deploy: random|probed");
+    flags.flag("rounds", std::int64_t{20}, "rebalancer rounds to run");
   } else if (command != "load") {
     print_usage();
     return 2;
@@ -429,6 +494,7 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(flags);
     if (command == "metrics") return cmd_metrics(flags);
     if (command == "trace") return cmd_trace(flags);
+    if (command == "rebalance") return cmd_rebalance(flags);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
