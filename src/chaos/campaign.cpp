@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.hpp"
+#include "lb/drain.hpp"
 
 namespace dat::chaos {
 
@@ -22,6 +23,8 @@ const char* fault_kind_label(FaultKind kind) {
     case FaultKind::kHeal: return "heal";
     case FaultKind::kVerify: return "verify";
     case FaultKind::kRebalance: return "rebalance";
+    case FaultKind::kSigkill: return "sigkill";
+    case FaultKind::kSigterm: return "sigterm";
   }
   return "unknown";
 }
@@ -102,7 +105,9 @@ void Campaign::apply(const FaultEvent& event) {
       .inc();
   switch (event.kind) {
     case FaultKind::kCrash:
-    case FaultKind::kLeave: {
+    case FaultKind::kLeave:
+    case FaultKind::kSigkill:
+    case FaultKind::kSigterm: {
       if (!cluster_.is_live(event.slot)) {
         throw std::logic_error("Campaign: " + event.describe() +
                                " targets a dead slot");
@@ -113,8 +118,21 @@ void Campaign::apply(const FaultEvent& event) {
         cluster_.network().set_partitioned(it->second, false);
         partitioned_.erase(it);
       }
-      cluster_.remove_node(event.slot,
-                           /*graceful=*/event.kind == FaultKind::kLeave);
+      // In the sim, a SIGKILL is an abrupt crash; a SIGTERM is what datd
+      // does on one: re-parent every subtree upstream and retract its
+      // records, then leave the ring cleanly.
+      const bool graceful = event.kind == FaultKind::kLeave ||
+                            event.kind == FaultKind::kSigterm;
+      if (event.kind == FaultKind::kSigterm) {
+        const auto drained =
+            lb::drain_node(cluster_.dat(event.slot), options_.rebalance.policy);
+        note("t=" + std::to_string(event.at_us / 1000) + "ms drain slot=" +
+             std::to_string(event.slot) + " keys=" +
+             std::to_string(drained.keys) + " moved=" +
+             std::to_string(drained.children_moved) + " retracts=" +
+             std::to_string(drained.retracts_sent));
+      }
+      cluster_.remove_node(event.slot, graceful);
       if (options_.refresh_hints) cluster_.refresh_d0_hints();
       break;
     }
@@ -353,6 +371,11 @@ CampaignReport Campaign::run() {
   ran_ = true;
   const std::uint64_t start = cluster_.engine().now();
   for (const FaultEvent& event : plan_.events) {
+    if (options_.interrupted && options_.interrupted()) {
+      report_.interrupted = true;
+      note("campaign interrupted before " + event.describe());
+      break;
+    }
     const std::uint64_t at = start + event.at_us;
     if (cluster_.engine().now() < at) {
       cluster_.run_for(at - cluster_.engine().now());

@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
-
-#include <memory>
 
 #include "chaos/plan.hpp"
 #include "harness/sim_cluster.hpp"
@@ -59,6 +59,11 @@ struct CampaignOptions {
   bool refresh_hints = true;
   /// Rebalancer SLO and workload skew, used by kRebalance events.
   RebalanceOptions rebalance{};
+  /// Polled between events; returning true abandons the rest of the
+  /// timeline (completed phases keep their reports and the event log notes
+  /// the cut). The CLI wires its SIGINT latch in here, so ^C still flushes
+  /// metrics and tears the cluster down through the normal destructors.
+  std::function<bool()> interrupted;
 };
 
 /// Outcome of one verification phase (one kVerify event).
@@ -103,6 +108,8 @@ struct CampaignReport {
   std::vector<std::string> event_log;
   /// Invariant-violation texts, if any phase tripped a check.
   std::vector<std::string> violations;
+  /// True when CampaignOptions::interrupted cut the timeline short.
+  bool interrupted = false;
 
   [[nodiscard]] bool ok() const {
     if (!violations.empty()) return false;

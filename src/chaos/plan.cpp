@@ -28,6 +28,10 @@ const char* to_string(FaultKind k) noexcept {
       return "verify";
     case FaultKind::kRebalance:
       return "rebalance";
+    case FaultKind::kSigkill:
+      return "sigkill";
+    case FaultKind::kSigterm:
+      return "sigterm";
   }
   return "?";
 }
@@ -41,6 +45,8 @@ std::string FaultEvent::describe() const {
     case FaultKind::kRestart:
     case FaultKind::kPartition:
     case FaultKind::kHeal:
+    case FaultKind::kSigkill:
+    case FaultKind::kSigterm:
       oss << " slot=" << slot;
       break;
     case FaultKind::kLossBurst:
@@ -102,6 +108,16 @@ ChaosPlan& ChaosPlan::rebalance(std::uint64_t at_us) {
   return *this;
 }
 
+ChaosPlan& ChaosPlan::sigkill(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kSigkill, slot, 0.0, 0});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::sigterm(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kSigterm, slot, 0.0, 0});
+  return *this;
+}
+
 void ChaosPlan::sort_events() {
   std::stable_sort(events.begin(), events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -121,9 +137,10 @@ std::string ChaosPlan::to_spec() const {
   std::ostringstream oss;
   oss << "seed " << seed << "\n";
   oss << "nodes " << nodes << "\n";
-  // Only non-default assignment is spelled out, keeping legacy plans'
-  // parse -> to_spec round trips byte-identical.
+  // Only non-default assignment/mode lines are spelled out, keeping legacy
+  // plans' parse -> to_spec round trips byte-identical.
   if (random_ids) oss << "assign random\n";
+  if (process_mode) oss << "mode process\n";
   for (const FaultEvent& e : events) {
     oss << e.at_us / 1000 << " " << to_string(e.kind);
     switch (e.kind) {
@@ -132,6 +149,8 @@ std::string ChaosPlan::to_spec() const {
       case FaultKind::kRestart:
       case FaultKind::kPartition:
       case FaultKind::kHeal:
+      case FaultKind::kSigkill:
+      case FaultKind::kSigterm:
         oss << " " << e.slot;
         break;
       case FaultKind::kLossBurst:
@@ -164,6 +183,7 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
   bool seen_seed = false;
   bool seen_nodes = false;
   bool seen_assign = false;
+  bool seen_mode = false;
   while (std::getline(input, line)) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
@@ -194,6 +214,16 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
       else bad_line(line, "unknown assignment mode");
       continue;
     }
+    if (head == "mode") {
+      if (seen_mode) bad_line(line, "duplicate mode");
+      seen_mode = true;
+      std::string mode;
+      if (!(fields >> mode)) bad_line(line, "missing mode");
+      if (mode == "process") plan.process_mode = true;
+      else if (mode == "sim") plan.process_mode = false;
+      else bad_line(line, "unknown mode");
+      continue;
+    }
 
     std::uint64_t at_ms = 0;
     try {
@@ -206,13 +236,16 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
     std::string verb;
     if (!(fields >> verb)) bad_line(line, "missing event verb");
     if (verb == "crash" || verb == "leave" || verb == "restart" ||
-        verb == "partition" || verb == "heal") {
+        verb == "partition" || verb == "heal" || verb == "sigkill" ||
+        verb == "sigterm") {
       std::size_t slot = 0;
       if (!(fields >> slot)) bad_line(line, "missing slot");
       if (verb == "crash") plan.crash(at_us, slot);
       else if (verb == "leave") plan.leave(at_us, slot);
       else if (verb == "restart") plan.restart(at_us, slot);
       else if (verb == "partition") plan.partition(at_us, slot);
+      else if (verb == "sigkill") plan.sigkill(at_us, slot);
+      else if (verb == "sigterm") plan.sigterm(at_us, slot);
       else plan.heal(at_us, slot);
     } else if (verb == "loss" || verb == "latency") {
       double magnitude = 0.0;
@@ -239,6 +272,8 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
       case FaultKind::kRestart:
       case FaultKind::kPartition:
       case FaultKind::kHeal:
+      case FaultKind::kSigkill:
+      case FaultKind::kSigterm:
         if (e.slot >= plan.nodes) {
           throw std::invalid_argument(
               "ChaosPlan::parse: slot " + std::to_string(e.slot) +
@@ -300,6 +335,49 @@ ChaosPlan ChaosPlan::canonical(std::uint64_t seed, std::size_t nodes) {
   // Phase 5: 8x latency spike.
   plan.latency_burst(20'000'000, 8.0, 2'000'000);
   plan.verify(23'000'000);
+  return plan;
+}
+
+ChaosPlan ChaosPlan::process_canonical(std::uint64_t seed, std::size_t nodes) {
+  if (nodes < 8) {
+    throw std::invalid_argument("ChaosPlan::process_canonical: need >= 8 nodes");
+  }
+  Rng rng(seed * 104729 + 31);
+  // Fisher-Yates over [1, nodes): slot 0 is the bootstrap seed every
+  // restarted daemon rejoins through, so it is never a victim.
+  std::vector<std::size_t> victims(nodes - 1);
+  for (std::size_t i = 0; i < victims.size(); ++i) victims[i] = i + 1;
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    std::swap(victims[i - 1],
+              victims[static_cast<std::size_t>(
+                  rng.next_below(static_cast<std::uint64_t>(i)))]);
+  }
+  const std::size_t kills = std::max<std::size_t>(1, nodes / 4);   // 25%
+  const std::size_t terms = std::max<std::size_t>(1, nodes / 10);  // 10%
+  const std::size_t restarts = std::max<std::size_t>(1, kills / 2);
+
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.nodes = nodes;
+  plan.process_mode = true;
+  // Phase 1: baseline — the freshly booted fleet must converge and cover.
+  plan.verify(3'000'000);
+  // Phase 2: SIGKILL wave over 25% of the fleet, spread across ~2s.
+  for (std::size_t i = 0; i < kills; ++i) {
+    plan.sigkill(4'000'000 + i * (2'000'000 / kills), victims[i]);
+  }
+  plan.verify(15'000'000);
+  // Phase 3: half the killed slots come back with bumped incarnations.
+  for (std::size_t i = 0; i < restarts; ++i) {
+    plan.restart(16'000'000 + i * (2'000'000 / restarts), victims[i]);
+  }
+  plan.verify(28'000'000);
+  // Phase 4: SIGTERM wave over 10% — graceful drains whose aggregate
+  // conservation the supervisor checks per victim.
+  for (std::size_t i = 0; i < terms; ++i) {
+    plan.sigterm(29'000'000 + i * (2'000'000 / terms), victims[kills + i]);
+  }
+  plan.verify(40'000'000);
   return plan;
 }
 

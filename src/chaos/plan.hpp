@@ -18,6 +18,8 @@ enum class FaultKind : std::uint8_t {
   kHeal = 6,         ///< partition on slot is lifted
   kVerify = 7,       ///< quiesce, then run the recovery verifier
   kRebalance = 8,    ///< run the measurement-driven rebalancer to its SLO
+  kSigkill = 9,      ///< SIGKILL a daemon process (abrupt, like kCrash)
+  kSigterm = 10,     ///< SIGTERM a daemon: graceful drain, then clean leave
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -48,6 +50,11 @@ struct ChaosPlan {
   /// the unbalanced trees (max branching 7+ at n >= 16, Fig. 7a) that the
   /// rebalance event is then expected to repair.
   bool random_ids = false;
+  /// Deployment directive: the plan targets real OS processes (one datd per
+  /// slot, driven by the process supervisor) instead of an in-process sim
+  /// cluster. Spelled `mode process` in the spec; sim campaigns still
+  /// accept sigkill/sigterm events by mapping them to crash/drain+leave.
+  bool process_mode = false;
   std::vector<FaultEvent> events;
 
   // Builder-style helpers; times are virtual microseconds from campaign
@@ -63,6 +70,8 @@ struct ChaosPlan {
   ChaosPlan& heal(std::uint64_t at_us, std::size_t slot);
   ChaosPlan& verify(std::uint64_t at_us);
   ChaosPlan& rebalance(std::uint64_t at_us);
+  ChaosPlan& sigkill(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& sigterm(std::uint64_t at_us, std::size_t slot);
 
   /// Orders events by at_us (stable: simultaneous events keep the order
   /// they were added in). Campaign calls this before executing.
@@ -80,6 +89,7 @@ struct ChaosPlan {
   ///   seed <n>
   ///   nodes <n>
   ///   assign random|probed
+  ///   mode process|sim
   ///   <at_ms> crash <slot>
   ///   <at_ms> leave <slot>
   ///   <at_ms> restart <slot>
@@ -89,6 +99,8 @@ struct ChaosPlan {
   ///   <at_ms> heal <slot>
   ///   <at_ms> verify
   ///   <at_ms> rebalance
+  ///   <at_ms> sigkill <slot>
+  ///   <at_ms> sigterm <slot>
   ///
   /// Throws std::invalid_argument with the offending line on bad input:
   /// malformed fields, unknown verbs, duplicate seed/nodes/assign lines, a
@@ -112,6 +124,17 @@ struct ChaosPlan {
   /// function of (seed, nodes).
   [[nodiscard]] static ChaosPlan rebalance_skew(std::uint64_t seed,
                                                 std::size_t nodes);
+
+  /// The canonical process-level kill plan the daemon-soak CI job runs: a
+  /// fleet of `nodes` real datd processes gets a baseline verify, a SIGKILL
+  /// wave hitting 25% of the fleet, a verify, restarts of half the killed
+  /// slots (bumped incarnations), a verify, a SIGTERM wave draining 10%
+  /// gracefully, and a closing verify. Slot 0 (the bootstrap seed every
+  /// restarted daemon rejoins through) is never a victim. Victim choices
+  /// are drawn from Rng(seed), so the timeline is a pure function of
+  /// (seed, nodes).
+  [[nodiscard]] static ChaosPlan process_canonical(std::uint64_t seed,
+                                                   std::size_t nodes);
 };
 
 }  // namespace dat::chaos

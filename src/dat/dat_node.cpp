@@ -18,6 +18,7 @@ constexpr const char* kSnapResp = "dat.snap_resp";
 constexpr const char* kCollectStart = "dat.collect_start";
 constexpr const char* kCollectReq = "dat.collect_req";
 constexpr const char* kHandoff = "dat.handoff";
+constexpr const char* kRetract = "dat.retract";
 
 std::string key_label(Id key) {
   char buf[19];  // "0x" + 16 hex digits + NUL
@@ -42,6 +43,8 @@ DatNode::DatNode(chord::Node& chord, DatOptions options)
   m_relay_entries_ = &reg.counter("dat_tree_relay_entries_total");
   m_handoffs_out_ = &reg.counter("dat_tree_handoff_children_total");
   m_handoffs_in_ = &reg.counter("dat_tree_handoffs_accepted_total");
+  m_retracts_out_ = &reg.counter("dat_tree_retracts_sent_total");
+  m_retracts_in_ = &reg.counter("dat_tree_retracts_received_total");
   m_child_staleness_ = &reg.histogram("dat_tree_child_staleness_us");
   // Per-key aggregation-table state as a registry view: sampled at snapshot
   // time, zero cost on the push path. Runs on the node's thread like every
@@ -87,6 +90,7 @@ DatNode::~DatNode() {
   rpc.unregister_one_way(kCollectStart);
   rpc.unregister_one_way(kCollectReq);
   rpc.unregister_one_way(kHandoff);
+  rpc.unregister_one_way(kRetract);
   chord_.telemetry().registry.remove_collector(collector_id_);
   for (auto& [key, entry] : table_) {
     if (entry.timer != 0) chord_.rpc().transport().cancel_timer(entry.timer);
@@ -129,6 +133,10 @@ void DatNode::register_handlers() {
   chord_.rpc().register_one_way(
       kHandoff, [this](net::Endpoint from, net::Reader& msg) {
         handle_handoff(from, msg);
+      });
+  chord_.rpc().register_one_way(
+      kRetract, [this](net::Endpoint from, net::Reader& msg) {
+        handle_retract(from, msg);
       });
 }
 
@@ -309,6 +317,10 @@ void DatNode::run_epoch(Id key) {
   auto it = table_.find(key);
   if (it == table_.end() || !chord_.alive()) return;
   Entry& entry = it->second;
+  // A drained entry must not push again: its record upstream was retracted,
+  // and a fresh update would resurrect it — double-counting the subtree it
+  // just handed off.
+  if (entry.draining) return;
   ++entry.epoch;
   m_epochs_->inc();
   const AggState state = collect(entry);
@@ -408,6 +420,10 @@ void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
 
   auto it = table_.find(key);
   if (it == table_.end()) {
+    // A draining node must not adopt new trees on the way out: it would
+    // never forward them. The sender re-parents via Chord stabilization
+    // once this node leaves the ring.
+    if (draining_) return;
     // First sighting of this tree: create a passive (relay-only) entry so
     // the aggregate flows through us — the paper's "adds a new entry in the
     // aggregation table" on first contact with an aggregate.
@@ -421,6 +437,20 @@ void DatNode::handle_update(net::Endpoint from, net::Reader& msg) {
   Entry& entry = it->second;
   ++entry.updates_received;
   m_updates_in_->inc();
+  if (entry.draining) {
+    // Straggler that missed the drain handoff (in flight, or a child whose
+    // dat_parent still points here): repeat the redirect instead of
+    // re-adopting a record we already retracted upstream. Never redirect
+    // the relay at itself.
+    if (entry.drain_relay.valid() && from != entry.drain_relay.endpoint) {
+      net::Writer w;
+      w.u64(key);
+      chord::write_node_ref(w, entry.drain_relay);
+      w.u64(entry.drain_ttl_us);
+      chord_.rpc().send_one_way(from, kHandoff, w);
+    }
+    return;
+  }
   ChildRecord& rec = entry.children[from];
   rec.ref = sender;
   rec.state = state;
@@ -772,6 +802,116 @@ void DatNode::handle_handoff(net::Endpoint /*from*/, net::Reader& msg) {
   const chord::NodeRef relay = chord::read_node_ref(msg);
   const std::uint64_t ttl_us = msg.u64();
   set_parent_override(key, relay, ttl_us);
+}
+
+// -- graceful drain -----------------------------------------------------------
+
+std::vector<Id> DatNode::active_keys() const {
+  std::vector<Id> keys;
+  keys.reserve(table_.size());
+  for (const auto& [key, entry] : table_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+chord::NodeRef DatNode::drain_relay_for(const Entry& entry) const {
+  const std::uint64_t now = chord_.rpc().transport().now_us();
+  if (entry.parent_override.valid() && now < entry.override_until_us &&
+      entry.parent_override.endpoint != chord_.rpc().local()) {
+    return entry.parent_override;
+  }
+  if (const auto parent = chord_.dat_parent(entry.key, entry.scheme)) {
+    return *parent;
+  }
+  // This node is the root: its successor inherits the key range once the
+  // clean leave completes, so that is where the orphaned children belong.
+  const chord::NodeRef succ = chord_.successor();
+  if (succ.valid() && succ.endpoint != chord_.rpc().local()) return succ;
+  return {};
+}
+
+std::size_t DatNode::drain_children(Id key, std::uint64_t ttl_us) {
+  const auto it = table_.find(key & chord_.space().mask());
+  if (it == table_.end()) return 0;
+  Entry& entry = it->second;
+
+  // Prune stale records first (same expiry rule as collect()) so departed
+  // children are not counted as "moved".
+  const std::uint64_t now = chord_.rpc().transport().now_us();
+  const std::uint64_t ttl =
+      static_cast<std::uint64_t>(options_.child_ttl_epochs) * period_of(entry);
+  for (auto c = entry.children.begin(); c != entry.children.end();) {
+    if (now - c->second.received_at_us > ttl) {
+      c = entry.children.erase(c);
+    } else {
+      ++c;
+    }
+  }
+
+  const chord::NodeRef relay = drain_relay_for(entry);
+  entry.draining = true;
+  entry.drain_relay = relay;
+  entry.drain_ttl_us = ttl_us;
+  if (!relay.valid()) {
+    // Singleton ring: nobody to hand the subtree to, and nobody left to
+    // count it either.
+    entry.children.clear();
+    return 0;
+  }
+  std::size_t moved = 0;
+  for (const auto& [child_ep, record] : entry.children) {
+    // The relay itself may be one of our children (root drain: the
+    // successor often is). set_parent_override ignores self-relays, so a
+    // redirect would be a no-op; it re-parents via stabilization instead.
+    if (child_ep == relay.endpoint) continue;
+    net::Writer w;
+    w.u64(key);
+    chord::write_node_ref(w, relay);
+    w.u64(ttl_us);
+    chord_.rpc().send_one_way(child_ep, kHandoff, w);
+    ++moved;
+  }
+  // Drop every record now: the subtree reports through the relay from its
+  // next push, and we will never push (or be counted) again.
+  entry.children.clear();
+  m_handoffs_out_->inc(moved);
+  return moved;
+}
+
+DatNode::DrainReport DatNode::drain(std::uint64_t ttl_us) {
+  DrainReport report;
+  draining_ = true;
+  for (auto& [key, entry] : table_) {
+    if (entry.draining) continue;  // idempotent: drained on an earlier call
+    ++report.keys;
+    report.children_moved += drain_children(key, ttl_us);
+    if (entry.timer != 0) {
+      chord_.rpc().transport().cancel_timer(entry.timer);
+      entry.timer = 0;
+    }
+    // Erase our soft-state record at the parent immediately. Without this
+    // the handed-off children double-count against the stale record until
+    // TTL expiry — drain would briefly inflate the aggregate instead of
+    // conserving it.
+    if (entry.last_parent != net::kNullEndpoint &&
+        entry.last_parent != chord_.rpc().local()) {
+      net::Writer w;
+      w.u64(key);
+      chord_.rpc().send_one_way(entry.last_parent, kRetract, w);
+      ++report.retracts_sent;
+      m_retracts_out_->inc();
+    }
+  }
+  return report;
+}
+
+void DatNode::handle_retract(net::Endpoint from, net::Reader& msg) {
+  const Id key = msg.u64();
+  const auto it = table_.find(key);
+  if (it == table_.end()) return;
+  if (it->second.children.erase(from) > 0) {
+    m_retracts_in_->inc();
+  }
 }
 
 // -- instrumentation ----------------------------------------------------------

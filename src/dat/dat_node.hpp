@@ -7,6 +7,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "chord/node.hpp"
 #include "dat/aggregate.hpp"
@@ -143,6 +144,39 @@ class DatNode {
   /// True while an unexpired parent override is installed for `key`.
   [[nodiscard]] bool has_parent_override(Id key) const;
 
+  // -- graceful drain --------------------------------------------------------
+  /// Keys currently present in the aggregation table (active and relay
+  /// entries alike), sorted ascending.
+  [[nodiscard]] std::vector<Id> active_keys() const;
+
+  /// Outcome of one DatNode::drain() call.
+  struct DrainReport {
+    std::size_t keys = 0;            ///< aggregation-table entries drained
+    std::size_t children_moved = 0;  ///< handoffs issued across all keys
+    std::size_t retracts_sent = 0;   ///< parent-side records retracted
+  };
+
+  /// Hands off EVERY fresh child of `key` to this node's own upstream (the
+  /// fresh parent override, else the geometric dat_parent, else — when this
+  /// node is the root — its successor, which inherits the key range on
+  /// leave). The subtree then bypasses this node entirely: the first step of
+  /// a graceful exit. Marks the entry as draining, so stragglers that still
+  /// push here are re-issued the redirect instead of being re-adopted.
+  /// Returns the number of children moved.
+  std::size_t drain_children(Id key, std::uint64_t ttl_us);
+
+  /// Graceful exit of the whole DAT layer, run before a clean Chord leave:
+  /// for every key, drain_children() re-parents the subtree upstream, a
+  /// one-way dat.retract erases this node's soft-state record at its parent
+  /// (so the handed-off children are not double-counted against the stale
+  /// record until TTL expiry), and the push timer stops. The node's own
+  /// local value leaves the aggregate exactly once — conservation is what
+  /// the process-chaos SLO asserts. Idempotent.
+  DrainReport drain(std::uint64_t ttl_us);
+
+  /// True once drain() has run.
+  [[nodiscard]] bool draining() const noexcept { return draining_; }
+
   // -- instrumentation -------------------------------------------------------
   /// Continuous-mode child updates received per key (the per-node
   /// "aggregation messages" metric of Fig. 8).
@@ -191,6 +225,11 @@ class DatNode {
     // Last parent this entry pushed to; a change means Chord re-parented us
     // (churn or finger repair) and is counted as a tree-topology event.
     net::Endpoint last_parent = net::kNullEndpoint;
+    /// Graceful-exit state: once draining, the entry stops pushing and any
+    /// straggler update is answered with a redirect to `drain_relay`.
+    bool draining = false;
+    chord::NodeRef drain_relay{};
+    std::uint64_t drain_ttl_us = 0;
   };
 
   struct PendingSnapshot {
@@ -213,8 +252,12 @@ class DatNode {
     return entry.epoch_us != 0 ? entry.epoch_us : options_.epoch_us;
   }
 
+  /// Upstream relay a draining entry points its children at.
+  [[nodiscard]] chord::NodeRef drain_relay_for(const Entry& entry) const;
+
   void handle_update(net::Endpoint from, net::Reader& msg);
   void handle_handoff(net::Endpoint from, net::Reader& msg);
+  void handle_retract(net::Endpoint from, net::Reader& msg);
   void handle_get_global(net::Endpoint from, net::Reader& req,
                          net::Writer& reply);
   void handle_get_history(net::Endpoint from, net::Reader& req,
@@ -242,6 +285,7 @@ class DatNode {
   std::unordered_map<std::uint64_t, PendingSnapshot> snapshots_;
   std::uint64_t next_seq_ = 1;
   bool alive_ = true;
+  bool draining_ = false;
 
   // Borrowed instrument pointers into chord_.telemetry().registry; the
   // deque-backed registry guarantees they outlive this object (the chord
@@ -253,6 +297,8 @@ class DatNode {
   obs::Counter* m_relay_entries_ = nullptr;
   obs::Counter* m_handoffs_out_ = nullptr;  ///< children shed to a relay
   obs::Counter* m_handoffs_in_ = nullptr;   ///< parent overrides accepted
+  obs::Counter* m_retracts_out_ = nullptr;  ///< drain retracts sent upstream
+  obs::Counter* m_retracts_in_ = nullptr;   ///< child records retracted here
   obs::Histogram* m_child_staleness_ = nullptr;
   std::uint64_t collector_id_ = 0;
 };

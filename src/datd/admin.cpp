@@ -1,0 +1,115 @@
+#include "datd/admin.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace dat::datd {
+
+AdminClient::AdminClient(std::uint64_t timeout_us)
+    : timeout_us_(timeout_us), transport_(network_.add_node()) {
+  rpc_ = std::make_unique<net::RpcManager>(transport_);
+}
+
+AdminClient::~AdminClient() = default;
+
+bool AdminClient::pump_until(const bool& done) {
+  // Margin past the RPC budget so the manager can deliver its own kTimeout
+  // instead of us abandoning a still-pending handler.
+  return network_.run_while([&done] { return !done; }, timeout_us_ * 2);
+}
+
+namespace {
+
+/// Completion latch shared with the RPC handler: if the pump gives up
+/// before the manager resolves the call, the handler must not write into a
+/// dead stack frame — it owns the state instead.
+template <typename T>
+struct CallState {
+  bool done = false;
+  std::optional<T> result;
+};
+
+net::RpcOptions admin_budget(std::uint64_t timeout_us) {
+  return net::RpcOptions::adaptive(timeout_us / 4 + 1, 3);
+}
+
+}  // namespace
+
+std::optional<StatusInfo> AdminClient::status(net::Endpoint target) {
+  auto state = std::make_shared<CallState<StatusInfo>>();
+  rpc_->call(
+      target, "datd.status", net::Writer{},
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk) state->result = StatusInfo::decode(r);
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result;
+}
+
+std::optional<std::string> AdminClient::metrics(net::Endpoint target,
+                                                obs::ExportFormat format) {
+  net::Writer req;
+  req.u8(format == obs::ExportFormat::kJson ? 0 : 1);
+  auto state = std::make_shared<CallState<std::string>>();
+  rpc_->call(
+      target, "datd.metrics", req,
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk) state->result = r.str();
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result;
+}
+
+bool AdminClient::leave(net::Endpoint target) {
+  auto state = std::make_shared<CallState<bool>>();
+  rpc_->call(
+      target, "datd.leave", net::Writer{},
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk) state->result = r.boolean();
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result.value_or(false);
+}
+
+std::optional<std::uint64_t> AdminClient::rebalance(net::Endpoint target) {
+  auto state = std::make_shared<CallState<std::uint64_t>>();
+  rpc_->call(
+      target, "datd.rebalance", net::Writer{},
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk) state->result = r.u64();
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result;
+}
+
+std::optional<core::GlobalValue> AdminClient::global_at(net::Endpoint target,
+                                                        Id key) {
+  net::Writer req;
+  req.u64(key);
+  auto state = std::make_shared<CallState<core::GlobalValue>>();
+  rpc_->call(
+      target, "dat.get_global", req,
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk && r.boolean()) {
+          core::GlobalValue g;
+          g.state = core::read_agg_state(r);
+          g.epoch = r.u64();
+          g.updated_at_us = r.u64();
+          state->result = g;
+        }
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result;
+}
+
+}  // namespace dat::datd

@@ -1,0 +1,38 @@
+#include "datd/signals.hpp"
+
+#include <csignal>
+
+namespace dat::datd {
+
+namespace {
+// The only kind of object a signal handler may touch. One latch per
+// process: the daemons are single-threaded event loops, and the tools only
+// ever want "stop soon".
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+}  // namespace
+
+void install_signal_guard() {
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: a blocking poll/epoll wait must come back with EINTR so
+  // the loop notices the latch promptly. Every recv path already treats
+  // EINTR as a retry.
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // A closed datctl pipe must not kill a daemon mid-reply.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+int consume_signal() {
+  const int sig = g_signal;
+  g_signal = 0;
+  return sig;
+}
+
+int pending_signal() { return g_signal; }
+
+}  // namespace dat::datd

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace dat::datd {
+
+/// Async-signal-safe shutdown latch shared by datd, dat_supervisor, datctl
+/// and dat_chaos: install() points SIGINT/SIGTERM (and optionally more) at
+/// a handler that records the signal number in a sig_atomic_t flag, and the
+/// event loop polls consume_signal() at its own pace. Handlers stay
+/// installed for the life of the process; a second delivery of the same
+/// signal before the first is consumed is coalesced, and the default
+/// disposition is NOT restored — an operator who wants to kill a wedged
+/// process escalates to SIGKILL, which is exactly the abrupt path the chaos
+/// supervisor exercises.
+void install_signal_guard();
+
+/// Last signal delivered since the previous consume, or 0. Clears the latch.
+int consume_signal();
+
+/// Last signal delivered since the previous consume, or 0. Leaves the latch
+/// set — for "are we shutting down?" checks inside nested loops.
+int pending_signal();
+
+}  // namespace dat::datd

@@ -1,0 +1,90 @@
+#include "datd/status.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "net/endpoint.hpp"
+
+namespace dat::datd {
+
+void StatusInfo::encode(net::Writer& w) const {
+  w.u64(pid);
+  w.u64(incarnation);
+  w.u64(uptime_us);
+  w.boolean(serving);
+  w.boolean(joined);
+  chord::write_node_ref(w, self);
+  w.boolean(predecessor.has_value());
+  if (predecessor) chord::write_node_ref(w, *predecessor);
+  w.u8(static_cast<std::uint8_t>(successors.size()));
+  for (const chord::NodeRef& s : successors) chord::write_node_ref(w, s);
+  w.u32(static_cast<std::uint32_t>(aggregate_keys.size()));
+  for (const std::uint64_t key : aggregate_keys) w.u64(key);
+}
+
+StatusInfo StatusInfo::decode(net::Reader& r) {
+  StatusInfo info;
+  info.pid = r.u64();
+  info.incarnation = r.u64();
+  info.uptime_us = r.u64();
+  info.serving = r.boolean();
+  info.joined = r.boolean();
+  info.self = chord::read_node_ref(r);
+  if (r.boolean()) info.predecessor = chord::read_node_ref(r);
+  const std::uint8_t successor_count = r.u8();
+  // datlint:allow(hot-path): admin-RPC decode, runs at operator cadence
+  info.successors.reserve(successor_count);
+  for (std::uint8_t i = 0; i < successor_count; ++i) {
+    // datlint:allow(hot-path): admin-RPC decode, runs at operator cadence
+    info.successors.push_back(chord::read_node_ref(r));
+  }
+  const std::uint32_t key_count = r.u32();
+  // Wire-controlled count: bound the reserve like every other decode path.
+  // datlint:allow(hot-path): admin-RPC decode, runs at operator cadence
+  info.aggregate_keys.reserve(std::min<std::uint32_t>(key_count, 1024));
+  for (std::uint32_t i = 0; i < key_count; ++i) {
+    // datlint:allow(hot-path): admin-RPC decode, runs at operator cadence
+    info.aggregate_keys.push_back(r.u64());
+  }
+  return info;
+}
+
+std::string StatusInfo::describe() const {
+  std::ostringstream oss;
+  oss << "pid=" << pid << " inc=" << incarnation << " up="
+      << uptime_us / 1000 << "ms state="
+      << (serving ? "serving" : "draining") << " joined="
+      << (joined ? "yes" : "no") << " self="
+      << net::endpoint_to_string(self.endpoint) << " id=" << self.id
+      << " succ=" << successors.size() << " keys=" << aggregate_keys.size();
+  return oss.str();
+}
+
+std::string StatusInfo::to_json() const {
+  std::ostringstream oss;
+  oss << "{\"schema\":\"dat.status.v1\",\"pid\":" << pid
+      << ",\"incarnation\":" << incarnation << ",\"uptime_us\":" << uptime_us
+      << ",\"state\":\"" << (serving ? "serving" : "draining")
+      << "\",\"joined\":" << (joined ? "true" : "false") << ",\"self\":{\"id\":"
+      << self.id << ",\"endpoint\":\""
+      << net::endpoint_to_string(self.endpoint) << "\"}";
+  if (predecessor) {
+    oss << ",\"predecessor\":{\"id\":" << predecessor->id << ",\"endpoint\":\""
+        << net::endpoint_to_string(predecessor->endpoint) << "\"}";
+  }
+  oss << ",\"successors\":[";
+  for (std::size_t i = 0; i < successors.size(); ++i) {
+    if (i != 0) oss << ",";
+    oss << "{\"id\":" << successors[i].id << ",\"endpoint\":\""
+        << net::endpoint_to_string(successors[i].endpoint) << "\"}";
+  }
+  oss << "],\"aggregate_keys\":[";
+  for (std::size_t i = 0; i < aggregate_keys.size(); ++i) {
+    if (i != 0) oss << ",";
+    oss << aggregate_keys[i];
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace dat::datd

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chord/types.hpp"
+#include "net/codec.hpp"
+
+namespace dat::datd {
+
+/// The daemon's liveness/health snapshot, answered synchronously by the
+/// `datd.status` admin RPC and rendered by `datctl status --target`. Kept
+/// deliberately small: everything here is local state the handler can read
+/// without blocking the event loop.
+struct StatusInfo {
+  std::uint64_t pid = 0;
+  std::uint64_t incarnation = 0;
+  std::uint64_t uptime_us = 0;
+  bool serving = true;  ///< false once a drain has begun
+  bool joined = false;
+  chord::NodeRef self{};
+  std::optional<chord::NodeRef> predecessor;
+  std::vector<chord::NodeRef> successors;
+  std::vector<std::uint64_t> aggregate_keys;  ///< active DAT tree keys
+
+  void encode(net::Writer& w) const;
+  [[nodiscard]] static StatusInfo decode(net::Reader& r);
+
+  /// One-line human rendering for datctl.
+  [[nodiscard]] std::string describe() const;
+  /// JSON object rendering ("dat.status.v1") for scripted admin.
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace dat::datd

@@ -1,0 +1,426 @@
+#include "datd/supervisor.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "datd/signals.hpp"
+#include "net/endpoint.hpp"
+
+namespace dat::datd {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ms_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// Sleeps in small slices so a latched SIGINT interrupts a long gap between
+/// plan events within ~100ms instead of at the next event.
+void sleep_ms_interruptible(std::uint64_t ms) {
+  while (ms > 0 && pending_signal() == 0) {
+    const std::uint64_t slice = std::min<std::uint64_t>(ms, 100);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {}
+
+Supervisor::~Supervisor() { kill_all(); }
+
+void Supervisor::note(const std::string& line) {
+  report_.push_back(line);
+  if (options_.verbose) std::cout << line << "\n" << std::flush;
+}
+
+void Supervisor::violation(const std::string& line) {
+  ++violations_;
+  note("VIOLATION: " + line);
+}
+
+bool Supervisor::interrupted() {
+  if (!interrupted_ && pending_signal() != 0) {
+    interrupted_ = true;
+    note("interrupted: tearing the fleet down");
+  }
+  return interrupted_;
+}
+
+net::Endpoint Supervisor::slot_endpoint(std::size_t slot) const {
+  return net::make_udp_endpoint(
+      0x7F000001u, static_cast<std::uint16_t>(options_.base_port + slot));
+}
+
+std::vector<std::size_t> Supervisor::live_slots() const {
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive) live.push_back(i);
+  }
+  return live;
+}
+
+double Supervisor::expected_sum() const {
+  double sum = 0.0;
+  for (const Slot& slot : slots_) {
+    if (slot.alive) sum += slot.value;
+  }
+  return sum;
+}
+
+bool Supervisor::spawn(std::size_t slot) {
+  Slot& s = slots_[slot];
+  std::vector<std::string> args;
+  args.push_back(options_.datd_path);
+  args.push_back("--port=" +
+                 std::to_string(options_.base_port + slot));
+  args.push_back("--seed=" +
+                 std::to_string(options_.seed * 1000 + slot + 1));
+  args.push_back("--incarnation=" + std::to_string(s.incarnation));
+  args.push_back("--value=" + std::to_string(s.value));
+  args.push_back("--aggregate=" + options_.aggregate);
+  args.push_back("--replicas=" + std::to_string(options_.replicas));
+  args.push_back("--epoch-ms=" + std::to_string(options_.epoch_ms));
+  args.push_back("--drain-deadline-ms=" +
+                 std::to_string(options_.drain_deadline_ms));
+  if (slot == 0) {
+    args.push_back("--create=true");
+  } else {
+    args.push_back("--seeds=127.0.0.1:" +
+                   std::to_string(options_.base_port));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    violation("fork failed for slot " + std::to_string(slot));
+    return false;
+  }
+  if (pid == 0) {
+    ::execv(options_.datd_path.c_str(), argv.data());
+    // Only reached when exec failed; the parent sees exit 127 on reap.
+    std::_Exit(127);
+  }
+  s.pid = pid;
+  s.alive = true;
+  return true;
+}
+
+bool Supervisor::boot_fleet() {
+  const Clock::time_point start = Clock::now();
+  note("boot: spawning " + std::to_string(slots_.size()) +
+       " daemons on 127.0.0.1:" + std::to_string(options_.base_port) + "-" +
+       std::to_string(options_.base_port + slots_.size() - 1));
+  if (!spawn(0)) return false;
+  // Wait for the seed node before unleashing the joiners: every other slot
+  // retries with backoff anyway, but a live seed keeps boot time flat.
+  const Clock::time_point seed_deadline =
+      start + std::chrono::milliseconds(options_.boot_timeout_ms);
+  while (Clock::now() < seed_deadline && !interrupted()) {
+    const auto status = admin_.status(slot_endpoint(0));
+    if (status && status->joined) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.verify_poll_ms));
+  }
+  for (std::size_t i = 1; i < slots_.size() && !interrupted(); ++i) {
+    if (!spawn(i)) return false;
+  }
+  // Fleet-up SLO: every daemon answers its health endpoint and reports a
+  // joined ring within the boot window.
+  while (!interrupted()) {
+    std::size_t joined = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const auto status = admin_.status(slot_endpoint(i));
+      if (status && status->joined) ++joined;
+    }
+    if (joined == slots_.size()) {
+      note("boot: fleet up in " + std::to_string(ms_since(start)) + "ms");
+      return true;
+    }
+    if (ms_since(start) > options_.boot_timeout_ms) {
+      violation("boot: only " + std::to_string(joined) + "/" +
+                std::to_string(slots_.size()) + " daemons joined within " +
+                std::to_string(options_.boot_timeout_ms) + "ms");
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.verify_poll_ms));
+  }
+  return false;
+}
+
+void Supervisor::kill_abrupt(std::size_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.alive) return;
+  ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+  int status = 0;
+  ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+  s.alive = false;
+  note("sigkill: slot " + std::to_string(slot) + " (pid " +
+       std::to_string(s.pid) + ")");
+}
+
+void Supervisor::term_graceful(std::size_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.alive) return;
+  const double parting_value = s.value;
+  const Clock::time_point start = Clock::now();
+  ::kill(static_cast<pid_t>(s.pid), SIGTERM);
+  // Exit-code SLO: a drained daemon must exit 0 within its hard deadline
+  // (plus scheduling margin) — exit 1 means the drain blew the deadline.
+  const std::uint64_t wait_ms = options_.drain_deadline_ms + 3000;
+  int status = 0;
+  bool reaped = false;
+  while (ms_since(start) <= wait_ms) {
+    const pid_t r =
+        ::waitpid(static_cast<pid_t>(s.pid), &status, WNOHANG);
+    if (r == static_cast<pid_t>(s.pid)) {
+      reaped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!reaped) {
+    ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+    ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+    violation("sigterm: slot " + std::to_string(slot) +
+              " did not exit within " + std::to_string(wait_ms) + "ms");
+  } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    violation("sigterm: slot " + std::to_string(slot) + " exited " +
+              (WIFEXITED(status)
+                   ? std::to_string(WEXITSTATUS(status))
+                   : std::string("by signal ") +
+                         std::to_string(WTERMSIG(status))) +
+              " instead of 0");
+  } else {
+    note("sigterm: slot " + std::to_string(slot) + " drained (value " +
+         std::to_string(parting_value) + " retired) and exited 0 in " +
+         std::to_string(ms_since(start)) + "ms");
+  }
+  s.alive = false;
+}
+
+void Supervisor::restart_slot(std::size_t slot) {
+  Slot& s = slots_[slot];
+  if (s.alive) kill_abrupt(slot);
+  ++s.incarnation;
+  if (spawn(slot)) {
+    note("restart: slot " + std::to_string(slot) + " respawned (pid " +
+         std::to_string(s.pid) + ", incarnation " +
+         std::to_string(s.incarnation) + ")");
+  }
+}
+
+void Supervisor::rebalance_fleet() {
+  std::uint64_t moved = 0;
+  for (const std::size_t slot : live_slots()) {
+    moved += admin_.rebalance(slot_endpoint(slot)).value_or(0);
+  }
+  note("rebalance: " + std::to_string(moved) + " children moved");
+}
+
+bool Supervisor::verify_phase(std::size_t phase) {
+  const Clock::time_point start = Clock::now();
+  const std::vector<std::size_t> live = live_slots();
+  std::string failing = "no poll completed";
+  while (!interrupted()) {
+    failing.clear();
+    // 1. Health: every live daemon answers, is joined, and reports the
+    //    incarnation the supervisor expects (restart identity).
+    std::vector<StatusInfo> statuses;
+    statuses.reserve(live.size());
+    for (const std::size_t slot : live) {
+      auto status = admin_.status(slot_endpoint(slot));
+      if (!status || !status->joined) {
+        failing = "health: slot " + std::to_string(slot) +
+                  (status ? " not joined" : " not answering");
+        break;
+      }
+      if (status->incarnation != slots_[slot].incarnation) {
+        failing = "identity: slot " + std::to_string(slot) +
+                  " reports incarnation " +
+                  std::to_string(status->incarnation) + ", expected " +
+                  std::to_string(slots_[slot].incarnation);
+        break;
+      }
+      statuses.push_back(std::move(*status));
+    }
+    // 2. Ring: successor pointers of the live set form one cycle.
+    if (failing.empty()) {
+      std::vector<const StatusInfo*> ring;
+      ring.reserve(statuses.size());
+      for (const StatusInfo& s : statuses) ring.push_back(&s);
+      std::sort(ring.begin(), ring.end(),
+                [](const StatusInfo* a, const StatusInfo* b) {
+                  return a->self.id < b->self.id;
+                });
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const StatusInfo* node = ring[i];
+        const StatusInfo* next = ring[(i + 1) % ring.size()];
+        if (node->successors.empty() ||
+            node->successors.front().endpoint != next->self.endpoint) {
+          failing = "ring: successor of id " + std::to_string(node->self.id) +
+                    " is not the next live id";
+          break;
+        }
+      }
+    }
+    // 3. Coverage + conservation: every replica tree has a root whose
+    //    global counts exactly the live fleet and sums exactly the live
+    //    slots' values (slot i contributes i+1 — an exact-sum invariant).
+    if (failing.empty() && !statuses.empty()) {
+      const double want_sum = expected_sum();
+      for (const std::uint64_t key : statuses.front().aggregate_keys) {
+        bool key_ok = false;
+        std::string key_state = "no root answered";
+        for (const std::size_t slot : live) {
+          const auto global = admin_.global_at(slot_endpoint(slot), key);
+          if (!global) continue;
+          if (global->state.count != live.size()) {
+            key_state = "count " + std::to_string(global->state.count) +
+                        " != live " + std::to_string(live.size());
+            continue;
+          }
+          if (std::abs(global->state.sum - want_sum) > 1e-6) {
+            key_state = "sum " + std::to_string(global->state.sum) +
+                        " != expected " + std::to_string(want_sum);
+            continue;
+          }
+          key_ok = true;
+          break;
+        }
+        if (!key_ok) {
+          failing = "aggregate key " + std::to_string(key) + ": " + key_state;
+          break;
+        }
+      }
+    }
+    // 4. Scrape: the telemetry endpoint itself serves a metrics page.
+    if (failing.empty()) {
+      const auto page =
+          admin_.metrics(slot_endpoint(live.front()),
+                         obs::ExportFormat::kPrometheus);
+      if (!page || page->find("dat_daemon_uptime_us") == std::string::npos) {
+        failing = "scrape: slot " + std::to_string(live.front()) +
+                  " metrics page missing dat_daemon_uptime_us";
+      }
+    }
+    if (failing.empty()) {
+      note("verify " + std::to_string(phase) + ": SLOs met in " +
+           std::to_string(ms_since(start)) + "ms (" +
+           std::to_string(live.size()) + " live)");
+      return true;
+    }
+    if (ms_since(start) > options_.verify_window_ms) {
+      violation("verify " + std::to_string(phase) + ": SLO window (" +
+                std::to_string(options_.verify_window_ms) +
+                "ms) expired; last failure: " + failing);
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.verify_poll_ms));
+  }
+  return false;
+}
+
+void Supervisor::kill_all() {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& s = slots_[i];
+    if (!s.alive) continue;
+    ::kill(static_cast<pid_t>(s.pid), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+    s.alive = false;
+  }
+}
+
+int Supervisor::run(const chaos::ChaosPlan& plan) {
+  install_signal_guard();
+  if (plan.nodes != options_.nodes) {
+    note("plan targets " + std::to_string(plan.nodes) +
+         " nodes; overriding --nodes=" + std::to_string(options_.nodes));
+  }
+  slots_.assign(plan.nodes, Slot{});
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].value = static_cast<double>(i + 1);
+  }
+  chaos::ChaosPlan ordered = plan;
+  ordered.sort_events();
+  note("plan: seed " + std::to_string(ordered.seed) + ", " +
+       std::to_string(ordered.events.size()) + " events, " +
+       std::to_string(ordered.phases()) + " verify phases");
+
+  if (!boot_fleet()) {
+    kill_all();
+    return interrupted_ ? 130 : 1;
+  }
+
+  const Clock::time_point t0 = Clock::now();
+  std::size_t phase = 0;
+  for (const chaos::FaultEvent& event : ordered.events) {
+    const std::uint64_t due_ms = event.at_us / 1000;
+    const std::uint64_t now_ms = ms_since(t0);
+    if (due_ms > now_ms) sleep_ms_interruptible(due_ms - now_ms);
+    if (interrupted()) break;
+    switch (event.kind) {
+      case chaos::FaultKind::kSigkill:
+      case chaos::FaultKind::kCrash:
+        kill_abrupt(event.slot);
+        break;
+      case chaos::FaultKind::kSigterm:
+      case chaos::FaultKind::kLeave:
+        term_graceful(event.slot);
+        break;
+      case chaos::FaultKind::kRestart:
+        restart_slot(event.slot);
+        break;
+      case chaos::FaultKind::kVerify:
+        (void)verify_phase(++phase);
+        break;
+      case chaos::FaultKind::kRebalance:
+        rebalance_fleet();
+        break;
+      default:
+        note("skipping " + event.describe() +
+             " (not supported against real processes)");
+        break;
+    }
+  }
+
+  kill_all();
+  const std::string verdict =
+      interrupted_
+          ? "interrupted"
+          : (violations_ == 0 ? "all SLOs met"
+                              : std::to_string(violations_) + " violations");
+  note("done: " + verdict);
+  if (!options_.report_path.empty()) {
+    std::ofstream out(options_.report_path, std::ios::trunc);
+    for (const std::string& line : report_) out << line << "\n";
+  }
+  if (interrupted_) return 130;
+  return violations_ == 0 ? 0 : 1;
+}
+
+}  // namespace dat::datd

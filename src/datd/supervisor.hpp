@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "datd/admin.hpp"
+
+namespace dat::datd {
+
+/// Knobs of one supervised datd fleet run.
+struct SupervisorOptions {
+  std::size_t nodes = 64;          ///< fleet size (>= 8 for process plans)
+  std::uint16_t base_port = 9400;  ///< slot i binds 127.0.0.1:base_port+i
+  std::string datd_path;           ///< path to the datd binary (required)
+  std::uint64_t seed = 1;          ///< forwarded into per-slot rng seeds
+  std::string aggregate = "cpu-usage";
+  unsigned replicas = 2;
+  std::uint64_t epoch_ms = 150;           ///< child push period
+  std::uint64_t drain_deadline_ms = 5000; ///< child SIGTERM hard deadline
+  std::uint64_t boot_timeout_ms = 60'000; ///< fleet-up SLO
+  std::uint64_t verify_window_ms = 15'000;  ///< per-verify recovery SLO
+  std::uint64_t verify_poll_ms = 250;
+  std::string report_path;  ///< optional: write the report here too
+  bool verbose = true;      ///< stream report lines to stdout as they happen
+};
+
+/// The process-level chaos harness: forks a fleet of real datd daemons on
+/// loopback, executes a seeded ChaosPlan against their PIDs (SIGKILL =
+/// crash, SIGTERM = graceful drain, restart = respawn with a bumped
+/// incarnation), and at every verify point scrapes the fleet's telemetry
+/// until the recovery SLOs hold:
+///
+///   ring       every live daemon joined, successor pointers form one cycle
+///   coverage   some replica root's global counts exactly the live fleet
+///   conserve   that global's sum equals the sum of live slots' values
+///              (slot i contributes i+1) — a drained daemon's value left
+///              the aggregate exactly once, a killed one's aged out
+///   exit code  a SIGTERM'd daemon exits 0 within its drain deadline
+///   identity   a restarted slot reports its new incarnation
+///
+/// Slot i's local value is i+1, so conservation is an exact-sum check, not
+/// a tolerance band. run() returns 0 iff every phase met its SLOs.
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+  ~Supervisor();  ///< SIGKILLs any child still running
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Boots the fleet, executes `plan` by wall clock, tears the fleet down.
+  /// Returns the process exit code: 0 all SLOs met, 1 violations, 130 when
+  /// interrupted (SIGINT/SIGTERM latched mid-run).
+  int run(const chaos::ChaosPlan& plan);
+
+  [[nodiscard]] const std::vector<std::string>& report() const noexcept {
+    return report_;
+  }
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+
+ private:
+  struct Slot {
+    long pid = -1;
+    std::uint64_t incarnation = 0;
+    bool alive = false;
+    double value = 0.0;
+  };
+
+  [[nodiscard]] bool spawn(std::size_t slot);
+  [[nodiscard]] bool boot_fleet();
+  void kill_abrupt(std::size_t slot);          ///< SIGKILL + reap
+  void term_graceful(std::size_t slot);        ///< SIGTERM, assert exit 0
+  void restart_slot(std::size_t slot);
+  void rebalance_fleet();
+  [[nodiscard]] bool verify_phase(std::size_t phase);
+  void kill_all();
+  [[nodiscard]] bool interrupted();
+
+  void note(const std::string& line);
+  void violation(const std::string& line);
+
+  [[nodiscard]] net::Endpoint slot_endpoint(std::size_t slot) const;
+  [[nodiscard]] std::vector<std::size_t> live_slots() const;
+  [[nodiscard]] double expected_sum() const;
+
+  SupervisorOptions options_;
+  AdminClient admin_;
+  std::vector<Slot> slots_;
+  std::vector<std::string> report_;
+  std::size_t violations_ = 0;
+  bool interrupted_ = false;
+};
+
+}  // namespace dat::datd

@@ -1,0 +1,10 @@
+#include "lb/drain.hpp"
+
+namespace dat::lb {
+
+core::DatNode::DrainReport drain_node(core::DatNode& dat,
+                                      const PolicyOptions& options) {
+  return dat.drain(options.handoff_ttl_us);
+}
+
+}  // namespace dat::lb

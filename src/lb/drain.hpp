@@ -1,0 +1,16 @@
+#pragma once
+
+#include "dat/dat_node.hpp"
+#include "lb/policy.hpp"
+
+namespace dat::lb {
+
+/// Graceful-exit policy: re-parents every subtree upstream and retracts the
+/// node's own records before a clean Chord leave, reusing the rebalancer's
+/// handoff freshness (PolicyOptions::handoff_ttl_us) so drain redirects age
+/// out on the same cadence as shed redirects. This is what a SIGTERM'd datd
+/// runs inside its drain deadline.
+core::DatNode::DrainReport drain_node(core::DatNode& dat,
+                                      const PolicyOptions& options = {});
+
+}  // namespace dat::lb

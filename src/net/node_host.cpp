@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace dat::net {
 
@@ -13,16 +15,18 @@ const char* to_string(NetBackend backend) noexcept {
   return "?";
 }
 
-NetBackend net_backend_from_env(NetBackend fallback) noexcept {
+NetBackend net_backend_from_env(NetBackend fallback) {
   const char* value = std::getenv("DAT_NET_BACKEND");
-  if (value == nullptr) return fallback;
+  if (value == nullptr || *value == '\0') return fallback;
   if (std::strcmp(value, "poll") == 0 || std::strcmp(value, "legacy") == 0) {
     return NetBackend::kPoll;
   }
   if (std::strcmp(value, "netio") == 0 || std::strcmp(value, "epoll") == 0) {
     return NetBackend::kNetio;
   }
-  return fallback;
+  throw std::invalid_argument(
+      std::string("DAT_NET_BACKEND=\"") + value +
+      "\": unknown backend (valid: poll, legacy, netio, epoll)");
 }
 
 }  // namespace dat::net

@@ -17,9 +17,11 @@ enum class NetBackend : std::uint8_t {
 
 /// Runtime backend selection: reads DAT_NET_BACKEND ("poll"/"legacy" or
 /// "netio"/"epoll", case-sensitive) and falls back to `fallback` when the
-/// variable is unset or unrecognized. Lets every UDP harness and example
-/// switch backends without a rebuild.
-[[nodiscard]] NetBackend net_backend_from_env(NetBackend fallback) noexcept;
+/// variable is unset. Lets every UDP harness, daemon and example switch
+/// backends without a rebuild. A set-but-unrecognized value is a deployment
+/// error, not a preference: it throws std::invalid_argument naming the
+/// valid backends instead of silently running on the fallback.
+[[nodiscard]] NetBackend net_backend_from_env(NetBackend fallback);
 
 /// Narrow interface of an in-process network hosting many node sockets in
 /// one OS process — the paper's "up to 64 DAT instances on each machine".
@@ -34,9 +36,14 @@ class NodeHostNetwork {
   NodeHostNetwork(const NodeHostNetwork&) = delete;
   NodeHostNetwork& operator=(const NodeHostNetwork&) = delete;
 
-  /// Binds a new UDP socket on 127.0.0.1 with an OS-assigned port and
-  /// returns its transport.
-  virtual Transport& add_node() = 0;
+  /// Binds a new UDP socket on 127.0.0.1 and returns its transport.
+  /// `port` 0 lets the OS assign one (harness mode); a daemon passes its
+  /// configured port so peers can find it across process restarts. Pinned
+  /// ports are bound with SO_REUSEADDR, so a restarted daemon can rebind
+  /// immediately even while stale sockets linger in the kernel.
+  virtual Transport& add_node(std::uint16_t port) = 0;
+
+  Transport& add_node() { return add_node(0); }
 
   /// Closes the node's socket and destroys its transport. Safe to call from
   /// a receive handler or timer of the same network: destruction is

@@ -45,14 +45,24 @@ UdpNetwork::~UdpNetwork() = default;
 
 std::uint64_t UdpNetwork::now_us() const { return steady_now_us() - t0_us_; }
 
-UdpTransport& UdpNetwork::add_node() {
+UdpTransport& UdpNetwork::add_node(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) throw_errno("socket");
+
+  if (port != 0) {
+    // A pinned port belongs to a daemon restarting in place: let the new
+    // socket rebind even while the dead incarnation's socket lingers.
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+      ::close(fd);
+      throw_errno("setsockopt(SO_REUSEADDR)");
+    }
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // OS-assigned
+  addr.sin_port = htons(port);  // 0 → OS-assigned
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     ::close(fd);
     throw_errno("bind");

@@ -75,9 +75,11 @@ class UdpNetwork final : public NodeHostNetwork {
   UdpNetwork(const UdpNetwork&) = delete;
   UdpNetwork& operator=(const UdpNetwork&) = delete;
 
-  /// Binds a new UDP socket on 127.0.0.1 with an OS-assigned port and
-  /// returns its transport.
-  UdpTransport& add_node() override;
+  /// Binds a new UDP socket on 127.0.0.1 and returns its transport. Port 0
+  /// asks the OS for one; a nonzero port is bound with SO_REUSEADDR so a
+  /// restarted daemon can reclaim its address immediately.
+  UdpTransport& add_node(std::uint16_t port) override;
+  using NodeHostNetwork::add_node;
 
   /// Closes the node's socket and destroys its transport. Destruction is
   /// deferred to the end of the current pump iteration, so a node may

@@ -5,7 +5,9 @@ namespace dat::netio {
 NetioNetwork::NetioNetwork(const ReactorOptions& options)
     : reactor_(options) {}
 
-NetioTransport& NetioNetwork::add_node() { return reactor_.add_socket(); }
+NetioTransport& NetioNetwork::add_node(std::uint16_t port) {
+  return reactor_.add_socket(port);
+}
 
 void NetioNetwork::remove_node(net::Endpoint ep) {
   reactor_.remove_socket(ep);

@@ -18,7 +18,8 @@ class NetioNetwork final : public net::NodeHostNetwork {
  public:
   explicit NetioNetwork(const ReactorOptions& options = {});
 
-  NetioTransport& add_node() override;
+  NetioTransport& add_node(std::uint16_t port) override;
+  using NodeHostNetwork::add_node;
   void remove_node(net::Endpoint ep) override;
   [[nodiscard]] std::uint64_t now_us() const override;
   void run_for(std::uint64_t duration_us) override;

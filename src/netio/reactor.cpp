@@ -240,12 +240,12 @@ bool Reactor::on_loop_thread() const {
 
 std::uint64_t Reactor::now_us() const { return steady_now_us() - t0_us_; }
 
-NetioTransport& Reactor::add_socket() {
-  if (!running() || on_loop_thread()) return do_add_socket();
+NetioTransport& Reactor::add_socket(std::uint16_t port) {
+  if (!running() || on_loop_thread()) return do_add_socket(port);
   std::promise<NetioTransport*> done;
-  post([this, &done] {
+  post([this, port, &done] {
     try {
-      done.set_value(&do_add_socket());
+      done.set_value(&do_add_socket(port));
     } catch (...) {
       done.set_exception(std::current_exception());
     }
@@ -253,7 +253,7 @@ NetioTransport& Reactor::add_socket() {
   return *done.get_future().get();
 }
 
-NetioTransport& Reactor::do_add_socket() {
+NetioTransport& Reactor::do_add_socket(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                           0);
   if (fd < 0) throw_errno("socket");
@@ -262,10 +262,19 @@ NetioTransport& Reactor::do_add_socket() {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
                  sizeof options_.so_rcvbuf);
   }
+  if (port != 0) {
+    // A pinned port belongs to a daemon restarting in place: let the new
+    // socket rebind even while the dead incarnation's socket lingers.
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+      ::close(fd);
+      throw_errno("setsockopt(SO_REUSEADDR)");
+    }
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // OS-assigned
+  addr.sin_port = htons(port);  // 0 → OS-assigned
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
     ::close(fd);
     throw_errno("bind");

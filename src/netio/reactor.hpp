@@ -153,8 +153,10 @@ class Reactor {
   Reactor& operator=(const Reactor&) = delete;
 
   /// Binds a new loopback UDP socket and registers it with this shard.
+  /// Port 0 asks the OS for one; a nonzero port is bound with SO_REUSEADDR
+  /// so a restarted daemon can reclaim its address immediately.
   /// Thread-safe: marshalled onto the shard thread when it is running.
-  NetioTransport& add_socket();
+  NetioTransport& add_socket(std::uint16_t port = 0);
 
   /// Unregisters and destroys the socket. Destruction is deferred to the
   /// end of the current loop iteration, so a handler may remove its own
@@ -206,7 +208,7 @@ class Reactor {
   void reap_graveyard();
   [[nodiscard]] bool on_loop_thread() const;
 
-  NetioTransport& do_add_socket();
+  NetioTransport& do_add_socket(std::uint16_t port);
   void do_remove_socket(net::Endpoint ep);
 
   void enqueue_send(NetioTransport& t, net::Endpoint to,

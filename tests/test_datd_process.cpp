@@ -1,0 +1,153 @@
+// Real-process checks for the deployment binaries: exit-code contracts of
+// datd / datctl / dat_supervisor on bad invocations, the fail-fast backend
+// env gate, and a small end-to-end supervisor soak that forks actual datd
+// daemons on loopback and asserts the recovery SLOs.
+//
+// Binary paths arrive as compile definitions (DATD_BIN etc.) so the tests
+// work from any build directory.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chaos/plan.hpp"
+#include "datd/supervisor.hpp"
+
+namespace {
+
+using namespace dat;
+
+/// fork+execv the binary with `args`, returns the raw exit status (what
+/// waitpid reports). DAT_NET_BACKEND is inherited unless `env_backend`
+/// overrides it for the child only.
+int run_binary(const char* path, std::vector<std::string> args,
+               const char* env_backend = nullptr) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (env_backend != nullptr) ::setenv("DAT_NET_BACKEND", env_backend, 1);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(path));
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    // Quiet the child's stderr: these tests provoke usage errors on purpose.
+    ::freopen("/dev/null", "w", stderr);
+    ::execv(path, argv.data());
+    ::_Exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status)) << path << " did not exit cleanly";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// ------------------------------------------------------ usage exit codes --
+
+TEST(DatdProcess, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_binary(DATD_BIN, {"--create=true", "--frobnicate=1"}), 2);
+}
+
+TEST(DatdProcess, MissingBootstrapIsUsageError) {
+  // Neither --create nor --seeds: config validation, exit 2.
+  EXPECT_EQ(run_binary(DATD_BIN, {}), 2);
+}
+
+TEST(DatdProcess, BadBackendFlagIsUsageError) {
+  EXPECT_EQ(run_binary(DATD_BIN, {"--create=true", "--backend=tcp"}), 2);
+}
+
+TEST(DatdProcess, UnknownEnvBackendFailsFast) {
+  // satellite: an unknown DAT_NET_BACKEND must abort startup with a clear
+  // error instead of silently falling back.
+  EXPECT_EQ(run_binary(DATD_BIN, {"--create=true", "--port=0"}, "io_uring"),
+            2);
+}
+
+TEST(DatdProcess, HelpExitsZero) {
+  EXPECT_EQ(run_binary(DATD_BIN, {"--help=true"}), 0);
+}
+
+TEST(DatctlProcess, UnknownSubcommandIsUsageError) {
+  EXPECT_EQ(run_binary(DATCTL_BIN, {"frobnicate"}), 2);
+}
+
+TEST(DatctlProcess, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_binary(DATCTL_BIN, {"monitor", "--frobnicate=1"}), 2);
+}
+
+TEST(DatctlProcess, RemoteWithoutTargetIsUsageError) {
+  EXPECT_EQ(run_binary(DATCTL_BIN, {"remote", "status"}), 2);
+}
+
+TEST(DatctlProcess, RemoteUnknownOpIsUsageError) {
+  EXPECT_EQ(
+      run_binary(DATCTL_BIN, {"remote", "explode", "--target=127.0.0.1:1"}),
+      2);
+}
+
+TEST(DatChaosProcess, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_binary(DAT_CHAOS_BIN, {"--frobnicate=1"}), 2);
+}
+
+TEST(DatChaosProcess, UnknownCampaignIsUsageError) {
+  EXPECT_EQ(run_binary(DAT_CHAOS_BIN, {"--campaign=voodoo"}), 2);
+}
+
+TEST(SupervisorProcess, UnknownFlagIsUsageError) {
+  EXPECT_EQ(run_binary(DAT_SUPERVISOR_BIN, {"--frobnicate=1"}), 2);
+}
+
+TEST(SupervisorProcess, PrintPlanIsDeterministic) {
+  // --print-plan renders without forking daemons; exercised via exit 0.
+  EXPECT_EQ(run_binary(DAT_SUPERVISOR_BIN,
+                       {"--nodes=16", "--seed=5", "--print-plan=true"}),
+            0);
+}
+
+// ----------------------------------------------------------- mini soak ----
+
+// A compressed process-mode plan: one SIGKILL, one restart, one SIGTERM
+// drain, verifies after each wave. Small enough for a unit-test budget but
+// it exercises every supervisor action against real forked daemons.
+TEST(SupervisorProcess, MiniSoakMeetsSlos) {
+  chaos::ChaosPlan plan;
+  plan.seed = 11;
+  plan.nodes = 8;
+  plan.process_mode = true;
+  plan.verify(1'000'000);
+  plan.sigkill(1'500'000, 3);
+  plan.verify(6'000'000);
+  plan.restart(7'000'000, 3);
+  plan.verify(12'000'000);
+  plan.sigterm(13'000'000, 5);
+  plan.verify(20'000'000);
+  plan.sort_events();
+
+  datd::SupervisorOptions options;
+  options.nodes = plan.nodes;
+  options.base_port = 29'480;  // away from the tool defaults and other tests
+  options.datd_path = DATD_BIN;
+  options.seed = plan.seed;
+  options.replicas = 2;
+  options.epoch_ms = 150;
+  options.drain_deadline_ms = 5'000;
+  options.boot_timeout_ms = 60'000;
+  options.verify_window_ms = 20'000;
+  options.verbose = false;
+
+  datd::Supervisor supervisor(options);
+  const int rc = supervisor.run(plan);
+  if (rc != 0) {
+    for (const std::string& line : supervisor.report()) {
+      ADD_FAILURE() << line;
+    }
+  }
+  EXPECT_EQ(supervisor.violations(), 0u);
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include "chaos/plan.hpp"
 #include "common/cli.hpp"
 #include "common/logging.hpp"
+#include "datd/signals.hpp"
 #include "obs/export.hpp"
 
 namespace {
@@ -83,6 +84,9 @@ int run_campaign(const dat::CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("slo-branching"));
   options.rebalance.slo_max_epochs =
       static_cast<unsigned>(flags.get_int("slo-epochs"));
+  // ^C aborts the timeline between events; the metrics flush and the table
+  // below still run on whatever completed, and the exit code becomes 130.
+  options.interrupted = [] { return datd::pending_signal() != 0; };
 
   chaos::Campaign campaign(cluster, plan, options);
   const chaos::CampaignReport report = campaign.run();
@@ -151,8 +155,10 @@ int run_campaign(const dat::CliFlags& flags) {
     if (p.ok()) ++phases_ok;
   }
   std::printf("\ncampaign %s: %zu/%zu phases ok\n",
-              report.ok() ? "PASSED" : "FAILED", phases_ok,
-              report.phases.size());
+              report.interrupted ? "INTERRUPTED"
+                                 : (report.ok() ? "PASSED" : "FAILED"),
+              phases_ok, report.phases.size());
+  if (report.interrupted) return 130;
   return report.ok() ? 0 : 1;
 }
 
@@ -190,6 +196,7 @@ int main(int argc, char** argv) {
   if (flags.get_bool("verbose")) {
     dat::Logger::instance().set_level(dat::LogLevel::kInfo);
   }
+  dat::datd::install_signal_guard();
   try {
     return run_campaign(flags);
   } catch (const std::exception& err) {

@@ -9,8 +9,14 @@
 //   datctl metrics --n 8 --run 2.0 --format prom                 live telemetry dump
 //   datctl trace   --n 32 --epochs 8 --out wave.json             Chrome trace of a wave
 //   datctl rebalance --n 24 --assign random --rounds 20          runtime rebalancer rounds
+//   datctl remote status --target 127.0.0.1:9400                 live datd health
+//   datctl remote metrics --target 127.0.0.1:9400 --format prom  scrape a daemon
+//   datctl remote leave --target 127.0.0.1:9401                  drain + clean exit
+//   datctl remote rebalance --target 127.0.0.1:9401              one shed round
 //
 // Every subcommand prints a compact table on stdout; --help lists flags.
+// SIGINT/SIGTERM abort long runs between rounds: transports shut down
+// through the normal destructors and the exit code is 130.
 
 #include <cstdio>
 #include <cstring>
@@ -22,6 +28,9 @@
 #include "analysis/tree_metrics.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
+#include "datd/admin.hpp"
+#include "datd/config.hpp"
+#include "datd/signals.hpp"
 #include "harness/live_tree.hpp"
 #include "harness/sim_cluster.hpp"
 #include "harness/udp_cluster.hpp"
@@ -171,6 +180,7 @@ int cmd_monitor(CliFlags& flags) {
   std::printf("%8s %12s %12s %8s\n", "t(min)", "actual-avg", "agg-avg",
               "nodes");
   for (int minute = 1; minute <= static_cast<int>(minutes); ++minute) {
+    if (datd::pending_signal() != 0) break;
     cluster.run_for(60'000'000);
     const Id root_id = cluster.ring_view().successor(key);
     for (std::size_t i = 0; i < n; ++i) {
@@ -232,6 +242,7 @@ int cmd_churn(CliFlags& flags) {
               "tree-reach");
   std::size_t victim = 1;
   for (unsigned e = 1; e <= events; ++e) {
+    if (datd::pending_signal() != 0) break;
     const char* kind;
     if (e % 3 == 0) {
       const auto slot = cluster.add_node();
@@ -409,6 +420,7 @@ int cmd_rebalance(CliFlags& flags) {
   std::printf("%-6s %-10s %-9s %-11s %-6s %-6s %s\n", "round", "gap_ratio",
               "branching", "migrations", "sheds", "moved", "state");
   for (std::size_t r = 0; r < rounds; ++r) {
+    if (datd::pending_signal() != 0) break;
     const lb::RoundReport report = rebalancer.run_round();
     std::printf("%-6zu %-10.2f %-9zu %-11zu %-6zu %-6zu %s\n", report.round,
                 report.gap_ratio, report.max_children, report.migrations,
@@ -420,11 +432,65 @@ int cmd_rebalance(CliFlags& flags) {
   return 0;
 }
 
+int cmd_remote(CliFlags& flags) {
+  const std::string op =
+      flags.positional().empty() ? std::string() : flags.positional().front();
+  const std::string target_text = flags.get_string("target");
+  const bool known_op = op == "status" || op == "metrics" || op == "leave" ||
+                        op == "rebalance";
+  if (!known_op || target_text.empty()) {
+    std::fprintf(stderr,
+                 "usage: datctl remote <status|metrics|leave|rebalance> "
+                 "--target ip:port [--json] [--format json|prom]\n");
+    return 2;
+  }
+  const net::Endpoint target = datd::parse_endpoint(target_text);
+  datd::AdminClient admin(
+      static_cast<std::uint64_t>(flags.get_double("timeout") * 1e6));
+  if (op == "status") {
+    const auto status = admin.status(target);
+    if (!status) {
+      std::fprintf(stderr, "remote: %s did not answer\n", target_text.c_str());
+      return 1;
+    }
+    std::printf("%s\n", flags.get_bool("json") ? status->to_json().c_str()
+                                               : status->describe().c_str());
+    return 0;
+  }
+  if (op == "metrics") {
+    const auto page =
+        admin.metrics(target, parse_format(flags.get_string("format")));
+    if (!page) {
+      std::fprintf(stderr, "remote: %s did not answer\n", target_text.c_str());
+      return 1;
+    }
+    std::fputs(page->c_str(), stdout);
+    return 0;
+  }
+  if (op == "leave") {
+    if (!admin.leave(target)) {
+      std::fprintf(stderr, "remote: %s did not acknowledge the leave\n",
+                   target_text.c_str());
+      return 1;
+    }
+    std::printf("leave acknowledged: %s is draining\n", target_text.c_str());
+    return 0;
+  }
+  const auto moved = admin.rebalance(target);
+  if (!moved) {
+    std::fprintf(stderr, "remote: %s did not answer\n", target_text.c_str());
+    return 1;
+  }
+  std::printf("rebalance: %llu children moved\n",
+              static_cast<unsigned long long>(*moved));
+  return 0;
+}
+
 void print_usage() {
   std::fprintf(
       stderr,
       "usage: datctl "
-      "<tree|load|lookup|monitor|churn|inspect|metrics|trace|rebalance>"
+      "<tree|load|lookup|monitor|churn|inspect|metrics|trace|rebalance|remote>"
       " [flags]\n"
       "       datctl <subcommand> --help\n");
 }
@@ -469,6 +535,11 @@ int main(int argc, char** argv) {
     flags.flag("assign", std::string("random"),
                "id assignment at deploy: random|probed");
     flags.flag("rounds", std::int64_t{20}, "rebalancer rounds to run");
+  } else if (command == "remote") {
+    flags.flag("target", std::string(), "daemon address, ip:port (required)");
+    flags.flag("format", std::string("prom"), "metrics format: json|prom");
+    flags.flag("json", false, "status as JSON instead of one line");
+    flags.flag("timeout", 2.0, "per-call budget (seconds)");
   } else if (command != "load") {
     print_usage();
     return 2;
@@ -485,16 +556,38 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  dat::datd::install_signal_guard();
   try {
-    if (command == "tree") return cmd_tree(flags);
-    if (command == "load") return cmd_load(flags);
-    if (command == "lookup") return cmd_lookup(flags);
-    if (command == "monitor") return cmd_monitor(flags);
-    if (command == "churn") return cmd_churn(flags);
-    if (command == "inspect") return cmd_inspect(flags);
-    if (command == "metrics") return cmd_metrics(flags);
-    if (command == "trace") return cmd_trace(flags);
-    if (command == "rebalance") return cmd_rebalance(flags);
+    int rc = 2;
+    bool handled = true;
+    if (command == "tree") {
+      rc = cmd_tree(flags);
+    } else if (command == "load") {
+      rc = cmd_load(flags);
+    } else if (command == "lookup") {
+      rc = cmd_lookup(flags);
+    } else if (command == "monitor") {
+      rc = cmd_monitor(flags);
+    } else if (command == "churn") {
+      rc = cmd_churn(flags);
+    } else if (command == "inspect") {
+      rc = cmd_inspect(flags);
+    } else if (command == "metrics") {
+      rc = cmd_metrics(flags);
+    } else if (command == "trace") {
+      rc = cmd_trace(flags);
+    } else if (command == "rebalance") {
+      rc = cmd_rebalance(flags);
+    } else if (command == "remote") {
+      rc = cmd_remote(flags);
+    } else {
+      handled = false;
+    }
+    if (handled) {
+      // A latched SIGINT/SIGTERM broke the subcommand's loop early; every
+      // cluster/transport already shut down via its destructor above.
+      return dat::datd::pending_signal() != 0 ? 130 : rc;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,78 @@
+// datd — the deployable DAT/Chord monitoring daemon.
+//
+//   datd --create --port 9400                         bootstrap a ring
+//   datd --port 9401 --seeds 127.0.0.1:9400           join (retry + backoff)
+//   datd --config fleet.conf --port 9402              file + flag overrides
+//
+// Runs one chord node with its DAT layer and a ReplicatedAggregate
+// workload, serves the datd.* admin RPCs over the same UDP socket, and
+// periodically dumps telemetry (--metrics-out). SIGTERM/SIGINT drains the
+// DAT trees (handoffs + retracts, conserving the aggregate), leaves the
+// ring cleanly, and exits 0 — or 1 when the drain blew its hard deadline.
+//
+// Exit codes: 0 clean drain, 1 deadline-forced exit, 2 bad usage/config,
+// 3 bootstrap failed (no seed answered within the retry budget).
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "chord/types.hpp"
+#include "datd/config.hpp"
+#include "datd/daemon.hpp"
+#include "datd/signals.hpp"
+#include "net/endpoint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dat;
+
+  datd::Config config;
+  try {
+    // Pre-scan for --config so the file can seed the defaults the real
+    // parse then overrides: flags always win over file keys.
+    datd::Config defaults;
+    CliFlags pre = defaults.make_flags();
+    pre.flag("help", false, "print flags and exit");
+    if (!pre.parse(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "datd: %s\n%s", pre.error().c_str(),
+                   pre.usage().c_str());
+      return 2;
+    }
+    if (pre.get_bool("help")) {
+      std::fprintf(stderr, "datd flags:\n%s", pre.usage().c_str());
+      return 0;
+    }
+    const std::string config_path = pre.get_string("config");
+    if (!config_path.empty()) config.load_file(config_path);
+    CliFlags flags = config.make_flags();
+    flags.flag("help", false, "print flags and exit");
+    if (!flags.parse(argc - 1, argv + 1)) {
+      std::fprintf(stderr, "datd: %s\n%s", flags.error().c_str(),
+                   flags.usage().c_str());
+      return 2;
+    }
+    config = datd::Config::from_flags(flags);
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "datd: %s\n", err.what());
+    return 2;
+  }
+
+  datd::install_signal_guard();
+  try {
+    datd::Daemon daemon(config);
+    if (!daemon.bootstrap()) {
+      std::fprintf(stderr, "datd: bootstrap failed: no seed answered in %u "
+                           "attempts\n",
+                   config.join_attempts);
+      return 3;
+    }
+    std::fprintf(stderr, "datd: serving on %s (id %llu, incarnation %llu)\n",
+                 net::endpoint_to_string(daemon.local()).c_str(),
+                 static_cast<unsigned long long>(daemon.node().id()),
+                 static_cast<unsigned long long>(config.incarnation));
+    return daemon.run();
+  } catch (const std::exception& err) {
+    std::fprintf(stderr, "datd: %s\n", err.what());
+    return 2;
+  }
+}
