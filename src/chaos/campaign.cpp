@@ -25,6 +25,7 @@ const char* fault_kind_label(FaultKind kind) {
     case FaultKind::kRebalance: return "rebalance";
     case FaultKind::kSigkill: return "sigkill";
     case FaultKind::kSigterm: return "sigterm";
+    case FaultKind::kSigabrt: return "sigabrt";
   }
   return "unknown";
 }
@@ -107,7 +108,8 @@ void Campaign::apply(const FaultEvent& event) {
     case FaultKind::kCrash:
     case FaultKind::kLeave:
     case FaultKind::kSigkill:
-    case FaultKind::kSigterm: {
+    case FaultKind::kSigterm:
+    case FaultKind::kSigabrt: {
       if (!cluster_.is_live(event.slot)) {
         throw std::logic_error("Campaign: " + event.describe() +
                                " targets a dead slot");
@@ -346,6 +348,38 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
     }
   }
 
+  // Self-monitoring gate: the probe node's own coverage alert must agree
+  // with ground truth — firing while the reachable population is short of
+  // the configured fleet, clear once it is whole again. Alert transitions
+  // need fire/clear hysteresis epochs, so poll up to the epoch budget.
+  if (options_.check_selfmon) {
+    phase.selfmon_checked = true;
+    obs::SelfMonitor* monitor = cluster_.selfmon(probe_slot());
+    if (monitor == nullptr) {
+      report_.violations.push_back(
+          "phase " + std::to_string(phase.phase) +
+          ": check_selfmon set but the probe slot has no SelfMonitor");
+    } else {
+      const std::uint64_t selfmon_epoch_us = monitor->options().epoch_us;
+      const bool expect_firing =
+          phase.expected_coverage < monitor->options().fleet_size;
+      while (monitor->alert_firing("coverage") != expect_firing &&
+             phase.selfmon_epochs < options_.selfmon_max_epochs) {
+        cluster_.run_for(selfmon_epoch_us);
+        ++phase.selfmon_epochs;
+      }
+      phase.selfmon_firing = monitor->alert_firing("coverage");
+      phase.selfmon_ok = phase.selfmon_firing == expect_firing;
+      if (!phase.selfmon_ok) {
+        report_.violations.push_back(
+            "phase " + std::to_string(phase.phase) + ": coverage alert " +
+            (phase.selfmon_firing ? "firing" : "clear") + ", expected " +
+            (expect_firing ? "firing" : "clear") + " after " +
+            std::to_string(phase.selfmon_epochs) + " epochs");
+      }
+    }
+  }
+
   m_phases_->inc();
   if (!phase.ok()) m_phase_failures_->inc();
   m_recovery_epochs_->observe(phase.epochs_to_recover);
@@ -360,6 +394,9 @@ PhaseReport Campaign::run_verify(const FaultEvent& event) {
   if (phase.rebalance_checked) {
     oss << " lb_epochs=" << phase.lb_epochs
         << " lb_branching=" << phase.lb_max_branching;
+  }
+  if (phase.selfmon_checked) {
+    oss << " alert=" << (phase.selfmon_firing ? "firing" : "clear");
   }
   oss << (phase.ok() ? " OK" : " FAIL");
   note(oss.str());

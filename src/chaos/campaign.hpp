@@ -59,6 +59,13 @@ struct CampaignOptions {
   bool refresh_hints = true;
   /// Rebalancer SLO and workload skew, used by kRebalance events.
   RebalanceOptions rebalance{};
+  /// Assert the self-monitoring SLO at every verify: the probe node's
+  /// coverage alert must be FIRING while the reachable population is below
+  /// the configured fleet size and CLEAR once it is back, each within
+  /// selfmon_max_epochs telemetry epochs. Requires a cluster built with
+  /// ClusterOptions::with_selfmon.
+  bool check_selfmon = false;
+  unsigned selfmon_max_epochs = 12;
   /// Polled between events; returning true abandons the rest of the
   /// timeline (completed phases keep their reports and the event log notes
   /// the cut). The CLI wires its SIGINT latch in here, so ^C still flushes
@@ -87,6 +94,13 @@ struct PhaseReport {
   /// This phase closes a rebalance event; the SLO outcome gates ok().
   bool rebalance_checked = false;
   bool rebalance_ok = false;
+  /// Self-monitoring gate (CampaignOptions::check_selfmon): whether the
+  /// probe node's coverage alert matched the expected state in time, and
+  /// the state it ended in.
+  bool selfmon_checked = false;
+  bool selfmon_ok = false;
+  bool selfmon_firing = false;
+  unsigned selfmon_epochs = 0;  ///< epochs waited for the alert to settle
   /// Epochs the rebalancer ran before meeting the SLO (or the full budget
   /// when it never did), and the branching it ended at.
   unsigned lb_epochs = 0;
@@ -97,7 +111,8 @@ struct PhaseReport {
   [[nodiscard]] bool ok() const {
     return coverage_ok && query_ok && invariants_ok &&
            (!ring_checked || ring_converged) &&
-           (!rebalance_checked || rebalance_ok);
+           (!rebalance_checked || rebalance_ok) &&
+           (!selfmon_checked || selfmon_ok);
   }
 };
 

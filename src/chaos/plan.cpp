@@ -32,6 +32,8 @@ const char* to_string(FaultKind k) noexcept {
       return "sigkill";
     case FaultKind::kSigterm:
       return "sigterm";
+    case FaultKind::kSigabrt:
+      return "sigabrt";
   }
   return "?";
 }
@@ -47,6 +49,7 @@ std::string FaultEvent::describe() const {
     case FaultKind::kHeal:
     case FaultKind::kSigkill:
     case FaultKind::kSigterm:
+    case FaultKind::kSigabrt:
       oss << " slot=" << slot;
       break;
     case FaultKind::kLossBurst:
@@ -118,6 +121,11 @@ ChaosPlan& ChaosPlan::sigterm(std::uint64_t at_us, std::size_t slot) {
   return *this;
 }
 
+ChaosPlan& ChaosPlan::sigabrt(std::uint64_t at_us, std::size_t slot) {
+  events.push_back({at_us, FaultKind::kSigabrt, slot, 0.0, 0});
+  return *this;
+}
+
 void ChaosPlan::sort_events() {
   std::stable_sort(events.begin(), events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -151,6 +159,7 @@ std::string ChaosPlan::to_spec() const {
       case FaultKind::kHeal:
       case FaultKind::kSigkill:
       case FaultKind::kSigterm:
+      case FaultKind::kSigabrt:
         oss << " " << e.slot;
         break;
       case FaultKind::kLossBurst:
@@ -237,7 +246,7 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
     if (!(fields >> verb)) bad_line(line, "missing event verb");
     if (verb == "crash" || verb == "leave" || verb == "restart" ||
         verb == "partition" || verb == "heal" || verb == "sigkill" ||
-        verb == "sigterm") {
+        verb == "sigterm" || verb == "sigabrt") {
       std::size_t slot = 0;
       if (!(fields >> slot)) bad_line(line, "missing slot");
       if (verb == "crash") plan.crash(at_us, slot);
@@ -246,6 +255,7 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
       else if (verb == "partition") plan.partition(at_us, slot);
       else if (verb == "sigkill") plan.sigkill(at_us, slot);
       else if (verb == "sigterm") plan.sigterm(at_us, slot);
+      else if (verb == "sigabrt") plan.sigabrt(at_us, slot);
       else plan.heal(at_us, slot);
     } else if (verb == "loss" || verb == "latency") {
       double magnitude = 0.0;
@@ -274,6 +284,7 @@ ChaosPlan ChaosPlan::parse(std::string_view spec) {
       case FaultKind::kHeal:
       case FaultKind::kSigkill:
       case FaultKind::kSigterm:
+      case FaultKind::kSigabrt:
         if (e.slot >= plan.nodes) {
           throw std::invalid_argument(
               "ChaosPlan::parse: slot " + std::to_string(e.slot) +
@@ -378,6 +389,78 @@ ChaosPlan ChaosPlan::process_canonical(std::uint64_t seed, std::size_t nodes) {
     plan.sigterm(29'000'000 + i * (2'000'000 / terms), victims[kills + i]);
   }
   plan.verify(40'000'000);
+  return plan;
+}
+
+namespace {
+
+/// Shared victim draw for the selfmon campaigns: a Fisher-Yates shuffle of
+/// [1, nodes) (slot 0 is the probe/bootstrap node), pure in (seed, nodes).
+std::vector<std::size_t> selfmon_victims(std::uint64_t seed,
+                                         std::size_t nodes) {
+  Rng rng(seed * 52361 + 7);
+  std::vector<std::size_t> victims(nodes - 1);
+  for (std::size_t i = 0; i < victims.size(); ++i) victims[i] = i + 1;
+  for (std::size_t i = victims.size(); i > 1; --i) {
+    std::swap(victims[i - 1],
+              victims[static_cast<std::size_t>(
+                  rng.next_below(static_cast<std::uint64_t>(i)))]);
+  }
+  return victims;
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::selfmon(std::uint64_t seed, std::size_t nodes) {
+  if (nodes < 4) {
+    throw std::invalid_argument("ChaosPlan::selfmon: need >= 4 nodes");
+  }
+  const std::vector<std::size_t> victims = selfmon_victims(seed, nodes);
+  const std::size_t kills = std::max<std::size_t>(1, nodes / 4);  // 25%
+
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.nodes = nodes;
+  // Phase 1: baseline — the fleet monitors itself, every alert clear.
+  plan.verify(3'000'000);
+  // Phase 2: crash wave; the coverage alert must FIRE at the verify.
+  for (std::size_t i = 0; i < kills; ++i) {
+    plan.crash(4'000'000 + i * (1'000'000 / kills), victims[i]);
+  }
+  plan.verify(6'000'000);
+  // Phase 3: every victim returns; the alert must CLEAR within the SLO.
+  for (std::size_t i = 0; i < kills; ++i) {
+    plan.restart(8'000'000 + i * (1'000'000 / kills), victims[i]);
+  }
+  plan.verify(11'000'000);
+  return plan;
+}
+
+ChaosPlan ChaosPlan::process_selfmon(std::uint64_t seed, std::size_t nodes) {
+  if (nodes < 8) {
+    throw std::invalid_argument("ChaosPlan::process_selfmon: need >= 8 nodes");
+  }
+  const std::vector<std::size_t> victims = selfmon_victims(seed, nodes);
+  const std::size_t kills = std::max<std::size_t>(1, nodes / 4);  // 25%
+
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.nodes = nodes;
+  plan.process_mode = true;
+  // Phase 1: baseline.
+  plan.verify(4'000'000);
+  // Phase 2: kill wave. The first victim aborts — its crash handler writes
+  // a postmortem dump the supervisor archives — and the rest are SIGKILLed.
+  plan.sigabrt(5'000'000, victims[0]);
+  for (std::size_t i = 1; i < kills; ++i) {
+    plan.sigkill(5'000'000 + i * (2'000'000 / kills), victims[i]);
+  }
+  plan.verify(16'000'000);
+  // Phase 3: all victims restart; the coverage alert must clear.
+  for (std::size_t i = 0; i < kills; ++i) {
+    plan.restart(17'000'000 + i * (2'000'000 / kills), victims[i]);
+  }
+  plan.verify(30'000'000);
   return plan;
 }
 

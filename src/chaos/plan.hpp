@@ -20,6 +20,8 @@ enum class FaultKind : std::uint8_t {
   kRebalance = 8,    ///< run the measurement-driven rebalancer to its SLO
   kSigkill = 9,      ///< SIGKILL a daemon process (abrupt, like kCrash)
   kSigterm = 10,     ///< SIGTERM a daemon: graceful drain, then clean leave
+  kSigabrt = 11,     ///< SIGABRT a daemon: crash that leaves a postmortem
+                     ///< dump for the supervisor to archive (sim: crash)
 };
 
 [[nodiscard]] const char* to_string(FaultKind k) noexcept;
@@ -72,6 +74,7 @@ struct ChaosPlan {
   ChaosPlan& rebalance(std::uint64_t at_us);
   ChaosPlan& sigkill(std::uint64_t at_us, std::size_t slot);
   ChaosPlan& sigterm(std::uint64_t at_us, std::size_t slot);
+  ChaosPlan& sigabrt(std::uint64_t at_us, std::size_t slot);
 
   /// Orders events by at_us (stable: simultaneous events keep the order
   /// they were added in). Campaign calls this before executing.
@@ -101,6 +104,7 @@ struct ChaosPlan {
   ///   <at_ms> rebalance
   ///   <at_ms> sigkill <slot>
   ///   <at_ms> sigterm <slot>
+  ///   <at_ms> sigabrt <slot>
   ///
   /// Throws std::invalid_argument with the offending line on bad input:
   /// malformed fields, unknown verbs, duplicate seed/nodes/assign lines, a
@@ -135,6 +139,22 @@ struct ChaosPlan {
   /// (seed, nodes).
   [[nodiscard]] static ChaosPlan process_canonical(std::uint64_t seed,
                                                    std::size_t nodes);
+
+  /// The self-monitoring SLO campaign (sim variant): a baseline verify with
+  /// every alert clear, a crash wave over 25% of the fleet whose closing
+  /// verify must observe the coverage alert FIRING, restarts of every
+  /// victim, and a final verify that must observe it CLEAR again. Slot 0 is
+  /// never a victim (it is the campaign's probe node). Timeline is a pure
+  /// function of (seed, nodes).
+  [[nodiscard]] static ChaosPlan selfmon(std::uint64_t seed,
+                                         std::size_t nodes);
+
+  /// The self-monitoring SLO campaign against real datd processes: same
+  /// fire-then-clear shape as selfmon(), except the first victim dies by
+  /// SIGABRT — exercising the crash-postmortem path the supervisor
+  /// archives — and the rest by SIGKILL.
+  [[nodiscard]] static ChaosPlan process_selfmon(std::uint64_t seed,
+                                                 std::size_t nodes);
 };
 
 }  // namespace dat::chaos

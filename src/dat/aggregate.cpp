@@ -13,12 +13,13 @@ const char* to_string(AggregateKind k) noexcept {
     case AggregateKind::kMax: return "max";
     case AggregateKind::kVariance: return "variance";
     case AggregateKind::kStddev: return "stddev";
+    case AggregateKind::kHistogram: return "histogram";
   }
   return "?";
 }
 
 AggregateKind aggregate_kind_from(std::uint8_t raw) {
-  if (raw > static_cast<std::uint8_t>(AggregateKind::kStddev)) {
+  if (raw > static_cast<std::uint8_t>(AggregateKind::kHistogram)) {
     throw std::invalid_argument("bad AggregateKind: " + std::to_string(raw));
   }
   return static_cast<AggregateKind>(raw);
@@ -49,6 +50,10 @@ double AggState::result(AggregateKind kind) const {
       return kind == AggregateKind::kVariance ? variance
                                               : std::sqrt(variance);
     }
+    case AggregateKind::kHistogram:
+      // The scalar face of a histogram tree is its observation count; the
+      // distribution itself is read through quantile().
+      return static_cast<double>(count);
   }
   throw std::invalid_argument("bad AggregateKind");
 }

@@ -5,8 +5,10 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "net/codec.hpp"
+#include "obs/metrics.hpp"
 
 namespace dat::core {
 
@@ -21,6 +23,7 @@ enum class AggregateKind : std::uint8_t {
   kMax = 4,
   kVariance = 5,  ///< population variance, from the (sum, sum_sq, count) triple
   kStddev = 6,
+  kHistogram = 7,  ///< log2-bucket histogram merged bucket-wise (obs layout)
 };
 
 [[nodiscard]] const char* to_string(AggregateKind k) noexcept;
@@ -36,30 +39,56 @@ struct AggState {
   std::uint64_t count = 0;
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  /// Optional log2-bucket payload (obs::Histogram layout), carried only by
+  /// kHistogram trees. Empty for scalar aggregates, so the scalar wire cost
+  /// is one zero length prefix.
+  std::vector<std::uint64_t> hist;
 
   [[nodiscard]] static AggState identity() noexcept { return AggState{}; }
 
   [[nodiscard]] static AggState of(double value) noexcept {
-    return AggState{value, value * value, 1, value, value};
+    return AggState{value, value * value, 1, value, value, {}};
   }
 
-  void merge(const AggState& other) noexcept {
+  /// Leaf state for a histogram tree: per-bucket counts plus the observed
+  /// sum. count is the total number of observations, and min/max stay at
+  /// identity (a bucketed distribution has no exact extrema).
+  [[nodiscard]] static AggState of_histogram(std::vector<std::uint64_t> buckets,
+                                             double value_sum) {
+    AggState s;
+    for (const std::uint64_t c : buckets) s.count += c;
+    s.sum = value_sum;
+    s.hist = std::move(buckets);
+    return s;
+  }
+
+  void merge(const AggState& other) {
     sum += other.sum;
     sum_sq += other.sum_sq;
     count += other.count;
     min = std::min(min, other.min);
     max = std::max(max, other.max);
+    if (hist.size() < other.hist.size()) hist.resize(other.hist.size(), 0);
+    for (std::size_t i = 0; i < other.hist.size(); ++i) {
+      hist[i] += other.hist[i];
+    }
   }
 
   [[nodiscard]] bool empty() const noexcept { return count == 0; }
 
+  /// Estimated q-quantile of the histogram payload (0 when absent/empty).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return obs::quantile_from_buckets(hist, q);
+  }
+
   /// Final value under the given aggregate function. Throws on an empty
-  /// state for AVG/MIN/MAX (undefined over zero inputs).
+  /// state for AVG/MIN/MAX (undefined over zero inputs). kHistogram yields
+  /// the observation count; quantiles come from quantile().
   [[nodiscard]] double result(AggregateKind kind) const;
 
   friend bool operator==(const AggState& a, const AggState& b) noexcept {
     return a.sum == b.sum && a.sum_sq == b.sum_sq && a.count == b.count &&
-           a.min == b.min && a.max == b.max;
+           a.min == b.min && a.max == b.max && a.hist == b.hist;
   }
 };
 
@@ -69,6 +98,12 @@ inline void write_agg_state(net::Writer& w, const AggState& s) {
   w.u64(s.count);
   w.f64(s.min);
   w.f64(s.max);
+  if (s.hist.size() > obs::Histogram::kBuckets) {
+    throw net::CodecError({net::DecodeErrorCode::kLengthOverflow, w.size()},
+                          "write_agg_state: hist");
+  }
+  w.u32(static_cast<std::uint32_t>(s.hist.size()));
+  for (const std::uint64_t c : s.hist) w.u64(c);
 }
 
 inline AggState read_agg_state(net::Reader& r) {
@@ -78,6 +113,17 @@ inline AggState read_agg_state(net::Reader& r) {
   s.count = r.u64();
   s.min = r.f64();
   s.max = r.f64();
+  const std::uint32_t buckets = r.u32();
+  // Bound the bucket count before reserving: the obs::Histogram layout never
+  // exceeds kBuckets, so anything larger is a malformed datagram, not a
+  // request to allocate.
+  if (buckets > obs::Histogram::kBuckets) {
+    throw net::CodecError(
+        {net::DecodeErrorCode::kLengthOverflow, r.position()},
+        "read_agg_state: hist");
+  }
+  s.hist.resize(buckets);
+  for (std::uint32_t i = 0; i < buckets; ++i) s.hist[i] = r.u64();
   return s;
 }
 

@@ -196,9 +196,8 @@ void DatNode::run_collect(Id key, net::Endpoint reply_to,
   const std::uint64_t seq = next_seq_++;
   PendingSnapshot pending;
   const auto it = table_.find(key);
-  pending.acc = (it != table_.end() && it->second.local)
-                    ? AggState::of(it->second.local())
-                    : AggState::identity();
+  pending.acc = it != table_.end() ? local_contribution(it->second)
+                                   : AggState::identity();
   pending.handler = std::move(handler);
   pending.reply_to = reply_to;
   pending.reply_seq = reply_seq;
@@ -267,6 +266,22 @@ Id DatNode::start_aggregate(std::string_view name, AggregateKind kind,
   return key;
 }
 
+void DatNode::start_aggregate_state(Id key, AggregateKind kind,
+                                    chord::RoutingScheme scheme,
+                                    LocalStateFn local,
+                                    std::uint64_t epoch_us) {
+  start_aggregate(key, kind, scheme, nullptr, epoch_us);
+  table_.at(key & chord_.space().mask()).local_state = std::move(local);
+}
+
+Id DatNode::start_aggregate_state(std::string_view name, AggregateKind kind,
+                                  chord::RoutingScheme scheme,
+                                  LocalStateFn local, std::uint64_t epoch_us) {
+  const Id key = rendezvous_key(name, chord_.space());
+  start_aggregate_state(key, kind, scheme, std::move(local), epoch_us);
+  return key;
+}
+
 void DatNode::stop_aggregate(Id key) {
   const auto it = table_.find(key & chord_.space().mask());
   if (it == table_.end()) return;
@@ -294,10 +309,7 @@ void DatNode::arm_epoch(Id key) {
 }
 
 AggState DatNode::collect(Entry& entry) {
-  AggState state = AggState::identity();
-  if (entry.local) {
-    state.merge(AggState::of(entry.local()));
-  }
+  AggState state = local_contribution(entry);
   const std::uint64_t now = chord_.rpc().transport().now_us();
   const std::uint64_t ttl =
       static_cast<std::uint64_t>(options_.child_ttl_epochs) * period_of(entry);
@@ -604,9 +616,8 @@ void DatNode::snapshot(Id key, SnapshotHandler handler) {
   const std::uint64_t seq = next_seq_++;
   PendingSnapshot snap;
   const auto it = table_.find(key);
-  snap.acc = (it != table_.end() && it->second.local)
-                 ? AggState::of(it->second.local())
-                 : AggState::identity();
+  snap.acc = it != table_.end() ? local_contribution(it->second)
+                                : AggState::identity();
   snap.handler = std::move(handler);
   snapshots_.emplace(seq, std::move(snap));
 
@@ -681,9 +692,8 @@ void DatNode::handle_snap_req(net::Endpoint from, net::Reader& msg) {
   const std::uint64_t seq = next_seq_++;
   PendingSnapshot snap;
   const auto it = table_.find(key);
-  snap.acc = (it != table_.end() && it->second.local)
-                 ? AggState::of(it->second.local())
-                 : AggState::identity();
+  snap.acc = it != table_.end() ? local_contribution(it->second)
+                                : AggState::identity();
   snap.reply_to = from;
   snap.reply_seq = origin_seq;
   snapshots_.emplace(seq, std::move(snap));

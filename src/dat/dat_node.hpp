@@ -58,6 +58,10 @@ struct GlobalValue {
 class DatNode {
  public:
   using LocalValueFn = std::function<double()>;
+  /// Full partial-aggregate leaf contribution — the hook histogram trees
+  /// use: the leaf supplies a pre-built AggState (bucket counts and all)
+  /// instead of one scalar sample.
+  using LocalStateFn = std::function<AggState()>;
 
   DatNode(chord::Node& chord, DatOptions options);
   ~DatNode();
@@ -80,6 +84,16 @@ class DatNode {
   Id start_aggregate(std::string_view name, AggregateKind kind,
                      chord::RoutingScheme scheme, LocalValueFn local,
                      std::uint64_t epoch_us = 0);
+
+  /// Like start_aggregate, but the leaf contributes a full AggState each
+  /// epoch (mergeable histogram payloads, pre-merged sub-aggregates)
+  /// instead of a single scalar. Replaces any LocalValueFn for the key.
+  void start_aggregate_state(Id key, AggregateKind kind,
+                             chord::RoutingScheme scheme, LocalStateFn local,
+                             std::uint64_t epoch_us = 0);
+  Id start_aggregate_state(std::string_view name, AggregateKind kind,
+                           chord::RoutingScheme scheme, LocalStateFn local,
+                           std::uint64_t epoch_us = 0);
 
   void stop_aggregate(Id key);
   [[nodiscard]] bool has_aggregate(Id key) const {
@@ -201,7 +215,8 @@ class DatNode {
     Id key = 0;
     AggregateKind kind = AggregateKind::kSum;
     chord::RoutingScheme scheme = chord::RoutingScheme::kBalanced;
-    LocalValueFn local;  // may be null (relay-only)
+    LocalValueFn local;       // may be null (relay-only)
+    LocalStateFn local_state; // full-state leaf hook; wins over `local`
     std::map<net::Endpoint, ChildRecord> children;
     std::uint64_t epoch = 0;
     net::TimerId timer = 0;
@@ -248,6 +263,13 @@ class DatNode {
   void arm_epoch(Id key);
   void run_epoch(Id key);
   [[nodiscard]] AggState collect(Entry& entry);
+  /// This node's own leaf contribution for the entry (identity when the
+  /// entry is relay-only).
+  [[nodiscard]] static AggState local_contribution(const Entry& entry) {
+    if (entry.local_state) return entry.local_state();
+    if (entry.local) return AggState::of(entry.local());
+    return AggState::identity();
+  }
   [[nodiscard]] std::uint64_t period_of(const Entry& entry) const {
     return entry.epoch_us != 0 ? entry.epoch_us : options_.epoch_us;
   }

@@ -48,15 +48,94 @@ std::optional<StatusInfo> AdminClient::status(net::Endpoint target) {
   return state->result;
 }
 
+namespace {
+
+/// One datd.metrics reply: a slice of the rendered page plus the headers
+/// the reassembly loop steers by.
+struct MetricsChunk {
+  std::uint64_t gen = 0;
+  std::uint32_t total = 0;
+  std::uint32_t seq = 0;
+  std::string data;
+};
+
+}  // namespace
+
 std::optional<std::string> AdminClient::metrics(net::Endpoint target,
                                                 obs::ExportFormat format) {
-  net::Writer req;
-  req.u8(format == obs::ExportFormat::kJson ? 0 : 1);
-  auto state = std::make_shared<CallState<std::string>>();
+  const auto fetch = [&](std::uint32_t seq,
+                         std::uint64_t gen) -> std::optional<MetricsChunk> {
+    net::Writer req;
+    req.u8(format == obs::ExportFormat::kJson ? 0 : 1);
+    req.u32(seq);
+    req.u64(gen);
+    auto state = std::make_shared<CallState<MetricsChunk>>();
+    rpc_->call(
+        target, "datd.metrics", req,
+        [state](net::RpcStatus st, net::Reader& r) {
+          if (st == net::RpcStatus::kOk) {
+            MetricsChunk chunk;
+            chunk.gen = r.u64();
+            chunk.total = r.u32();
+            chunk.seq = r.u32();
+            chunk.data = r.str();
+            state->result = std::move(chunk);
+          }
+          state->done = true;
+        },
+        admin_budget(timeout_us_));
+    pump_until(state->done);
+    return state->result;
+  };
+  // total == 0 means our generation was evicted by a concurrent scraper;
+  // restart from seq 0 a bounded number of times rather than loop forever
+  // against a pathologically contended daemon.
+  for (int restart = 0; restart < 3; ++restart) {
+    std::optional<MetricsChunk> first = fetch(0, 0);
+    if (!first) return std::nullopt;
+    std::string page = std::move(first->data);
+    const std::uint64_t gen = first->gen;
+    const std::uint32_t total = first->total;
+    bool stale = false;
+    for (std::uint32_t seq = 1; seq < total && !stale; ++seq) {
+      std::optional<MetricsChunk> chunk = fetch(seq, gen);
+      if (!chunk) return std::nullopt;
+      if (chunk->total == 0 || chunk->gen != gen) {
+        stale = true;
+        break;
+      }
+      page += chunk->data;
+    }
+    if (!stale) return page;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<obs::Alert>> AdminClient::alerts(
+    net::Endpoint target) {
+  auto state = std::make_shared<CallState<std::vector<obs::Alert>>>();
   rpc_->call(
-      target, "datd.metrics", req,
+      target, "datd.alerts", net::Writer{},
       [state](net::RpcStatus st, net::Reader& r) {
-        if (st == net::RpcStatus::kOk) state->result = r.str();
+        if (st == net::RpcStatus::kOk && r.boolean()) {
+          state->result = obs::read_alerts(r);
+        }
+        state->done = true;
+      },
+      admin_budget(timeout_us_));
+  pump_until(state->done);
+  return state->result;
+}
+
+std::optional<obs::SelfMonitor::FleetView> AdminClient::fleet(
+    net::Endpoint target) {
+  auto state = std::make_shared<CallState<obs::SelfMonitor::FleetView>>();
+  rpc_->call(
+      target, "datd.fleet", net::Writer{},
+      [state](net::RpcStatus st, net::Reader& r) {
+        if (st == net::RpcStatus::kOk && r.boolean()) {
+          state->result = obs::read_fleet_view(r);
+        }
         state->done = true;
       },
       admin_budget(timeout_us_));

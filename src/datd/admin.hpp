@@ -11,6 +11,7 @@
 #include "net/rpc.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/export.hpp"
+#include "obs/selfmon.hpp"
 
 namespace dat::datd {
 
@@ -31,9 +32,20 @@ class AdminClient {
   /// `datd.status`: the daemon's health snapshot.
   [[nodiscard]] std::optional<StatusInfo> status(net::Endpoint target);
 
-  /// `datd.metrics`: the daemon's rendered telemetry page.
+  /// `datd.metrics`: the daemon's rendered telemetry page, reassembled from
+  /// however many continuation datagrams the page spans.
   [[nodiscard]] std::optional<std::string> metrics(net::Endpoint target,
                                                    obs::ExportFormat format);
+
+  /// `datd.alerts`: current SLO alert states. nullopt when the call failed
+  /// or self-monitoring is disabled on the target.
+  [[nodiscard]] std::optional<std::vector<obs::Alert>> alerts(
+      net::Endpoint target);
+
+  /// `datd.fleet`: the target's cached fleet view (meta-tree roots plus
+  /// alerts). nullopt when the call failed or self-monitoring is disabled.
+  [[nodiscard]] std::optional<obs::SelfMonitor::FleetView> fleet(
+      net::Endpoint target);
 
   /// `datd.leave`: asks the daemon to drain and exit. True on ack.
   [[nodiscard]] bool leave(net::Endpoint target);

@@ -63,9 +63,10 @@ core::AggregateKind aggregate_kind_from_name(const std::string& name) {
   if (name == "max") return core::AggregateKind::kMax;
   if (name == "variance") return core::AggregateKind::kVariance;
   if (name == "stddev") return core::AggregateKind::kStddev;
+  if (name == "histogram") return core::AggregateKind::kHistogram;
   throw std::invalid_argument(
       "unknown aggregate kind \"" + name +
-      "\" (valid: sum, count, avg, min, max, variance, stddev)");
+      "\" (valid: sum, count, avg, min, max, variance, stddev, histogram)");
 }
 
 chord::RoutingScheme routing_scheme_from_name(const std::string& name) {
@@ -118,7 +119,7 @@ CliFlags Config::make_flags() const {
       .flag("replicas", static_cast<std::int64_t>(replicas),
             "replica trees per aggregate")
       .flag("kind", std::string(kind_name),
-            "aggregate kind: sum|count|avg|min|max|variance|stddev")
+            "aggregate kind: sum|count|avg|min|max|variance|stddev|histogram")
       .flag("scheme", std::string(scheme_name),
             "parent-selection scheme: balanced|greedy")
       .flag("value", value, "this node's local value x_i")
@@ -137,7 +138,19 @@ CliFlags Config::make_flags() const {
       .flag("metrics-format",
             std::string(metrics_format == obs::ExportFormat::kJson ? "json"
                                                                    : "prom"),
-            "metrics dump format: prom|json");
+            "metrics dump format: prom|json")
+      .flag("metrics-chunk", static_cast<std::int64_t>(metrics_chunk),
+            "datd.metrics reply chunk size (bytes)")
+      .flag("selfmon", selfmon,
+            "publish own telemetry into selfmon meta-trees")
+      .flag("selfmon-epoch-ms", static_cast<std::int64_t>(selfmon_epoch_ms),
+            "self-monitoring telemetry epoch")
+      .flag("fleet-size", static_cast<std::int64_t>(fleet_size),
+            "configured fleet size for coverage SLO rules (0 = unknown)")
+      .flag("slo-rules", slo_rules,
+            "SLO ruleset file (empty = built-in defaults)")
+      .flag("postmortem-dir", postmortem_dir,
+            "crash-dump directory (empty = disabled)");
   return flags;
 }
 
@@ -205,6 +218,18 @@ Config Config::from_flags(const CliFlags& flags) {
   }
   config.metrics_format =
       export_format_from_name(flags.get_string("metrics-format"));
+  config.metrics_chunk = uint_flag("metrics-chunk", 60'000);
+  if (config.metrics_chunk < 256) {
+    throw std::invalid_argument("--metrics-chunk must be in [256, 60000]");
+  }
+  config.selfmon = flags.get_bool("selfmon");
+  config.selfmon_epoch_ms = uint_flag("selfmon-epoch-ms", 3'600'000);
+  if (config.selfmon_epoch_ms == 0) {
+    throw std::invalid_argument("--selfmon-epoch-ms must be positive");
+  }
+  config.fleet_size = uint_flag("fleet-size", 1'000'000);
+  config.slo_rules = flags.get_string("slo-rules");
+  config.postmortem_dir = flags.get_string("postmortem-dir");
   if (!config.create && config.seeds.empty()) {
     throw std::invalid_argument(
         "need --create (bootstrap a ring) or --seeds (join one)");

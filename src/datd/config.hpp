@@ -48,6 +48,17 @@ struct Config {
   std::string metrics_out;             ///< path; empty disables the dump
   std::uint64_t metrics_period_ms = 1000;
   obs::ExportFormat metrics_format = obs::ExportFormat::kPrometheus;
+  /// datd.metrics chunk size: pages larger than this travel as a seq/total
+  /// continuation the admin client reassembles. Tunable mostly so tests can
+  /// force multi-chunk pages with a small value.
+  std::uint64_t metrics_chunk = 48'000;
+
+  // -- self-monitoring -------------------------------------------------------
+  bool selfmon = true;                   ///< feed dat_* telemetry into meta-trees
+  std::uint64_t selfmon_epoch_ms = 1000;  ///< telemetry epoch
+  std::uint64_t fleet_size = 0;  ///< configured fleet size for coverage SLOs
+  std::string slo_rules;         ///< SLO ruleset file; empty = built-in defaults
+  std::string postmortem_dir;    ///< crash-dump directory; empty = disabled
 
   /// Declares every config key as a CliFlags flag, seeded with this
   /// config's current values as defaults.

@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -14,6 +15,7 @@
 #include "net/udp_transport.hpp"
 #include "netio/netio_network.hpp"
 #include "obs/export.hpp"
+#include "obs/postmortem.hpp"
 
 namespace dat::datd {
 
@@ -21,11 +23,6 @@ namespace {
 
 constexpr std::uint64_t kPumpSliceUs = 50'000;
 constexpr std::uint64_t kJoinTimeoutUs = 3'000'000;
-/// Replies must fit one UDP datagram; a single node's metrics page is a few
-/// KB, so hitting this means something is wrong — truncate rather than lose
-/// the whole scrape to EMSGSIZE.
-constexpr std::size_t kMaxMetricsReply = 60'000;
-
 std::unique_ptr<net::NodeHostNetwork> make_network(
     const Config& config, obs::MetricsRegistry& metrics) {
   net::NetBackend backend = net::NetBackend::kPoll;
@@ -42,6 +39,17 @@ std::unique_ptr<net::NodeHostNetwork> make_network(
   return std::make_unique<net::UdpNetwork>();
 }
 
+/// The backend actually selected by make_network, as a dat_build_info label.
+std::string resolved_backend(const Config& config) {
+  net::NetBackend backend = net::NetBackend::kPoll;
+  if (config.backend.empty()) {
+    backend = net::net_backend_from_env(net::NetBackend::kPoll);
+  } else if (config.backend == "netio" || config.backend == "epoll") {
+    backend = net::NetBackend::kNetio;
+  }
+  return backend == net::NetBackend::kNetio ? "netio" : "poll";
+}
+
 }  // namespace
 
 Daemon::Daemon(Config config)
@@ -55,8 +63,8 @@ Daemon::Daemon(Config config)
   core::DatOptions dat_options;
   dat_options.epoch_us = config_.epoch_ms * 1000;
   dat_ = std::make_unique<core::DatNode>(*node_, dat_options);
-  runtime_ =
-      std::make_unique<obs::ProcessRuntime>(metrics_, config_.incarnation);
+  runtime_ = std::make_unique<obs::ProcessRuntime>(metrics_, config_.incarnation,
+                                                   resolved_backend(config_));
   register_admin_handlers();
 }
 
@@ -69,7 +77,10 @@ Daemon::~Daemon() {
     node_->rpc().unregister_method("datd.metrics");
     node_->rpc().unregister_method("datd.leave");
     node_->rpc().unregister_method("datd.rebalance");
+    node_->rpc().unregister_method("datd.alerts");
+    node_->rpc().unregister_method("datd.fleet");
   }
+  if (postmortem_installed_) obs::Postmortem::uninstall();
 }
 
 bool Daemon::bootstrap() {
@@ -83,6 +94,35 @@ bool Daemon::bootstrap() {
       config_.scheme);
   const double value = config_.value;
   aggregate_->start([value] { return value; });
+  if (config_.selfmon) {
+    obs::SelfMonitorOptions options;
+    options.epoch_us = config_.selfmon_epoch_ms * 1000;
+    options.fleet_size = config_.fleet_size;
+    options.scheme = config_.scheme;
+    if (!config_.slo_rules.empty()) {
+      std::ifstream rules_in(config_.slo_rules);
+      if (!rules_in) {
+        std::fprintf(stderr, "datd: cannot open --slo-rules %s\n",
+                     config_.slo_rules.c_str());
+        return false;
+      }
+      std::ostringstream text;
+      text << rules_in.rdbuf();
+      options.rules = obs::SloRuleset::parse(text.str());
+    }
+    selfmon_ = std::make_unique<obs::SelfMonitor>(*dat_, std::move(options));
+  }
+  if (!config_.postmortem_dir.empty()) {
+    obs::Postmortem::Config pm;
+    pm.directory = config_.postmortem_dir;
+    pm.recorder = &node_->telemetry().recorder;
+    pm.registry = &node_->telemetry().registry;
+    postmortem_installed_ = obs::Postmortem::install(std::move(pm));
+    if (!postmortem_installed_) {
+      std::fprintf(stderr, "datd: postmortem install failed for %s\n",
+                   config_.postmortem_dir.c_str());
+    }
+  }
   return true;
 }
 
@@ -130,9 +170,11 @@ int Daemon::run() {
       dump_metrics();
       return clean ? 0 : 1;
     }
-    if (!config_.metrics_out.empty() &&
-        network_->now_us() - last_dump_us_ >= dump_period_us) {
+    if (network_->now_us() - last_dump_us_ >= dump_period_us) {
       dump_metrics();
+      // Keep the crash dump's pre-rendered body current: the handler can
+      // only splice in what was rendered before the signal hit.
+      if (postmortem_installed_) obs::Postmortem::refresh();
       last_dump_us_ = network_->now_us();
     }
   }
@@ -178,7 +220,13 @@ StatusInfo Daemon::status() const {
   info.self = node_->self();
   info.predecessor = node_->predecessor();
   info.successors = node_->successor_list();
-  info.aggregate_keys = dat_->active_keys();
+  // Only the payload replica trees: the supervisor's conservation SLO
+  // (count == fleet, sum == Σ slot values) holds for these, not for the
+  // self-monitoring meta-trees that also live in the DAT table.
+  info.aggregate_keys = aggregate_ ? aggregate_->keys()
+                                   : std::vector<Id>(dat_->active_keys());
+  info.build_sha = obs::build_sha();
+  info.build_version = obs::build_version();
   return info;
 }
 
@@ -208,16 +256,50 @@ void Daemon::register_admin_handlers() {
                                             net::Writer& reply) {
     status().encode(reply);
   });
+  // Chunked scrape: `(format, seq, gen)` in, `(gen, total, seq, chunk)` out.
+  // seq 0 renders a fresh page and starts a new generation; continuation
+  // requests replay slices of that cached page. A stale `gen` (the page was
+  // re-rendered for another scraper meanwhile) answers total=0 and the
+  // client restarts from seq 0.
   rpc.register_method("datd.metrics", [this](net::Endpoint, net::Reader& req,
                                              net::Writer& reply) {
     const obs::ExportFormat format = req.u8() == 0
                                          ? obs::ExportFormat::kJson
                                          : obs::ExportFormat::kPrometheus;
-    std::string rendered = obs::render(telemetry_snapshot(), format);
-    if (rendered.size() > kMaxMetricsReply) {
-      rendered.resize(kMaxMetricsReply);
+    const std::uint32_t seq = req.u32();
+    const std::uint64_t gen = req.u64();
+    if (seq == 0) {
+      metrics_page_ = obs::render(telemetry_snapshot(), format);
+      ++metrics_gen_;
+    } else if (gen != metrics_gen_) {
+      reply.u64(metrics_gen_);
+      reply.u32(0);
+      reply.u32(seq);
+      reply.str(std::string());
+      return;
     }
-    reply.str(rendered);
+    const std::size_t chunk = config_.metrics_chunk;
+    const std::uint32_t total = static_cast<std::uint32_t>(
+        metrics_page_.empty() ? 1
+                              : (metrics_page_.size() + chunk - 1) / chunk);
+    reply.u64(metrics_gen_);
+    reply.u32(total);
+    reply.u32(seq);
+    const std::size_t offset = static_cast<std::size_t>(seq) * chunk;
+    reply.str(offset >= metrics_page_.size()
+                  ? std::string()
+                  : metrics_page_.substr(offset, chunk));
+  });
+  rpc.register_method("datd.alerts", [this](net::Endpoint, net::Reader&,
+                                            net::Writer& reply) {
+    reply.boolean(selfmon_ != nullptr);
+    obs::write_alerts(reply, selfmon_ ? selfmon_->alerts()
+                                      : std::vector<obs::Alert>{});
+  });
+  rpc.register_method("datd.fleet", [this](net::Endpoint, net::Reader&,
+                                           net::Writer& reply) {
+    reply.boolean(selfmon_ != nullptr);
+    if (selfmon_) obs::write_fleet_view(reply, selfmon_->view());
   });
   rpc.register_method("datd.leave", [this](net::Endpoint, net::Reader&,
                                            net::Writer& reply) {

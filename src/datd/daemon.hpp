@@ -13,6 +13,7 @@
 #include "net/node_host.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime.hpp"
+#include "obs/selfmon.hpp"
 
 namespace dat::datd {
 
@@ -20,7 +21,8 @@ namespace dat::datd {
 /// a socket-backed network (poll or netio, runtime-selected), one chord
 /// node with its DAT layer and a ReplicatedAggregate workload, the admin
 /// RPC surface (`datd.status` / `datd.metrics` / `datd.leave` /
-/// `datd.rebalance`) and the periodic metrics dump.
+/// `datd.rebalance` / `datd.alerts` / `datd.fleet`), the periodic metrics
+/// dump, the self-monitoring meta-trees and the crash postmortem hook.
 ///
 /// Lifecycle: construct → bootstrap() (create a ring or join one with
 /// capped decorrelated-jitter retry across the seed list) → run() until a
@@ -55,6 +57,8 @@ class Daemon {
 
   [[nodiscard]] chord::Node& node() { return *node_; }
   [[nodiscard]] core::DatNode& dat() { return *dat_; }
+  /// Null when --selfmon=false or before bootstrap().
+  [[nodiscard]] obs::SelfMonitor* selfmon() { return selfmon_.get(); }
   [[nodiscard]] net::NodeHostNetwork& network() { return *network_; }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] net::Endpoint local() const { return transport_->local(); }
@@ -73,10 +77,17 @@ class Daemon {
   std::unique_ptr<chord::Node> node_;
   std::unique_ptr<core::DatNode> dat_;
   std::unique_ptr<core::ReplicatedAggregate> aggregate_;
+  /// Declared after dat_ so in-flight meta-tree callbacks die first.
+  std::unique_ptr<obs::SelfMonitor> selfmon_;
   std::unique_ptr<obs::ProcessRuntime> runtime_;
   bool serving_ = true;
   bool leave_requested_ = false;
+  bool postmortem_installed_ = false;
   mutable std::uint64_t last_dump_us_ = 0;
+  /// datd.metrics page cache: one rendered snapshot served across the
+  /// chunked continuation requests of a single scrape generation.
+  std::uint64_t metrics_gen_ = 0;
+  std::string metrics_page_;
 };
 
 }  // namespace dat::datd

@@ -20,6 +20,8 @@ void StatusInfo::encode(net::Writer& w) const {
   for (const chord::NodeRef& s : successors) chord::write_node_ref(w, s);
   w.u32(static_cast<std::uint32_t>(aggregate_keys.size()));
   for (const std::uint64_t key : aggregate_keys) w.u64(key);
+  w.str(build_sha);
+  w.str(build_version);
 }
 
 StatusInfo StatusInfo::decode(net::Reader& r) {
@@ -46,6 +48,8 @@ StatusInfo StatusInfo::decode(net::Reader& r) {
     // datlint:allow(hot-path): admin-RPC decode, runs at operator cadence
     info.aggregate_keys.push_back(r.u64());
   }
+  info.build_sha = r.str();
+  info.build_version = r.str();
   return info;
 }
 
@@ -56,7 +60,8 @@ std::string StatusInfo::describe() const {
       << (serving ? "serving" : "draining") << " joined="
       << (joined ? "yes" : "no") << " self="
       << net::endpoint_to_string(self.endpoint) << " id=" << self.id
-      << " succ=" << successors.size() << " keys=" << aggregate_keys.size();
+      << " succ=" << successors.size() << " keys=" << aggregate_keys.size()
+      << " build=" << build_version << "/" << build_sha;
   return oss.str();
 }
 
@@ -83,7 +88,8 @@ std::string StatusInfo::to_json() const {
     if (i != 0) oss << ",";
     oss << aggregate_keys[i];
   }
-  oss << "]}";
+  oss << "],\"build\":{\"sha\":\"" << build_sha << "\",\"version\":\""
+      << build_version << "\"}}";
   return oss.str();
 }
 

@@ -24,6 +24,8 @@ struct StatusInfo {
   std::optional<chord::NodeRef> predecessor;
   std::vector<chord::NodeRef> successors;
   std::vector<std::uint64_t> aggregate_keys;  ///< active DAT tree keys
+  std::string build_sha;      ///< obs::build_sha() of the answering binary
+  std::string build_version;  ///< obs::build_version() of the answering binary
 
   void encode(net::Writer& w) const;
   [[nodiscard]] static StatusInfo decode(net::Reader& r);

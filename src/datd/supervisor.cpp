@@ -14,8 +14,11 @@
 #include <sstream>
 #include <thread>
 
+#include <cstdio>
+
 #include "datd/signals.hpp"
 #include "net/endpoint.hpp"
+#include "obs/postmortem.hpp"
 
 namespace dat::datd {
 
@@ -101,6 +104,16 @@ bool Supervisor::spawn(std::size_t slot) {
   args.push_back("--epoch-ms=" + std::to_string(options_.epoch_ms));
   args.push_back("--drain-deadline-ms=" +
                  std::to_string(options_.drain_deadline_ms));
+  args.push_back(std::string("--selfmon=") +
+                 (options_.selfmon ? "true" : "false"));
+  if (options_.selfmon) {
+    args.push_back("--selfmon-epoch-ms=" +
+                   std::to_string(options_.selfmon_epoch_ms));
+    args.push_back("--fleet-size=" + std::to_string(slots_.size()));
+  }
+  if (!options_.postmortem_dir.empty()) {
+    args.push_back("--postmortem-dir=" + options_.postmortem_dir);
+  }
   if (slot == 0) {
     args.push_back("--create=true");
   } else {
@@ -179,6 +192,41 @@ void Supervisor::kill_abrupt(std::size_t slot) {
   s.alive = false;
   note("sigkill: slot " + std::to_string(slot) + " (pid " +
        std::to_string(s.pid) + ")");
+}
+
+void Supervisor::abort_crash(std::size_t slot) {
+  Slot& s = slots_[slot];
+  if (!s.alive) return;
+  ::kill(static_cast<pid_t>(s.pid), SIGABRT);
+  int status = 0;
+  ::waitpid(static_cast<pid_t>(s.pid), &status, 0);
+  s.alive = false;
+  if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGABRT) {
+    violation("sigabrt: slot " + std::to_string(slot) +
+              " did not die by SIGABRT (raw status " +
+              std::to_string(status) + ")");
+  } else {
+    note("sigabrt: slot " + std::to_string(slot) + " (pid " +
+         std::to_string(s.pid) + ")");
+  }
+  archive_postmortem(slot, /*expected=*/true);
+}
+
+void Supervisor::archive_postmortem(std::size_t slot, bool expected) {
+  if (options_.postmortem_dir.empty()) return;
+  const Slot& s = slots_[slot];
+  const std::string src = options_.postmortem_dir + "/" +
+                          obs::postmortem_file_name(s.pid);
+  const std::string dst = options_.postmortem_dir +
+                          "/archived-postmortem-slot" + std::to_string(slot) +
+                          "-" + std::to_string(s.pid) + ".json";
+  if (std::rename(src.c_str(), dst.c_str()) == 0) {
+    note("postmortem: slot " + std::to_string(slot) + " dump archived as " +
+         dst);
+  } else if (expected) {
+    violation("postmortem: slot " + std::to_string(slot) +
+              " left no dump at " + src);
+  }
 }
 
 void Supervisor::term_graceful(std::size_t slot) {
@@ -326,6 +374,27 @@ bool Supervisor::verify_phase(std::size_t phase) {
                   " metrics page missing dat_daemon_uptime_us";
       }
     }
+    // 5. Alerts: the probe node's self-monitor must report the coverage
+    //    alert firing iff part of the fleet is down (fleet size is the slot
+    //    count every child was launched with).
+    if (failing.empty() && options_.check_alerts) {
+      const bool expect_firing = live.size() < slots_.size();
+      const auto alerts = admin_.alerts(slot_endpoint(live.front()));
+      if (!alerts) {
+        failing = "alerts: slot " + std::to_string(live.front()) +
+                  " has no self-monitor to probe";
+      } else {
+        bool firing = false;
+        for (const obs::Alert& alert : *alerts) {
+          if (alert.rule == "coverage" && alert.firing) firing = true;
+        }
+        if (firing != expect_firing) {
+          failing = std::string("alerts: coverage alert ") +
+                    (firing ? "firing" : "clear") + ", expected " +
+                    (expect_firing ? "firing" : "clear");
+        }
+      }
+    }
     if (failing.empty()) {
       note("verify " + std::to_string(phase) + ": SLOs met in " +
            std::to_string(ms_since(start)) + "ms (" +
@@ -387,6 +456,9 @@ int Supervisor::run(const chaos::ChaosPlan& plan) {
       case chaos::FaultKind::kSigkill:
       case chaos::FaultKind::kCrash:
         kill_abrupt(event.slot);
+        break;
+      case chaos::FaultKind::kSigabrt:
+        abort_crash(event.slot);
         break;
       case chaos::FaultKind::kSigterm:
       case chaos::FaultKind::kLeave:

@@ -24,6 +24,17 @@ struct SupervisorOptions {
   std::uint64_t verify_poll_ms = 250;
   std::string report_path;  ///< optional: write the report here too
   bool verbose = true;      ///< stream report lines to stdout as they happen
+  /// Self-monitoring knobs forwarded to every child (--fleet-size is always
+  /// the fleet's slot count).
+  bool selfmon = true;
+  std::uint64_t selfmon_epoch_ms = 500;
+  /// Alert SLO gate: at every verify, the probe node's coverage alert must
+  /// be firing iff slots are down. Needs selfmon.
+  bool check_alerts = false;
+  /// Children install crash postmortems here (empty = disabled); after a
+  /// child dies by signal the supervisor archives its dump as
+  /// postmortem-<pid>.json -> archived-postmortem-slot<i>-<pid>.json.
+  std::string postmortem_dir;
 };
 
 /// The process-level chaos harness: forks a fleet of real datd daemons on
@@ -71,7 +82,11 @@ class Supervisor {
   [[nodiscard]] bool spawn(std::size_t slot);
   [[nodiscard]] bool boot_fleet();
   void kill_abrupt(std::size_t slot);          ///< SIGKILL + reap
+  void abort_crash(std::size_t slot);          ///< SIGABRT + reap + archive
   void term_graceful(std::size_t slot);        ///< SIGTERM, assert exit 0
+  /// Moves a reaped child's postmortem-<pid>.json into the archive name;
+  /// counts a violation when a SIGABRT victim left none behind.
+  void archive_postmortem(std::size_t slot, bool expected);
   void restart_slot(std::size_t slot);
   void rebalance_fleet();
   [[nodiscard]] bool verify_phase(std::size_t phase);

@@ -31,6 +31,9 @@ SimCluster::SimCluster(std::size_t n, ClusterOptions options)
       space_(options_.bits),
       next_seed_(options_.seed * 1000003 + 1) {
   if (n == 0) throw std::invalid_argument("SimCluster: n == 0");
+  if (options_.with_selfmon && options_.selfmon.fleet_size == 0) {
+    options_.selfmon.fleet_size = n;
+  }
   install_default_schema(schema_);
   engine_ = std::make_unique<sim::Engine>(options_.seed,
                                           std::move(options_.latency));
@@ -63,6 +66,7 @@ SimCluster::SimCluster(std::size_t n, ClusterOptions options)
 SimCluster::~SimCluster() {
   // Layered teardown: protocol objects before their transports.
   for (Slot& slot : slots_) {
+    slot.selfmon.reset();
     slot.maan.reset();
     slot.dat.reset();
     slot.node.reset();
@@ -76,6 +80,10 @@ void SimCluster::attach_layers(Slot& slot) {
   if (options_.with_maan) {
     slot.maan =
         std::make_unique<maan::MaanNode>(*slot.node, schema_, options_.maan);
+  }
+  if (options_.with_selfmon && slot.dat) {
+    slot.selfmon =
+        std::make_unique<obs::SelfMonitor>(*slot.dat, options_.selfmon);
   }
 }
 
@@ -143,6 +151,11 @@ maan::MaanNode& SimCluster::maan(std::size_t slot) {
     throw std::out_of_range("SimCluster::maan: dead slot or MAAN disabled");
   }
   return *slots_[slot].maan;
+}
+
+obs::SelfMonitor* SimCluster::selfmon(std::size_t slot) {
+  if (!is_live(slot)) return nullptr;
+  return slots_[slot].selfmon.get();
 }
 
 chord::RingView SimCluster::ring_view() const {
@@ -283,6 +296,7 @@ void SimCluster::remove_node(std::size_t slot_idx, bool graceful) {
   }
   slot.live = false;
   const net::Endpoint ep = slot.transport->local();
+  slot.selfmon.reset();
   slot.maan.reset();
   slot.dat.reset();
   slot.node.reset();

@@ -14,6 +14,7 @@
 #include "maan/maan_node.hpp"
 #include "net/sim_transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selfmon.hpp"
 #include "sim/engine.hpp"
 
 namespace dat::harness {
@@ -31,6 +32,11 @@ struct ClusterOptions {
   /// Give every node the exact d0 = 2^b / n hint (the deployments in the
   /// paper know n; set false to exercise the successor-list estimator).
   bool inject_d0_hint = true;
+  /// Attach an obs::SelfMonitor to every node: the cluster monitors itself
+  /// through selfmon meta-trees, and each node evaluates the SLO ruleset.
+  bool with_selfmon = false;
+  /// Selfmon knobs; fleet_size 0 is auto-filled with the bootstrap size n.
+  obs::SelfMonitorOptions selfmon{};
   std::unique_ptr<sim::LatencyModel> latency;  ///< default LAN if null
 };
 
@@ -63,6 +69,8 @@ class SimCluster {
   [[nodiscard]] chord::Node& node(std::size_t slot);
   [[nodiscard]] core::DatNode& dat(std::size_t slot);
   [[nodiscard]] maan::MaanNode& maan(std::size_t slot);
+  /// Null when with_selfmon is off or the slot is dead.
+  [[nodiscard]] obs::SelfMonitor* selfmon(std::size_t slot);
 
   /// Converged global view of the live membership.
   [[nodiscard]] chord::RingView ring_view() const;
@@ -147,6 +155,9 @@ class SimCluster {
     std::unique_ptr<chord::Node> node;
     std::unique_ptr<core::DatNode> dat;
     std::unique_ptr<maan::MaanNode> maan;
+    /// Declared after dat: destroyed first, so its leaf closures and
+    /// in-flight query callbacks never outlive the DAT layer.
+    std::unique_ptr<obs::SelfMonitor> selfmon;
     bool live = false;
   };
 

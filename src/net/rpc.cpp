@@ -74,7 +74,9 @@ void RpcManager::set_telemetry(obs::NodeTelemetry* telemetry) {
     collector_id_ = 0;
   }
   telemetry_ = telemetry;
+  m_latency_ = nullptr;
   if (telemetry_ == nullptr) return;
+  m_latency_ = &telemetry_->registry.histogram("dat_rpc_latency_us");
   collector_id_ =
       telemetry_->registry.add_collector([this](obs::MetricsSnapshot& out) {
         const auto add = [&out](const char* name, obs::MetricType type,
@@ -150,8 +152,9 @@ void RpcManager::call(Endpoint to, const std::string& method,
   req.body = body.data();
   stamp_trace(req);
 
-  PendingCall call{to, std::move(req), std::move(handler), options,
-                   options.attempts, 0, 0, 0};
+  PendingCall call{to,      std::move(req), std::move(handler), options,
+                   options.attempts, 0,     0,                  0,
+                   transport_.now_us()};
   auto [it, inserted] = pending_.emplace(id, std::move(call));
   (void)inserted;
   --it->second.attempts_left;
@@ -308,6 +311,9 @@ void RpcManager::on_response(const Message& msg) {
     return;
   }
   if (it->second.timer != 0) transport_.cancel_timer(it->second.timer);
+  if (m_latency_ != nullptr) {
+    m_latency_->observe(transport_.now_us() - it->second.issued_at_us);
+  }
   ResponseHandler handler = std::move(it->second.handler);
   pending_.erase(it);
   Reader r(msg.body);

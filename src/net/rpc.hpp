@@ -187,6 +187,7 @@ class RpcManager {
     unsigned attempt = 0;            ///< 0-based index of the attempt in flight
     std::uint64_t last_backoff_us = 0;
     TimerId timer = 0;
+    std::uint64_t issued_at_us = 0;  ///< call() time, for end-to-end latency
   };
 
   void on_message(Endpoint from, const Message& msg);
@@ -202,6 +203,10 @@ class RpcManager {
   Transport& transport_;
   obs::NodeTelemetry* telemetry_ = nullptr;
   std::uint64_t collector_id_ = 0;
+  /// End-to-end call latency (call() to completing response), registered as
+  /// dat_rpc_latency_us while telemetry is attached. Borrowed from the
+  /// registry's deque, so the pointer stays valid for the bundle's lifetime.
+  obs::Histogram* m_latency_ = nullptr;
   std::unordered_map<std::string, MethodHandler> methods_;
   std::unordered_map<std::string, OneWayHandler> one_ways_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;

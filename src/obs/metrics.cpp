@@ -45,6 +45,39 @@ std::uint64_t Histogram::count() const noexcept {
   return total;
 }
 
+double Histogram::quantile(double q) const noexcept {
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return quantile_from_buckets(counts, q);
+}
+
+double quantile_from_buckets(std::span<const std::uint64_t> buckets,
+                             double q) noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= target) {
+      const double lower =
+          i == 0 ? 0.0
+                 : static_cast<double>(Histogram::bucket_upper(i - 1));
+      const double upper = static_cast<double>(Histogram::bucket_upper(i));
+      const double fraction =
+          (target - cumulative) / static_cast<double>(buckets[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(Histogram::bucket_upper(buckets.size() - 1));
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const Sample& in : other.samples) {
     Sample* out = nullptr;

@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -93,10 +94,22 @@ class Histogram {
   }
   [[nodiscard]] std::uint64_t count() const noexcept;
 
+  /// Estimated q-quantile (q in [0, 1]) of the observed distribution; a
+  /// point-in-time read of the buckets fed to quantile_from_buckets().
+  [[nodiscard]] double quantile(double q) const noexcept;
+
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
   std::atomic<std::uint64_t> sum_{0};
 };
+
+/// Estimated q-quantile of a log2-bucketed count vector (the layout produced
+/// by Histogram and carried by Sample::buckets): bucket 0 spans [0, 1],
+/// bucket i spans (2^(i-1), 2^i], and ranks interpolate linearly inside the
+/// containing bucket. The +Inf bucket is clamped to its 2^63 lower bound,
+/// and an empty distribution reads as 0.
+[[nodiscard]] double quantile_from_buckets(
+    std::span<const std::uint64_t> buckets, double q) noexcept;
 
 /// Plain-value reading of one instrument at snapshot time. Counters and
 /// gauges use `value`; histograms use `buckets`/`sum`/`count`.
@@ -108,6 +121,12 @@ struct Sample {
   std::vector<std::uint64_t> buckets;  ///< per-bucket (non-cumulative) counts
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+
+  /// Estimated q-quantile of a histogram sample's buckets (0 when this is
+  /// not a histogram or nothing was observed).
+  [[nodiscard]] double quantile(double q) const noexcept {
+    return quantile_from_buckets(buckets, q);
+  }
 };
 
 /// Point-in-time reading of a whole registry (or a merge of several). The

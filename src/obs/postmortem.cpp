@@ -1,0 +1,217 @@
+#include "obs/postmortem.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace dat::obs {
+
+namespace {
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Process-global crash-dump state. The two render buffers are sized once
+/// at install() and never reallocated, so the handler's view of their
+/// data() pointers is stable; `published` selects the buffer whose length
+/// was completely written (release/acquire pair with refresh()).
+struct State {
+  Postmortem::Config config;
+  bool installed = false;
+  char path[512] = {0};
+  std::vector<char> buffers[2];
+  std::atomic<std::size_t> lengths[2] = {0, 0};
+  std::atomic<int> published{-1};
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// write() until done or error; the handler has nothing better to do with
+/// a short write than try again.
+void write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w <= 0) return;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Formats a non-negative integer into `buf`; returns the length. Stack
+/// buffers and integer stores only — usable from the signal handler.
+std::size_t format_u64(char* buf, std::uint64_t v) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void append_literal(int fd, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != '\0') ++n;
+  write_all(fd, s, n);
+}
+
+/// The crash path shared by the handler and write_now(): open the
+/// pre-rendered path, emit the envelope with the signal number, splice in
+/// the published body, close. Every call here is async-signal-safe.
+bool write_dump(int sig) {
+  State& s = state();
+  if (!s.installed) return false;
+  const int fd = ::open(s.path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  char num[24];
+  append_literal(fd, "{\"schema\":\"dat.postmortem.v1\",\"signal\":");
+  write_all(fd, num, format_u64(num, static_cast<std::uint64_t>(sig)));
+  append_literal(fd, ",\"pid\":");
+  write_all(fd, num,
+            format_u64(num, static_cast<std::uint64_t>(::getpid())));
+  append_literal(fd, ",\"body\":");
+  const int idx = s.published.load(std::memory_order_acquire);
+  if (idx < 0) {
+    append_literal(fd, "null");
+  } else {
+    write_all(fd, s.buffers[idx].data(),
+              s.lengths[idx].load(std::memory_order_acquire));
+  }
+  append_literal(fd, "}\n");
+  ::close(fd);
+  return true;
+}
+
+void crash_handler(int sig) {
+  write_dump(sig);
+  // SA_RESETHAND already restored the default disposition, so re-raising
+  // terminates the process with the real signal (the supervisor sees the
+  // genuine WTERMSIG, not an exit code).
+  ::raise(sig);
+}
+
+constexpr int kSignals[] = {SIGSEGV, SIGABRT, SIGBUS};
+
+/// Renders the refreshable part of the dump (normal context: locks and
+/// allocation allowed here, never in the handler).
+std::string render_body(const Postmortem::Config& config) {
+  std::string out = "{\"captured_at_us\":";
+  out += std::to_string(wall_now_us());
+  if (config.recorder != nullptr) {
+    std::vector<Span> spans = config.recorder->spans();
+    if (spans.size() > config.max_spans) {
+      spans.erase(spans.begin(),
+                  spans.end() - static_cast<std::ptrdiff_t>(config.max_spans));
+    }
+    out += ",\"spans_recorded\":";
+    out += std::to_string(config.recorder->recorded());
+    out += ",\"spans\":[";
+    bool first = true;
+    for (const Span& span : spans) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"trace\":" + std::to_string(span.trace_id);
+      out += ",\"span\":" + std::to_string(span.span_id);
+      out += ",\"parent\":" + std::to_string(span.parent_span_id);
+      out += ",\"name\":\"" + json_escape(span.name) + "\"";
+      out += ",\"start_us\":" + std::to_string(span.start_us);
+      out += ",\"end_us\":" + std::to_string(span.end_us);
+      out += ",\"key\":" + std::to_string(span.key);
+      out += ",\"epoch\":" + std::to_string(span.epoch);
+      out += ",\"peer\":" + std::to_string(span.peer);
+      out += "}";
+    }
+    out += "]";
+  }
+  if (config.registry != nullptr) {
+    out += ",\"metrics\":";
+    out += to_json(config.registry->snapshot());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string postmortem_file_name(std::int64_t pid) {
+  return "postmortem-" + std::to_string(pid) + ".json";
+}
+
+bool Postmortem::install(Config config) {
+  if (config.directory.empty()) return false;
+  State& s = state();
+  if (s.installed) uninstall();
+  s.config = std::move(config);
+  const std::string path =
+      s.config.directory + "/" + postmortem_file_name(::getpid());
+  if (path.size() >= sizeof(s.path)) return false;
+  std::memcpy(s.path, path.c_str(), path.size() + 1);
+  for (auto& b : s.buffers) b.assign(s.config.buffer_bytes, '\0');
+  s.lengths[0].store(0);
+  s.lengths[1].store(0);
+  s.published.store(-1);
+  s.installed = true;
+  refresh();
+  struct sigaction sa {};
+  sa.sa_handler = crash_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  for (const int sig : kSignals) ::sigaction(sig, &sa, nullptr);
+  return true;
+}
+
+void Postmortem::refresh() {
+  State& s = state();
+  if (!s.installed) return;
+  const int standby = s.published.load(std::memory_order_relaxed) == 0 ? 1 : 0;
+  std::string body = render_body(s.config);
+  if (body.size() > s.buffers[standby].size()) {
+    // Too big for the pre-reserved buffer: degrade to a marker rather than
+    // grow memory the crash path would then depend on.
+    body = "{\"truncated\":true}";
+  }
+  std::copy(body.begin(), body.end(), s.buffers[standby].begin());
+  s.lengths[standby].store(body.size(), std::memory_order_release);
+  s.published.store(standby, std::memory_order_release);
+}
+
+void Postmortem::uninstall() {
+  State& s = state();
+  if (!s.installed) return;
+  struct sigaction sa {};
+  sa.sa_handler = SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : kSignals) ::sigaction(sig, &sa, nullptr);
+  s.installed = false;
+  s.published.store(-1);
+}
+
+bool Postmortem::installed() noexcept { return state().installed; }
+
+std::string Postmortem::dump_path() {
+  const State& s = state();
+  return s.installed ? std::string(s.path) : std::string();
+}
+
+bool Postmortem::write_now(int signal) {
+  refresh();
+  return write_dump(signal);
+}
+
+}  // namespace dat::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dat::obs {
+
+/// Crash postmortems: on SIGSEGV / SIGABRT / SIGBUS, dump the last refreshed
+/// telemetry (FlightRecorder span ring + metrics snapshot) to
+/// `postmortem-<pid>.json` and re-raise the signal with its default
+/// disposition, so the supervisor still observes the real termination
+/// signal.
+///
+/// The split that makes this async-signal-safe: the expensive rendering
+/// (locks, allocation, JSON escaping) runs in normal context via refresh(),
+/// which fills one of two pre-reserved buffers and flips an atomic index.
+/// The signal handler only open()s a pre-rendered path and write()s the
+/// published buffer plus a small integer-formatted header — every call in
+/// the handler is on the POSIX async-signal-safe list, and a crash landing
+/// mid-refresh still finds the previously published buffer intact.
+///
+/// Process-global by nature (signal dispositions are): install() replaces
+/// any previous installation. The recorder/registry pointers must stay
+/// valid until uninstall() — in the daemon they live for the whole main().
+class Postmortem {
+ public:
+  struct Config {
+    /// Directory the dump is written into (created files are named
+    /// postmortem-<pid>.json). Empty disables installation.
+    std::string directory = ".";
+    const FlightRecorder* recorder = nullptr;  ///< optional span source
+    const MetricsRegistry* registry = nullptr; ///< optional metrics source
+    /// Most recent spans included in a dump (bounds refresh cost).
+    std::size_t max_spans = 128;
+    /// Pre-reserved render buffer size; refreshes are truncated to fit, so
+    /// a crash can never allocate.
+    std::size_t buffer_bytes = 256 * 1024;
+  };
+
+  /// Installs the SIGSEGV/SIGABRT/SIGBUS handlers and performs an initial
+  /// refresh(). Returns false (and installs nothing) when the directory is
+  /// empty.
+  static bool install(Config config);
+
+  /// Re-renders the telemetry body into the standby buffer and publishes
+  /// it. Call periodically from the event loop (each metrics period is
+  /// plenty); the dump is only as fresh as the last refresh.
+  static void refresh();
+
+  /// Restores default signal dispositions and drops the config.
+  static void uninstall();
+
+  /// True while handlers are installed.
+  [[nodiscard]] static bool installed() noexcept;
+
+  /// The path a dump would be written to (empty when not installed).
+  [[nodiscard]] static std::string dump_path();
+
+  /// Renders and writes a dump immediately from normal context, tagged
+  /// with `signal` — the testable face of the crash path (same buffers,
+  /// same writer, no signal required). Returns true when fully written.
+  static bool write_now(int signal);
+};
+
+/// Name of the postmortem dump a process with `pid` would write.
+[[nodiscard]] std::string postmortem_file_name(std::int64_t pid);
+
+}  // namespace dat::obs

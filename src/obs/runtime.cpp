@@ -5,7 +5,17 @@
 #include <chrono>
 #include <cstdio>
 
+#ifndef DAT_BUILD_SHA
+#define DAT_BUILD_SHA "unknown"
+#endif
+#ifndef DAT_BUILD_VERSION
+#define DAT_BUILD_VERSION "dev"
+#endif
+
 namespace dat::obs {
+
+const char* build_sha() noexcept { return DAT_BUILD_SHA; }
+const char* build_version() noexcept { return DAT_BUILD_VERSION; }
 
 namespace {
 std::uint64_t steady_now_us() {
@@ -34,9 +44,10 @@ std::uint64_t process_rss_bytes() {
 }
 
 ProcessRuntime::ProcessRuntime(MetricsRegistry& registry,
-                               std::uint64_t incarnation)
+                               std::uint64_t incarnation, std::string backend)
     : registry_(registry),
       incarnation_(incarnation),
+      backend_(std::move(backend)),
       start_us_(steady_now_us()) {
   collector_id_ = registry_.add_collector([this](MetricsSnapshot& out) {
     const auto add = [&out](const char* name, double value) {
@@ -50,6 +61,14 @@ ProcessRuntime::ProcessRuntime(MetricsRegistry& registry,
     add("dat_daemon_incarnation", static_cast<double>(incarnation_));
     add("dat_daemon_pid", static_cast<double>(::getpid()));
     add("dat_daemon_rss_bytes", static_cast<double>(process_rss_bytes()));
+    Sample info;
+    info.name = "dat_build_info";
+    info.type = MetricType::kGauge;
+    info.labels = canonical_labels({{"sha", build_sha()},
+                                    {"version", build_version()},
+                                    {"backend", backend_}});
+    info.value = 1.0;
+    out.samples.push_back(std::move(info));
   });
 }
 

@@ -1,10 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "obs/metrics.hpp"
 
 namespace dat::obs {
+
+/// Git revision and semantic version baked in at configure time (CMake
+/// passes DAT_BUILD_SHA / DAT_BUILD_VERSION; "unknown" / "dev" otherwise).
+[[nodiscard]] const char* build_sha() noexcept;
+[[nodiscard]] const char* build_version() noexcept;
 
 /// Process-level runtime telemetry for a daemon: registers a snapshot-time
 /// collector emitting
@@ -13,13 +19,18 @@ namespace dat::obs {
 ///   dat_daemon_incarnation   gauge  restart generation (supervisor-managed)
 ///   dat_daemon_pid           gauge  OS process id
 ///   dat_daemon_rss_bytes     gauge  resident set size (0 if unreadable)
+///   dat_build_info           gauge  constant 1 with sha/version/backend
+///                                   labels (mixed-version fleets show up as
+///                                   distinct label sets during rolling
+///                                   restarts)
 ///
 /// The chaos supervisor scrapes these to tell a restarted daemon from the
 /// incarnation it replaced, and the health snapshot reports uptime from the
 /// same clock. Unregisters itself on destruction.
 class ProcessRuntime {
  public:
-  ProcessRuntime(MetricsRegistry& registry, std::uint64_t incarnation);
+  ProcessRuntime(MetricsRegistry& registry, std::uint64_t incarnation,
+                 std::string backend = {});
   ~ProcessRuntime();
 
   ProcessRuntime(const ProcessRuntime&) = delete;
@@ -33,6 +44,7 @@ class ProcessRuntime {
  private:
   MetricsRegistry& registry_;
   std::uint64_t incarnation_;
+  std::string backend_;
   std::uint64_t start_us_;
   std::uint64_t collector_id_;
 };

@@ -98,7 +98,8 @@ TEST(AggregateKindTest, NamesAndParsing) {
   EXPECT_EQ(aggregate_kind_from(0), AggregateKind::kSum);
   EXPECT_EQ(aggregate_kind_from(4), AggregateKind::kMax);
   EXPECT_EQ(aggregate_kind_from(6), AggregateKind::kStddev);
-  EXPECT_THROW((void)(aggregate_kind_from(7)), std::invalid_argument);
+  EXPECT_EQ(aggregate_kind_from(7), AggregateKind::kHistogram);
+  EXPECT_THROW((void)(aggregate_kind_from(8)), std::invalid_argument);
 }
 
 TEST(RendezvousKey, DeterministicAndInSpace) {

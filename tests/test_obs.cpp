@@ -187,6 +187,94 @@ TEST(MetricsSnapshotTest, MergeWithLabelAndRollup) {
   EXPECT_EQ(hops->sum, 7u);
 }
 
+TEST(MetricsSnapshotTest, KindMismatchKeepsSeriesSeparate) {
+  // The same name as a counter in one registry and a gauge in another must
+  // NOT sum together: merge keys on (name, type, labels).
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("depth").inc(3);
+  b.gauge("depth").set(10);
+
+  obs::MetricsSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  std::size_t depth_series = 0;
+  for (const obs::Sample& s : merged.samples) {
+    if (s.name == "depth") {
+      ++depth_series;
+      EXPECT_DOUBLE_EQ(s.value,
+                       s.type == obs::MetricType::kCounter ? 3.0 : 10.0);
+    }
+  }
+  EXPECT_EQ(depth_series, 2u);
+}
+
+TEST(MetricsSnapshotTest, WithLabelOverwritesACollidingKey) {
+  obs::MetricsRegistry reg;
+  reg.counter("x_total", {{"node", "999"}, {"shard", "2"}}).inc(1);
+  const obs::MetricsSnapshot stamped =
+      reg.snapshot().with_label("node", "3");
+  const obs::Sample* s =
+      stamped.find("x_total", {{"node", "3"}, {"shard", "2"}});
+  ASSERT_NE(s, nullptr);
+  // The stale node label is gone, not duplicated.
+  EXPECT_EQ(s->labels.size(), 2u);
+  EXPECT_EQ(stamped.find("x_total", {{"node", "999"}, {"shard", "2"}}),
+            nullptr);
+}
+
+TEST(MetricsSnapshotTest, MergeResizesDifferingHistogramBuckets) {
+  // Hand-built samples with unequal bucket vectors (the shape a mixed-epoch
+  // fleet produces): merge must resize and add bucket-wise, in both orders.
+  obs::Sample small;
+  small.name = "lat";
+  small.type = obs::MetricType::kHistogram;
+  small.buckets = {1, 2};
+  small.count = 3;
+  small.sum = 5;
+  obs::Sample big = small;
+  big.buckets = {0, 1, 0, 7};
+  big.count = 8;
+  big.sum = 100;
+
+  obs::MetricsSnapshot left;
+  left.samples = {small};
+  obs::MetricsSnapshot right;
+  right.samples = {big};
+  left.merge(right);
+  ASSERT_EQ(left.samples.size(), 1u);
+  EXPECT_EQ(left.samples[0].buckets,
+            (std::vector<std::uint64_t>{1, 3, 0, 7}));
+  EXPECT_EQ(left.samples[0].count, 11u);
+
+  obs::MetricsSnapshot reversed;
+  reversed.samples = {big};
+  obs::MetricsSnapshot addend;
+  addend.samples = {small};
+  reversed.merge(addend);
+  EXPECT_EQ(reversed.samples[0].buckets, left.samples[0].buckets);
+}
+
+TEST(MetricsSnapshotTest, RollupSumsDuplicateLabelValues) {
+  // Two samples that become identical once the dropped key is gone, plus
+  // one that never had it — all three must land in one coherent snapshot.
+  obs::MetricsRegistry n0;
+  obs::MetricsRegistry n1;
+  obs::MetricsRegistry shared;
+  n0.counter("msgs_total").inc(1);
+  n1.counter("msgs_total").inc(2);
+  shared.counter("msgs_total").inc(10);  // no node label at all
+
+  obs::MetricsSnapshot cluster;
+  cluster.merge(n0.snapshot().with_label("node", "0"));
+  cluster.merge(n1.snapshot().with_label("node", "1"));
+  cluster.merge(shared.snapshot());
+  const obs::MetricsSnapshot total = cluster.rollup("node");
+  const obs::Sample* all = total.find("msgs_total");
+  ASSERT_NE(all, nullptr);
+  EXPECT_DOUBLE_EQ(all->value, 13.0);
+  EXPECT_EQ(total.samples.size(), 1u);
+}
+
 // -- flight recorder ---------------------------------------------------------
 
 TEST(FlightRecorderTest, RingOverwritesOldestAndKeepsOrder) {

@@ -50,6 +50,10 @@ int run_campaign(const dat::CliFlags& flags) {
     plan = chaos::ChaosPlan::rebalance_skew(
         static_cast<std::uint64_t>(flags.get_int("seed")),
         static_cast<std::size_t>(flags.get_int("nodes")));
+  } else if (campaign_name == "selfmon") {
+    plan = chaos::ChaosPlan::selfmon(
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<std::size_t>(flags.get_int("nodes")));
   } else {
     std::fprintf(stderr, "dat_chaos: unknown --campaign %s\n",
                  campaign_name.c_str());
@@ -62,6 +66,12 @@ int run_campaign(const dat::CliFlags& flags) {
   // Plans can demand an unbalanced deployment (random ids instead of
   // identifier probing) — the shape the rebalance event then repairs.
   cluster_options.node.probing_join = !plan.random_ids;
+  // The selfmon campaign asserts the self-monitoring SLO: every node hosts
+  // a SelfMonitor, and each verify phase additionally waits for the probe
+  // node's coverage alert to reach the state the ground truth implies.
+  const bool selfmon_campaign =
+      plan_path.empty() && campaign_name == "selfmon";
+  cluster_options.with_selfmon = selfmon_campaign;
   harness::SimCluster cluster(plan.nodes, std::move(cluster_options));
 
   chaos::CampaignOptions options;
@@ -84,6 +94,7 @@ int run_campaign(const dat::CliFlags& flags) {
       static_cast<std::size_t>(flags.get_int("slo-branching"));
   options.rebalance.slo_max_epochs =
       static_cast<unsigned>(flags.get_int("slo-epochs"));
+  options.check_selfmon = selfmon_campaign;
   // ^C aborts the timeline between events; the metrics flush and the table
   // below still run on whatever completed, and the exit code becomes 130.
   options.interrupted = [] { return datd::pending_signal() != 0; };
@@ -112,19 +123,22 @@ int run_campaign(const dat::CliFlags& flags) {
     }
   }
 
-  std::printf("\n%-6s %-8s %-6s %-9s %-9s %-7s %-6s %-9s %s\n", "phase",
+  std::printf("\n%-6s %-8s %-6s %-9s %-9s %-7s %-6s %-9s %-7s %s\n", "phase",
               "t(ms)", "live", "expected", "coverage", "epochs", "roots",
-              "lb", "result");
+              "lb", "alert", "result");
   for (const chaos::PhaseReport& p : report.phases) {
     char lb[32] = "-";
     if (p.rebalance_checked) {
       std::snprintf(lb, sizeof(lb), "%u/%zu", p.lb_epochs,
                     p.lb_max_branching);
     }
-    std::printf("%-6zu %-8llu %-6zu %-9zu %-9zu %-7u %-6u %-9s %s\n", p.phase,
-                static_cast<unsigned long long>(p.at_us / 1000), p.live,
-                p.expected_coverage, p.observed_coverage, p.epochs_to_recover,
-                p.roots_answered, lb, p.ok() ? "OK" : "FAIL");
+    const char* alert =
+        p.selfmon_checked ? (p.selfmon_firing ? "firing" : "clear") : "-";
+    std::printf("%-6zu %-8llu %-6zu %-9zu %-9zu %-7u %-6u %-9s %-7s %s\n",
+                p.phase, static_cast<unsigned long long>(p.at_us / 1000),
+                p.live, p.expected_coverage, p.observed_coverage,
+                p.epochs_to_recover, p.roots_answered, lb, alert,
+                p.ok() ? "OK" : "FAIL");
   }
 
   const chaos::Campaign::LbSummary& lb = campaign.lb_summary();
@@ -171,7 +185,7 @@ int main(int argc, char** argv) {
       .flag("plan", std::string{},
             "path to a text plan spec (overrides --nodes/--seed)")
       .flag("campaign", std::string{"canonical"},
-            "built-in campaign: canonical | rebalance-skew")
+            "built-in campaign: canonical | rebalance-skew | selfmon")
       .flag("hot-keys", std::int64_t{2},
             "extra hot trees pushed 10x faster (workload skew)")
       .flag("slo-branching", std::int64_t{4},

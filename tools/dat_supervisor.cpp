@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
       .flag("seed", std::int64_t{7}, "kill-plan seed")
       .flag("plan", std::string{},
             "path to a text plan spec (overrides --nodes/--seed)")
+      .flag("campaign", std::string{"canonical"},
+            "built-in plan: canonical | selfmon")
       .flag("base-port", std::int64_t{9400}, "slot i binds 127.0.0.1:port+i")
       .flag("datd", std::string{}, "datd binary (default: next to this one)")
       .flag("aggregate", std::string{"cpu-usage"}, "aggregate name")
@@ -58,6 +60,15 @@ int main(int argc, char** argv) {
             "per-verify recovery SLO window")
       .flag("poll-ms", std::int64_t{250}, "SLO poll period")
       .flag("report", std::string{}, "also write the report to this file")
+      .flag("selfmon", true, "children run the telemetry self-monitor")
+      .flag("selfmon-epoch-ms", std::int64_t{500},
+            "children's self-monitoring epoch")
+      .flag("check-alerts", false,
+            "verify SLO: probe coverage alert firing iff slots are down "
+            "(the selfmon campaign turns this on)")
+      .flag("postmortem-dir", std::string{},
+            "children dump crash postmortems here; the supervisor archives "
+            "them after reaping a signalled child")
       .flag("print-plan", false, "print the timeline spec and exit")
       .flag("quiet", false, "suppress per-event report lines on stdout")
       .flag("help", false, "print flags and exit");
@@ -90,10 +101,18 @@ int main(int argc, char** argv) {
                      "sim-only events will be skipped\n",
                      plan_path.c_str());
       }
-    } else {
+    } else if (flags.get_string("campaign") == "selfmon") {
+      plan = chaos::ChaosPlan::process_selfmon(
+          static_cast<std::uint64_t>(flags.get_int("seed")),
+          static_cast<std::size_t>(flags.get_int("nodes")));
+    } else if (flags.get_string("campaign") == "canonical") {
       plan = chaos::ChaosPlan::process_canonical(
           static_cast<std::uint64_t>(flags.get_int("seed")),
           static_cast<std::size_t>(flags.get_int("nodes")));
+    } else {
+      std::fprintf(stderr, "dat_supervisor: unknown --campaign %s\n",
+                   flags.get_string("campaign").c_str());
+      return 2;
     }
     if (flags.get_bool("print-plan")) {
       std::fputs(plan.to_spec().c_str(), stdout);
@@ -120,6 +139,12 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(flags.get_int("poll-ms"));
     options.report_path = flags.get_string("report");
     options.verbose = !flags.get_bool("quiet");
+    options.selfmon = flags.get_bool("selfmon");
+    options.selfmon_epoch_ms =
+        static_cast<std::uint64_t>(flags.get_int("selfmon-epoch-ms"));
+    options.check_alerts = flags.get_bool("check-alerts") ||
+                           flags.get_string("campaign") == "selfmon";
+    options.postmortem_dir = flags.get_string("postmortem-dir");
 
     datd::Supervisor supervisor(options);
     return supervisor.run(plan);

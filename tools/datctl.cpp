@@ -13,15 +13,26 @@
 //   datctl remote metrics --target 127.0.0.1:9400 --format prom  scrape a daemon
 //   datctl remote leave --target 127.0.0.1:9401                  drain + clean exit
 //   datctl remote rebalance --target 127.0.0.1:9401              one shed round
+//   datctl remote alerts --target 127.0.0.1:9400                 SLO alert states
+//   datctl top --target 127.0.0.1:9400 --once                    fleet view off one node
+//   datctl promcheck --file page.prom                            lint a metrics page
 //
 // Every subcommand prints a compact table on stdout; --help lists flags.
 // SIGINT/SIGTERM abort long runs between rounds: transports shut down
 // through the normal destructors and the exit code is 130.
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/message_load.hpp"
@@ -38,6 +49,7 @@
 #include "lb/rebalancer.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/selfmon.hpp"
 #include "trace/cpu_trace.hpp"
 
 namespace {
@@ -432,15 +444,237 @@ int cmd_rebalance(CliFlags& flags) {
   return 0;
 }
 
+void render_fleet_view(const obs::SelfMonitor::FleetView& view,
+                       const obs::SelfMonitor::FleetView* prev) {
+  const auto* nodes = view.find("nodes");
+  const std::uint64_t up =
+      nodes != nullptr ? nodes->state.count : 0;
+  std::printf("fleet: %llu", static_cast<unsigned long long>(up));
+  if (view.fleet_size > 0) {
+    std::printf("/%llu", static_cast<unsigned long long>(view.fleet_size));
+  }
+  std::printf(" nodes up   epoch %llums\n",
+              static_cast<unsigned long long>(view.epoch_us / 1000));
+  std::printf("%-14s %-6s %12s %12s %8s %6s\n", "series", "kind", "value",
+              "rate/s", "count", "age");
+  for (const obs::SelfMonitor::SeriesView& s : view.series) {
+    char value[48];
+    char rate[32] = "-";
+    if (s.state.count == 0) {
+      // min/max of an empty aggregate is undefined; the series simply has
+      // not converged at this node yet.
+      std::snprintf(value, sizeof(value), "-");
+    } else if (s.kind == core::AggregateKind::kHistogram) {
+      std::snprintf(value, sizeof(value), "p50=%.0f p99=%.0f",
+                    s.state.quantile(0.5), s.state.quantile(0.99));
+    } else {
+      std::snprintf(value, sizeof(value), "%.1f", s.state.result(s.kind));
+    }
+    // Counters aggregate under kSum; two polls one epoch apart turn the
+    // fleet-wide monotonic total into a rate.
+    if (prev != nullptr && s.kind == core::AggregateKind::kSum &&
+        view.now_us > prev->now_us) {
+      if (const auto* old = prev->find(s.name)) {
+        const double dt =
+            static_cast<double>(view.now_us - prev->now_us) / 1e6;
+        std::snprintf(rate, sizeof(rate), "%.1f",
+                      (s.state.sum - old->state.sum) / dt);
+      }
+    }
+    const std::uint64_t age_us =
+        view.now_us > s.fetched_at_us ? view.now_us - s.fetched_at_us : 0;
+    char age[24] = "never";
+    if (s.fetched_at_us != 0) {
+      std::snprintf(age, sizeof(age), "%llums",
+                    static_cast<unsigned long long>(age_us / 1000));
+    }
+    std::printf("%-14s %-6s %12s %12s %8llu %6s\n", s.name.c_str(),
+                core::to_string(s.kind), value, rate,
+                static_cast<unsigned long long>(s.state.count), age);
+  }
+  if (view.alerts.empty()) {
+    std::printf("alerts: (no rules)\n");
+    return;
+  }
+  std::printf("alerts:\n");
+  for (const obs::Alert& a : view.alerts) {
+    std::printf("  %-12s %-7s value=%.1f threshold=%.1f breaches=%llu\n",
+                a.rule.c_str(), a.firing ? "FIRING" : "clear", a.value,
+                a.threshold,
+                static_cast<unsigned long long>(a.breaches));
+  }
+}
+
+int cmd_top(CliFlags& flags) {
+  const std::string target_text = flags.get_string("target");
+  if (target_text.empty()) {
+    std::fprintf(stderr,
+                 "usage: datctl top --target ip:port [--once] "
+                 "[--interval sec]\n");
+    return 2;
+  }
+  const net::Endpoint target = datd::parse_endpoint(target_text);
+  datd::AdminClient admin(
+      static_cast<std::uint64_t>(flags.get_double("timeout") * 1e6));
+  const bool once = flags.get_bool("once");
+
+  // One node answers for the whole fleet: its cached meta-tree roots ARE
+  // the fleet view, so rendering costs one RPC regardless of fleet size.
+  auto view = admin.fleet(target);
+  if (!view) {
+    std::fprintf(stderr, "top: %s has no self-monitor or did not answer\n",
+                 target_text.c_str());
+    return 1;
+  }
+  // Rates need a second sample one telemetry epoch later.
+  const double default_interval =
+      view->epoch_us > 0 ? static_cast<double>(view->epoch_us) / 1e6 : 1.0;
+  double interval_s = flags.get_double("interval");
+  if (interval_s <= 0.0) interval_s = default_interval;
+
+  std::optional<obs::SelfMonitor::FleetView> prev;
+  while (datd::pending_signal() == 0) {
+    if (prev) {
+      if (!once) std::printf("\x1b[H\x1b[2J");  // live mode: redraw in place
+      render_fleet_view(*view, &*prev);
+      if (once) return 0;
+    }
+    prev = std::move(view);
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    view = admin.fleet(target);
+    if (!view) {
+      std::fprintf(stderr, "top: %s stopped answering\n", target_text.c_str());
+      return 1;
+    }
+  }
+  return 130;
+}
+
+/// Validates a Prometheus text-exposition page: metric-name grammar, known
+/// TYPE values, parseable sample values and no duplicate series (same name
+/// + label set). This is what CI pipes `datctl metrics --format prom`
+/// through, so a malformed or colliding series fails the build instead of
+/// the scraper.
+int cmd_promcheck(CliFlags& flags) {
+  std::string path = flags.get_string("file");
+  std::istream* in = &std::cin;
+  std::ifstream file;
+  if (!path.empty() && path != "-") {
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "promcheck: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    in = &file;
+  }
+  const auto name_ok = [](const std::string& name) {
+    if (name.empty()) return false;
+    if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+        name[0] != ':') {
+      return false;
+    }
+    for (const char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::unordered_set<std::string> seen_series;
+  std::unordered_set<std::string> typed;
+  std::size_t errors = 0;
+  std::size_t samples = 0;
+  std::size_t lineno = 0;
+  std::string line;
+  const auto fail = [&](const std::string& why) {
+    ++errors;
+    std::fprintf(stderr, "promcheck: line %zu: %s: %s\n", lineno, why.c_str(),
+                 line.c_str());
+  };
+  while (std::getline(*in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name, rest;
+      comment >> hash >> keyword >> name;
+      if (keyword != "HELP" && keyword != "TYPE") continue;
+      if (!name_ok(name)) {
+        fail("bad metric name in " + keyword);
+        continue;
+      }
+      if (keyword == "TYPE") {
+        std::string type;
+        comment >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          fail("unknown TYPE " + type);
+        }
+        if (!typed.insert(name).second) fail("duplicate TYPE for " + name);
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    const std::size_t brace = line.find('{');
+    const std::size_t space = line.find(' ');
+    std::string name;
+    std::string series;
+    std::string value_text;
+    if (brace != std::string::npos && (space == std::string::npos ||
+                                       brace < space)) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string::npos) {
+        fail("unterminated label set");
+        continue;
+      }
+      name = line.substr(0, brace);
+      series = line.substr(0, close + 1);
+      value_text = line.substr(close + 1);
+    } else if (space != std::string::npos) {
+      name = line.substr(0, space);
+      series = name;
+      value_text = line.substr(space);
+    } else {
+      fail("sample without a value");
+      continue;
+    }
+    if (!name_ok(name)) {
+      fail("bad metric name");
+      continue;
+    }
+    std::istringstream values(value_text);
+    std::string token;
+    if (!(values >> token)) {
+      fail("sample without a value");
+      continue;
+    }
+    if (token != "+Inf" && token != "-Inf" && token != "NaN") {
+      try {
+        std::size_t used = 0;
+        (void)std::stod(token, &used);
+        if (used != token.size()) throw std::invalid_argument(token);
+      } catch (const std::exception&) {
+        fail("unparseable sample value " + token);
+        continue;
+      }
+    }
+    if (!seen_series.insert(series).second) fail("duplicate series");
+    ++samples;
+  }
+  std::printf("promcheck: %zu samples, %zu errors\n", samples, errors);
+  return errors == 0 ? 0 : 1;
+}
+
 int cmd_remote(CliFlags& flags) {
   const std::string op =
       flags.positional().empty() ? std::string() : flags.positional().front();
   const std::string target_text = flags.get_string("target");
   const bool known_op = op == "status" || op == "metrics" || op == "leave" ||
-                        op == "rebalance";
+                        op == "rebalance" || op == "alerts";
   if (!known_op || target_text.empty()) {
     std::fprintf(stderr,
-                 "usage: datctl remote <status|metrics|leave|rebalance> "
+                 "usage: datctl remote <status|metrics|leave|rebalance|alerts> "
                  "--target ip:port [--json] [--format json|prom]\n");
     return 2;
   }
@@ -467,6 +701,21 @@ int cmd_remote(CliFlags& flags) {
     std::fputs(page->c_str(), stdout);
     return 0;
   }
+  if (op == "alerts") {
+    const auto alerts = admin.alerts(target);
+    if (!alerts) {
+      std::fprintf(stderr, "remote: %s has no self-monitor or did not answer\n",
+                   target_text.c_str());
+      return 1;
+    }
+    for (const obs::Alert& a : *alerts) {
+      std::printf("%-12s %-7s value=%.1f threshold=%.1f breaches=%llu\n",
+                  a.rule.c_str(), a.firing ? "FIRING" : "clear", a.value,
+                  a.threshold, static_cast<unsigned long long>(a.breaches));
+    }
+    if (alerts->empty()) std::printf("(no rules)\n");
+    return 0;
+  }
   if (op == "leave") {
     if (!admin.leave(target)) {
       std::fprintf(stderr, "remote: %s did not acknowledge the leave\n",
@@ -490,7 +739,8 @@ void print_usage() {
   std::fprintf(
       stderr,
       "usage: datctl "
-      "<tree|load|lookup|monitor|churn|inspect|metrics|trace|rebalance|remote>"
+      "<tree|load|lookup|monitor|churn|inspect|metrics|trace|rebalance|remote"
+      "|top|promcheck>"
       " [flags]\n"
       "       datctl <subcommand> --help\n");
 }
@@ -540,6 +790,15 @@ int main(int argc, char** argv) {
     flags.flag("format", std::string("prom"), "metrics format: json|prom");
     flags.flag("json", false, "status as JSON instead of one line");
     flags.flag("timeout", 2.0, "per-call budget (seconds)");
+  } else if (command == "top") {
+    flags.flag("target", std::string(), "daemon address, ip:port (required)");
+    flags.flag("once", false, "two samples one epoch apart, one frame, exit");
+    flags.flag("interval", 0.0,
+               "refresh period in seconds (0 = the node's telemetry epoch)");
+    flags.flag("timeout", 2.0, "per-call budget (seconds)");
+  } else if (command == "promcheck") {
+    flags.flag("file", std::string(),
+               "Prometheus exposition page to lint (empty or - reads stdin)");
   } else if (command != "load") {
     print_usage();
     return 2;
@@ -580,6 +839,10 @@ int main(int argc, char** argv) {
       rc = cmd_rebalance(flags);
     } else if (command == "remote") {
       rc = cmd_remote(flags);
+    } else if (command == "top") {
+      rc = cmd_top(flags);
+    } else if (command == "promcheck") {
+      rc = cmd_promcheck(flags);
     } else {
       handled = false;
     }
